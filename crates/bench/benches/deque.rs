@@ -1,0 +1,67 @@
+//! Colored-deque micro-benchmarks: push/pop throughput, steal cost, and
+//! the marginal cost of the colored check on the steal path (the ablation
+//! DESIGN.md calls out: embedded color words vs an uncolored steal).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nabbitc_color::{Color, ColorSet};
+use nabbitc_runtime::deque::ColoredDeque;
+use std::hint::black_box;
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque");
+    g.sample_size(20);
+    let colors = ColorSet::all(8);
+
+    g.bench_function("push_pop_1k", |b| {
+        let d: ColoredDeque<u64> = ColoredDeque::new();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                d.push(Box::new(i), colors);
+            }
+            for _ in 0..1000 {
+                black_box(d.pop());
+            }
+        });
+    });
+
+    g.bench_function("steal_uncolored_1k", |b| {
+        let d: ColoredDeque<u64> = ColoredDeque::new();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                d.push(Box::new(i), colors);
+            }
+            for _ in 0..1000 {
+                black_box(d.steal().success());
+            }
+        });
+    });
+
+    g.bench_function("steal_colored_hit_1k", |b| {
+        let d: ColoredDeque<u64> = ColoredDeque::new();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                d.push(Box::new(i), colors);
+            }
+            for _ in 0..1000 {
+                black_box(d.steal_if(Color(3)).success());
+            }
+        });
+    });
+
+    g.bench_function("steal_colored_miss", |b| {
+        let d: ColoredDeque<u64> = ColoredDeque::new();
+        d.push(Box::new(1), ColorSet::singleton(Color(7)));
+        b.iter(|| {
+            // Failed colored steals leave the deque untouched: this is the
+            // constant-time check the paper relies on being cheap.
+            black_box(matches!(
+                d.steal_if(Color(0)),
+                nabbitc_runtime::Steal::ColorMismatch
+            ));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_pop);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! NUMA-simulator throughput: simulated nodes per second for the
+//! work-stealing and OpenMP simulators (these bound how large a sweep the
+//! figure harnesses can afford).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nabbitc_numasim::{simulate_omp, simulate_ws, CostModel, OmpSchedule, WsConfig};
+use nabbitc_runtime::NumaTopology;
+use nabbitc_workloads::{registry, BenchId, Scale};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let built = registry::build(BenchId::Heat, Scale::Small, 40);
+    let topo = NumaTopology::paper_machine().truncated(40);
+    let cost = CostModel::default();
+
+    g.bench_function("ws_nabbitc_heat_small_40c", |b| {
+        b.iter(|| simulate_ws(&built.graph, &WsConfig::nabbitc(40)));
+    });
+    g.bench_function("ws_nabbit_heat_small_40c", |b| {
+        b.iter(|| simulate_ws(&built.graph, &WsConfig::nabbit(40)));
+    });
+    g.bench_function("omp_static_heat_small_40c", |b| {
+        b.iter(|| simulate_omp(&built.loops, OmpSchedule::Static, 40, &topo, &cost));
+    });
+    g.bench_function("omp_guided_heat_small_40c", |b| {
+        b.iter(|| simulate_omp(&built.loops, OmpSchedule::Guided, 40, &topo, &cost));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Morphing-continuation spawn overhead: time to fan out and process a
+//! batch of colored items through `spawn_colors` on a pool, versus batch
+//! size and color count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nabbitc_color::{Color, ColorSet};
+use nabbitc_core::spawn::spawn_colors;
+use nabbitc_runtime::{Pool, PoolConfig, WorkerContext};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spawn_colors");
+    g.sample_size(15);
+    let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+
+    for &n in &[256usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("batch", n), &n, |b, &n| {
+            b.iter(|| {
+                let count = Arc::new(AtomicU64::new(0));
+                let c2 = count.clone();
+                pool.run(ColorSet::all(4), move |ctx| {
+                    let items: Vec<(u32, Color)> =
+                        (0..n as u32).map(|i| (i, Color((i % 4) as u16))).collect();
+                    let c3 = c2.clone();
+                    spawn_colors(
+                        ctx,
+                        items,
+                        Arc::new(move |_ctx: &mut WorkerContext<'_>, _item| {
+                            c3.fetch_add(1, Ordering::Relaxed);
+                        }),
+                    );
+                });
+                assert_eq!(count.load(Ordering::Relaxed), n as u64);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spawn);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 6: speedup over the serial baseline, 1–80 cores, for
+//! OpenMP-static, OpenMP-guided, Nabbit, and NabbitC on all ten
+//! benchmarks.
+//!
+//! `cargo run -p nabbitc-bench --bin fig6_speedup --release`
+
+use nabbitc_bench::{f1, run_strategy, scale_from_env, serial_baseline, Report, Strategy, SWEEP_CORES};
+use nabbitc_workloads::BenchId;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rep = Report::new(
+        "fig6_speedup",
+        &format!("Figure 6 — speedup over serial (scale {scale:?})"),
+    );
+    rep.line("Series per benchmark: omp-static, omp-guided, nabbit, nabbitc.\n");
+    rep.header(&["benchmark", "cores", "omp-static", "omp-guided", "nabbit", "nabbitc"]);
+    for id in BenchId::all() {
+        let serial = serial_baseline(id, scale);
+        for &p in SWEEP_CORES.iter() {
+            let mut cells = vec![id.name().to_string(), p.to_string()];
+            for strat in [
+                Strategy::OmpStatic,
+                Strategy::OmpGuided,
+                Strategy::Nabbit,
+                Strategy::NabbitC,
+            ] {
+                let r = run_strategy(id, scale, p, strat);
+                cells.push(f1(r.speedup(serial)));
+            }
+            rep.row(&cells);
+        }
+        eprintln!("fig6: {} done", id.name());
+    }
+    rep.finish();
+}

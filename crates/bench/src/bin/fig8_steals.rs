@@ -1,0 +1,34 @@
+//! Figure 8: average number of successful steals per worker, Nabbit vs
+//! NabbitC. The paper's counter-intuitive finding: colored steals (and the
+//! forced first colored steal in particular) *reduce* total steals because
+//! thieves acquire nodes higher in the task graph.
+//!
+//! `cargo run -p nabbitc-bench --bin fig8_steals --release`
+
+use nabbitc_bench::{f1, run_strategy, scale_from_env, Report, Strategy, SWEEP_CORES};
+use nabbitc_workloads::BenchId;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rep = Report::new(
+        "fig8_steals",
+        &format!("Figure 8 — avg successful steals per worker (scale {scale:?})"),
+    );
+    rep.header(&["benchmark", "cores", "nabbitc", "nabbit", "nabbit/nabbitc"]);
+    for id in BenchId::all() {
+        for &p in SWEEP_CORES.iter().filter(|&&p| p >= 4) {
+            let nc = run_strategy(id, scale, p, Strategy::NabbitC);
+            let nb = run_strategy(id, scale, p, Strategy::Nabbit);
+            let (a, b) = (nc.avg_successful_steals(), nb.avg_successful_steals());
+            rep.row(&[
+                id.name().to_string(),
+                p.to_string(),
+                f1(a),
+                f1(b),
+                f1(if a > 0.0 { b / a } else { f64::NAN }),
+            ]);
+        }
+        eprintln!("fig8: {} done", id.name());
+    }
+    rep.finish();
+}

@@ -1,0 +1,34 @@
+//! Figure 9: average idle time per core spent acquiring the first work
+//! item when the first steal is forced to be colored (heat benchmark;
+//! the paper observed the same curve for all benchmarks).
+//!
+//! `cargo run -p nabbitc-bench --bin fig9_first_steal --release`
+
+use nabbitc_bench::{f1, f2, run_strategy, scale_from_env, Report, Strategy, SWEEP_CORES};
+use nabbitc_workloads::BenchId;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rep = Report::new(
+        "fig9_first_steal",
+        &format!("Figure 9 — first-work acquisition wait, heat (scale {scale:?})"),
+    );
+    rep.line("Forced first colored steal: average/max ticks from job start until each core first acquires work.\n");
+    rep.header(&[
+        "cores",
+        "avg wait (ticks)",
+        "max wait (ticks)",
+        "avg wait (% of makespan)",
+    ]);
+    for &p in SWEEP_CORES.iter() {
+        let r = run_strategy(BenchId::Heat, scale, p, Strategy::NabbitC);
+        let max = r.cores.iter().map(|c| c.first_work).max().unwrap_or(0);
+        rep.row(&[
+            p.to_string(),
+            f1(r.avg_first_work()),
+            max.to_string(),
+            f2(100.0 * r.avg_first_work() / r.makespan as f64),
+        ]);
+    }
+    rep.finish();
+}

@@ -1,0 +1,56 @@
+//! Table I: benchmark configurations — task-graph node counts, edges,
+//! work/span analysis, and the serial baseline time.
+//!
+//! `cargo run -p nabbitc-bench --bin table1 --release`
+
+use nabbitc_bench::{f1, scale_from_env, serial_baseline, Report};
+use nabbitc_graph::analysis::analyze;
+use nabbitc_workloads::{registry, BenchId};
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rep = Report::new(
+        "table1",
+        &format!("Table I — benchmark configurations (scale {scale:?})"),
+    );
+    rep.line("Paper column 'nodes' is Table I's task-graph size; ours matches at scale=paper.\n");
+    rep.header(&[
+        "benchmark",
+        "nodes",
+        "edges",
+        "T1 (ticks)",
+        "T_inf (ticks)",
+        "parallelism",
+        "serial ticks",
+        "paper nodes",
+    ]);
+    let paper_nodes = [
+        ("cg", 300u64),
+        ("mg", 16384),
+        ("heat", 102400),
+        ("fdtd", 102400),
+        ("life", 102400),
+        ("page-uk-2002", 1800),
+        ("page-twitter-2010", 4100),
+        ("page-uk-2007-05", 10500),
+        ("sw", 25600),
+        ("swn2", 16384),
+    ];
+    for (id, (pname, pnodes)) in BenchId::all().into_iter().zip(paper_nodes) {
+        assert_eq!(id.name(), pname);
+        let built = registry::build(id, scale, 8);
+        let a = analyze(&built.graph);
+        let serial = serial_baseline(id, scale);
+        rep.row(&[
+            id.name().to_string(),
+            built.graph.node_count().to_string(),
+            built.graph.edge_count().to_string(),
+            a.t1.to_string(),
+            a.t_inf.to_string(),
+            f1(a.parallelism),
+            serial.to_string(),
+            pnodes.to_string(),
+        ]);
+    }
+    rep.finish();
+}

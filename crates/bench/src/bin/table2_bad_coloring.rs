@@ -1,0 +1,51 @@
+//! Table II: speedup of NabbitC over Nabbit when every task is assigned a
+//! *bad* (valid but wrong) color — workers preferentially execute
+//! non-local tasks. The paper finds the ratio ≈ 1 within noise: bad
+//! coloring loses all locality benefit but costs little beyond it.
+//!
+//! `cargo run -p nabbitc-bench --bin table2_bad_coloring --release`
+
+use nabbitc_bench::{f2, scale_from_env, Report, NUMA_CORES, SEEDS};
+use nabbitc_core::coloring::{apply_coloring, ColoringMode};
+use nabbitc_numasim::{simulate_ws, WsConfig};
+use nabbitc_runtime::NumaTopology;
+use nabbitc_workloads::{registry, BenchId};
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rep = Report::new(
+        "table2_bad_coloring",
+        &format!("Table II — NabbitC(bad coloring) / Nabbit speedup ratio (scale {scale:?})"),
+    );
+    rep.line("Ratio > 1: bad-colored NabbitC faster than Nabbit; ≈1 expected.\n");
+    let mut header = vec!["P".to_string()];
+    header.extend(BenchId::all().iter().map(|id| id.name().to_string()));
+    rep.header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    for &p in NUMA_CORES.iter() {
+        let topo = NumaTopology::paper_machine().truncated(p);
+        let mut cells = vec![p.to_string()];
+        for id in BenchId::all() {
+            let mut ratios = Vec::new();
+            for &seed in SEEDS.iter().take(3) {
+                let built = registry::build(id, scale, p);
+                let mut nb_cfg = WsConfig::nabbit(p);
+                nb_cfg.seed = seed;
+                let nabbit = simulate_ws(&built.graph, &nb_cfg);
+
+                let mut bad_graph = built.graph.clone();
+                apply_coloring(&mut bad_graph, ColoringMode::Bad, &topo, p);
+                let mut nc_cfg = WsConfig::nabbitc(p);
+                nc_cfg.seed = seed;
+                let bad = simulate_ws(&bad_graph, &nc_cfg);
+
+                ratios.push(nabbit.makespan as f64 / bad.makespan as f64);
+            }
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            cells.push(f2(mean));
+        }
+        rep.row(&cells);
+        eprintln!("table2: P={p} done");
+    }
+    rep.finish();
+}

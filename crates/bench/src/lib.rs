@@ -1,0 +1,181 @@
+//! Shared harness machinery for the figure/table regeneration binaries.
+//!
+//! Each binary regenerates one table or figure from the paper's evaluation
+//! (§V) on the simulated 8×10-core machine, printing a markdown table to
+//! stdout and a CSV file under `results/`. See DESIGN.md's per-experiment
+//! index for the mapping.
+
+use nabbitc_numasim::{serial_ticks, simulate_omp, simulate_ws, CostModel, OmpSchedule, SimResult, WsConfig};
+use nabbitc_runtime::NumaTopology;
+use nabbitc_workloads::{registry, BenchId, Scale};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Core counts used throughout the paper's sweeps.
+pub const SWEEP_CORES: [usize; 8] = [1, 2, 4, 10, 20, 40, 60, 80];
+
+/// Core counts for the 20+-core figures (Fig. 7, Tables II/III).
+pub const NUMA_CORES: [usize; 4] = [20, 40, 60, 80];
+
+/// Seeds averaged per work-stealing simulation (the paper averages five
+/// runs).
+pub const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+
+/// Reads the scale from `NABBITC_SCALE` (small | medium | paper);
+/// default medium.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("NABBITC_SCALE").as_deref() {
+        Ok("paper") => Scale::Paper,
+        Ok("small") => Scale::Small,
+        _ => Scale::Medium,
+    }
+}
+
+/// A scheduling strategy under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// OpenMP static loops.
+    OmpStatic,
+    /// OpenMP guided loops.
+    OmpGuided,
+    /// Vanilla Nabbit (random work stealing).
+    Nabbit,
+    /// NabbitC (colored steals + morphing continuations).
+    NabbitC,
+}
+
+impl Strategy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::OmpStatic => "omp-static",
+            Strategy::OmpGuided => "omp-guided",
+            Strategy::Nabbit => "nabbit",
+            Strategy::NabbitC => "nabbitc",
+        }
+    }
+}
+
+/// Simulates `strategy` on benchmark `id` at `scale` with `p` cores,
+/// seed-averaging the work-stealing strategies. Returns the averaged
+/// result (makespan and counters averaged element-wise where meaningful).
+pub fn run_strategy(id: BenchId, scale: Scale, p: usize, strategy: Strategy) -> SimResult {
+    let built = registry::build(id, scale, p);
+    let topo = NumaTopology::paper_machine().truncated(p);
+    let cost = CostModel::default();
+    match strategy {
+        Strategy::OmpStatic => simulate_omp(&built.loops, OmpSchedule::Static, p, &topo, &cost),
+        Strategy::OmpGuided => simulate_omp(&built.loops, OmpSchedule::Guided, p, &topo, &cost),
+        Strategy::Nabbit | Strategy::NabbitC => {
+            let mut acc: Option<SimResult> = None;
+            for &seed in SEEDS.iter() {
+                let mut cfg = if strategy == Strategy::Nabbit {
+                    WsConfig::nabbit(p)
+                } else {
+                    WsConfig::nabbitc(p)
+                };
+                cfg.seed = seed;
+                let r = simulate_ws(&built.graph, &cfg);
+                acc = Some(match acc {
+                    None => r,
+                    Some(mut a) => {
+                        a.makespan += r.makespan;
+                        a.remote.total += r.remote.total;
+                        a.remote.remote += r.remote.remote;
+                        a.remote.node_total += r.remote.node_total;
+                        a.remote.node_remote += r.remote.node_remote;
+                        for (ac, rc) in a.cores.iter_mut().zip(r.cores.iter()) {
+                            ac.colored_steals += rc.colored_steals;
+                            ac.random_steals += rc.random_steals;
+                            ac.first_work += rc.first_work;
+                            ac.idle += rc.idle;
+                        }
+                        a
+                    }
+                });
+            }
+            let mut a = acc.expect("at least one seed");
+            let n = SEEDS.len() as u64;
+            a.makespan /= n;
+            for c in a.cores.iter_mut() {
+                c.colored_steals /= n;
+                c.random_steals /= n;
+                c.first_work /= n;
+                c.idle /= n;
+            }
+            a
+        }
+    }
+}
+
+/// Serial baseline ticks for a benchmark (one core, all data local — the
+/// paper's "serial OPENMPSTATIC" baseline).
+pub fn serial_baseline(id: BenchId, scale: Scale) -> u64 {
+    let built = registry::build(id, scale, 1);
+    serial_ticks(&built.graph, &CostModel::default())
+}
+
+/// Markdown + CSV writer.
+pub struct Report {
+    name: String,
+    md: String,
+    csv: String,
+}
+
+impl Report {
+    /// Starts a report.
+    pub fn new(name: &str, title: &str) -> Report {
+        let mut md = String::new();
+        let _ = writeln!(md, "# {title}\n");
+        Report {
+            name: name.to_string(),
+            md,
+            csv: String::new(),
+        }
+    }
+
+    /// Adds a free-form markdown line.
+    pub fn line(&mut self, s: &str) {
+        let _ = writeln!(self.md, "{s}");
+    }
+
+    /// Adds a table header (also the CSV header).
+    pub fn header(&mut self, cols: &[&str]) {
+        let _ = writeln!(self.md, "| {} |", cols.join(" | "));
+        let _ = writeln!(self.md, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(self.csv, "{}", cols.join(","));
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, cells: &[String]) {
+        let _ = writeln!(self.md, "| {} |", cells.join(" | "));
+        let _ = writeln!(self.csv, "{}", cells.join(","));
+    }
+
+    /// Prints markdown to stdout and writes `results/<name>.csv` +
+    /// `results/<name>.md`.
+    pub fn finish(self) {
+        println!("{}", self.md);
+        let dir = std::path::Path::new("results");
+        let _ = std::fs::create_dir_all(dir);
+        let write = |ext: &str, content: &str| {
+            let path = dir.join(format!("{}.{ext}", self.name));
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = f.write_all(content.as_bytes());
+            }
+        };
+        write("md", &self.md);
+        write("csv", &self.csv);
+        eprintln!("(wrote results/{0}.md and results/{0}.csv)", self.name);
+    }
+}
+
+/// Formats a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}

@@ -1,0 +1,99 @@
+//! Color and color-set primitives for locality-aware scheduling.
+//!
+//! In NabbitC every task-graph node carries a *color* naming the worker (and
+//! by extension, NUMA domain) whose memory holds the data the node touches.
+//! The runtime tags every stealable continuation with the *set* of colors of
+//! the nodes reachable through it so that an idle worker can perform a
+//! *colored steal*: take a continuation only if it contains work of the
+//! worker's own color.
+//!
+//! The paper fixes the number of colors to the number of workers and stores
+//! each continuation's colors as "a fixed length array of boolean flags",
+//! making the thief's check a constant time operation (§III). [`ColorSet`]
+//! is exactly that: a fixed 256-bit bitset, checked with one shift and mask.
+
+mod set;
+
+pub use set::{ColorSet, ColorSetIter, MAX_COLORS};
+
+/// A locality color.
+///
+/// Colors identify the location (a worker / processor core) with the most
+/// efficient access to a node's data. Valid colors are `0..MAX_COLORS`;
+/// values outside that range are permitted when *constructing* a [`Color`]
+/// (the paper's Table III experiment deliberately assigns every node an
+/// *invalid* color so that all colored steals fail) but they are never
+/// members of any [`ColorSet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Color(pub u16);
+
+impl Color {
+    /// The color used by the Table III experiment: no worker ever has it, so
+    /// every colored steal attempt fails and NabbitC degenerates to Nabbit
+    /// plus the colored-steal overhead.
+    pub const INVALID: Color = Color(u16::MAX);
+
+    /// Whether this color can be a member of a [`ColorSet`].
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        (self.0 as usize) < MAX_COLORS
+    }
+
+    /// The color's index, for table lookups. Panics on invalid colors.
+    #[inline]
+    pub fn index(self) -> usize {
+        debug_assert!(self.is_valid(), "Color::index on invalid color");
+        self.0 as usize
+    }
+}
+
+impl From<u16> for Color {
+    #[inline]
+    fn from(v: u16) -> Self {
+        Color(v)
+    }
+}
+
+impl From<usize> for Color {
+    /// Converts an index to a color. Values that do not fit in `u16`
+    /// saturate to [`Color::INVALID`].
+    #[inline]
+    fn from(v: usize) -> Self {
+        Color(u16::try_from(v).unwrap_or(u16::MAX))
+    }
+}
+
+impl std::fmt::Display for Color {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Color::INVALID {
+            write!(f, "c⊥")
+        } else {
+            write!(f, "c{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_color_is_not_valid() {
+        assert!(!Color::INVALID.is_valid());
+        assert!(Color(0).is_valid());
+        assert!(Color((MAX_COLORS - 1) as u16).is_valid());
+        assert!(!Color(MAX_COLORS as u16).is_valid());
+    }
+
+    #[test]
+    fn from_usize_saturates() {
+        assert_eq!(Color::from(70_000usize), Color::INVALID);
+        assert_eq!(Color::from(7usize), Color(7));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Color(3)), "c3");
+        assert_eq!(format!("{}", Color::INVALID), "c⊥");
+    }
+}

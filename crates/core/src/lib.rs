@@ -1,0 +1,36 @@
+//! Nabbit and NabbitC task-graph executors — the paper's primary
+//! contribution.
+//!
+//! [`static_exec::StaticExecutor`] executes a pre-built
+//! [`TaskGraph`](nabbitc_graph::TaskGraph): every node known up front,
+//! readiness tracked with atomic join counters. This is the path the
+//! paper's benchmarks exercise (their task graphs are fully determined by
+//! the problem configuration).
+//!
+//! [`dynamic`] provides the full on-demand Nabbit protocol from Agrawal,
+//! Leiserson & Sukha (IPDPS'10): the computation is *specified* by a sink
+//! key plus a predecessor function; nodes are created lazily as they are
+//! discovered, racing threads arbitrate creation through a concurrent node
+//! table, and late arrivals enqueue themselves on a predecessor's successor
+//! list (the `try_init_compute` path of the paper's Figure 4).
+//!
+//! Both executors route every batch spawn through [`spawn`] —
+//! `gather_colors` + `spawn_colors`, the *morphing continuation* mechanism
+//! of §III: batches are recursively split by color so the spawning worker
+//! dives into its own color's sub-batch while the other colors sit in
+//! stealable tasks tagged with exactly their color sets.
+//!
+//! [`metrics`] implements the paper's §V-B node-granularity remote-access
+//! accounting; [`coloring`] the Correct / Bad (Table II) / Invalid
+//! (Table III) coloring strategies.
+
+pub mod coloring;
+pub mod dynamic;
+pub mod metrics;
+pub mod spawn;
+pub mod static_exec;
+
+pub use coloring::ColoringMode;
+pub use dynamic::{DynamicExecutor, DynamicReport, TaskSpec};
+pub use metrics::{RemoteAccessReport, RemoteCounters};
+pub use static_exec::{ExecOptions, StaticExecutor, StaticReport};

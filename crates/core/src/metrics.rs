@@ -1,0 +1,166 @@
+//! Remote-access accounting at node granularity (§V-B).
+//!
+//! The paper could not use hardware counters ("we were limited by OS
+//! version and available hardware counters") and instead counts, per
+//! thread:
+//!
+//! 1. executed nodes whose color matches no thread in the executing
+//!    thread's NUMA domain, and
+//! 2. predecessors of executed nodes whose color matches no thread in that
+//!    domain (reading a predecessor's output is an access to its region).
+//!
+//! The sum over threads, divided by the total number of such checks, is the
+//! "% remote accesses" of Figure 7. We reproduce the metric exactly.
+
+use crossbeam_utils::CachePadded;
+use nabbitc_color::Color;
+use nabbitc_runtime::NumaTopology;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Per-worker live counters.
+#[derive(Default)]
+struct WorkerCounters {
+    node_total: CachePadded<AtomicU64>,
+    node_remote: CachePadded<AtomicU64>,
+    pred_total: CachePadded<AtomicU64>,
+    pred_remote: CachePadded<AtomicU64>,
+}
+
+/// Concurrent remote-access counters for a pool of workers.
+pub struct RemoteCounters {
+    topology: NumaTopology,
+    workers: Vec<WorkerCounters>,
+}
+
+impl RemoteCounters {
+    /// Creates counters for `workers` workers on `topology`.
+    pub fn new(topology: NumaTopology, workers: usize) -> Self {
+        RemoteCounters {
+            topology,
+            workers: (0..workers).map(|_| WorkerCounters::default()).collect(),
+        }
+    }
+
+    /// Records the execution of a node colored `node_color` whose
+    /// predecessors have colors `pred_colors`, by `worker`.
+    pub fn record_node(
+        &self,
+        worker: usize,
+        node_color: Color,
+        pred_colors: impl IntoIterator<Item = Color>,
+    ) {
+        let c = &self.workers[worker];
+        c.node_total.fetch_add(1, Relaxed);
+        if self.topology.is_remote(worker, node_color) {
+            c.node_remote.fetch_add(1, Relaxed);
+        }
+        let (mut pt, mut pr) = (0u64, 0u64);
+        for pc in pred_colors {
+            pt += 1;
+            if self.topology.is_remote(worker, pc) {
+                pr += 1;
+            }
+        }
+        if pt > 0 {
+            c.pred_total.fetch_add(pt, Relaxed);
+            c.pred_remote.fetch_add(pr, Relaxed);
+        }
+    }
+
+    /// Aggregates into a report.
+    pub fn report(&self) -> RemoteAccessReport {
+        let mut r = RemoteAccessReport::default();
+        for w in &self.workers {
+            r.node_total += w.node_total.load(Relaxed);
+            r.node_remote += w.node_remote.load(Relaxed);
+            r.pred_total += w.pred_total.load(Relaxed);
+            r.pred_remote += w.pred_remote.load(Relaxed);
+        }
+        r
+    }
+}
+
+/// Aggregated remote-access counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteAccessReport {
+    /// Nodes executed.
+    pub node_total: u64,
+    /// Nodes executed outside their color's domain.
+    pub node_remote: u64,
+    /// Predecessor accesses checked.
+    pub pred_total: u64,
+    /// Predecessor accesses crossing domains.
+    pub pred_remote: u64,
+}
+
+impl RemoteAccessReport {
+    /// Total accesses considered.
+    pub fn total(&self) -> u64 {
+        self.node_total + self.pred_total
+    }
+
+    /// Remote accesses.
+    pub fn remote(&self) -> u64 {
+        self.node_remote + self.pred_remote
+    }
+
+    /// Percentage of accesses that were remote — the Figure 7 y-axis.
+    pub fn pct_remote(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.remote() as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_and_remote_counted() {
+        // 2 domains x 2 cores: workers 0,1 in domain 0 (colors {0,1}),
+        // workers 2,3 in domain 1 (colors {2,3}).
+        let t = NumaTopology::new(2, 2);
+        let c = RemoteCounters::new(t, 4);
+        // Worker 0 executes a node of color 1 (local), preds colored 2,3
+        // (both remote).
+        c.record_node(0, Color(1), [Color(2), Color(3)]);
+        // Worker 3 executes a node of color 0 (remote), pred colored 2
+        // (local).
+        c.record_node(3, Color(0), [Color(2)]);
+        let r = c.report();
+        assert_eq!(r.node_total, 2);
+        assert_eq!(r.node_remote, 1);
+        assert_eq!(r.pred_total, 3);
+        assert_eq!(r.pred_remote, 2);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.remote(), 3);
+        assert!((r.pct_remote() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uma_is_never_remote() {
+        let c = RemoteCounters::new(NumaTopology::uma(4), 4);
+        for w in 0..4 {
+            c.record_node(w, Color(((w + 1) % 4) as u16), [Color(0)]);
+        }
+        assert_eq!(c.report().pct_remote(), 0.0);
+    }
+
+    #[test]
+    fn invalid_color_counts_remote() {
+        let c = RemoteCounters::new(NumaTopology::new(2, 2), 4);
+        c.record_node(0, Color::INVALID, []);
+        let r = c.report();
+        assert_eq!(r.node_remote, 1);
+        assert_eq!(r.pred_total, 0);
+    }
+
+    #[test]
+    fn empty_report_is_zero_pct() {
+        let r = RemoteAccessReport::default();
+        assert_eq!(r.pct_remote(), 0.0);
+    }
+}

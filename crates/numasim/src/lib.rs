@@ -1,0 +1,59 @@
+//! Deterministic discrete-event simulator of a NUMA machine.
+//!
+//! The paper's evaluation machine is an 80-core, 8-NUMA-domain Xeon E7;
+//! this workspace runs in a container with two dozen cores and no NUMA
+//! control, so the figures are regenerated on a simulated machine instead
+//! (see DESIGN.md, *Reality substitutions*). The simulator executes the
+//! *same task graphs* under the *same scheduling policies* as the threaded
+//! runtime:
+//!
+//! * [`wsim`] — work-stealing simulation with per-core colored deques,
+//!   morphing-continuation batch splitting, the K-colored-attempts-then-
+//!   random steal loop, and the forced first colored steal. With
+//!   [`StealPolicy::nabbit`](nabbitc_runtime::StealPolicy::nabbit) this is
+//!   vanilla Nabbit; with
+//!   [`StealPolicy::nabbitc`](nabbitc_runtime::StealPolicy::nabbitc) it is
+//!   NabbitC.
+//! * [`ompsim`] — OpenMP-style loop simulation over a [`LoopNest`]:
+//!   `static` (even contiguous blocks, stable across loops — first-touch
+//!   locality) and `guided` (shrinking chunks off a shared counter).
+//!
+//! Time is integer "ticks". A node's execution cost is
+//! `node_overhead + work + Σ bytes·(local or remote byte cost)` under the
+//! [`CostModel`]; steal checks, batch splits, and barriers also cost ticks.
+//! Everything is seeded and deterministic: same inputs → same makespan,
+//! same steal counts, same remote-access percentages.
+
+pub mod cost;
+pub mod ompsim;
+pub mod result;
+pub mod wsim;
+
+pub use cost::CostModel;
+pub use ompsim::{simulate_omp, LoopNest, OmpSchedule, Phase};
+pub use result::{CoreStats, SimRemote, SimResult};
+pub use wsim::{simulate_ws, WsConfig};
+
+use nabbitc_graph::TaskGraph;
+
+/// Serial execution time of a graph under a cost model: one core, all data
+/// local (the paper's serial baseline is a one-thread run whose
+/// initialization also ran on that thread, so every access is local).
+pub fn serial_ticks(graph: &TaskGraph, cost: &CostModel) -> u64 {
+    graph
+        .nodes()
+        .map(|u| cost.node_ticks_all_local(graph.work(u), graph.footprint(u)))
+        .sum()
+}
+
+/// Serial time of a loop nest (same convention).
+pub fn serial_ticks_loops(nest: &LoopNest, cost: &CostModel) -> u64 {
+    nest.phases
+        .iter()
+        .flat_map(|p| p.iters.iter())
+        .map(|it| {
+            let bytes: u64 = it.accesses.iter().map(|a| a.bytes).sum();
+            cost.node_ticks_all_local(it.work, bytes)
+        })
+        .sum()
+}

@@ -1,0 +1,525 @@
+//! Work-stealing simulation (Nabbit / NabbitC).
+//!
+//! Faithful to the threaded runtime at the level that matters for the
+//! paper's figures: per-core deques hold *batches* that split exactly like
+//! `spawn_colors`/`spawn_nodes` (so a steal acquires half of a color-split
+//! batch, and the first steals acquire large chunks near the root), owners
+//! pop LIFO while thieves take the oldest entry, colored steals check the
+//! top entry's color set, and the steal loop runs K colored attempts then
+//! one random attempt with a forced first colored steal.
+//!
+//! Simulated time advances through a deterministic event heap; every cost
+//! comes from the [`CostModel`]. Same graph + same config ⇒ identical
+//! result, which makes the figure harnesses reproducible.
+
+use crate::cost::CostModel;
+use crate::result::{CoreStats, SimRemote, SimResult};
+use nabbitc_color::{Color, ColorSet};
+use nabbitc_graph::{NodeId, TaskGraph};
+use nabbitc_runtime::rng::XorShift64;
+use nabbitc_runtime::{NumaTopology, StealPolicy};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Work-stealing simulation configuration.
+#[derive(Clone, Debug)]
+pub struct WsConfig {
+    /// Simulated cores (= colors).
+    pub cores: usize,
+    /// Machine topology (use [`NumaTopology::paper_machine`] + `truncated`
+    /// for the paper's 1–80 core sweeps).
+    pub topology: NumaTopology,
+    /// Steal policy: [`StealPolicy::nabbitc`] or [`StealPolicy::nabbit`].
+    pub policy: StealPolicy,
+    /// Cost model.
+    pub cost: CostModel,
+    /// RNG seed (victim selection).
+    pub seed: u64,
+}
+
+impl WsConfig {
+    /// NabbitC on the first `cores` cores of the paper machine.
+    pub fn nabbitc(cores: usize) -> Self {
+        WsConfig {
+            cores,
+            topology: NumaTopology::paper_machine().truncated(cores),
+            policy: StealPolicy::nabbitc(),
+            cost: CostModel::default(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Vanilla Nabbit on the first `cores` cores of the paper machine.
+    pub fn nabbit(cores: usize) -> Self {
+        WsConfig {
+            policy: StealPolicy::nabbit(),
+            ..Self::nabbitc(cores)
+        }
+    }
+}
+
+/// A deque entry: a color-grouped batch or a run of same-colored nodes —
+/// the two levels of the paper's Fig. 3 recursion.
+#[derive(Clone, Debug)]
+enum Entry {
+    Batch(Vec<(Color, Vec<NodeId>)>),
+    Nodes(Color, Vec<NodeId>),
+}
+
+impl Entry {
+    fn colors(&self) -> ColorSet {
+        match self {
+            Entry::Batch(groups) => groups.iter().map(|g| g.0).collect(),
+            Entry::Nodes(c, _) => ColorSet::singleton(*c),
+        }
+    }
+}
+
+fn make_batch(graph: &TaskGraph, mut nodes: Vec<NodeId>) -> Entry {
+    nodes.sort_unstable_by_key(|&u| (graph.color(u), u));
+    let mut groups: Vec<(Color, Vec<NodeId>)> = Vec::new();
+    for u in nodes {
+        let c = graph.color(u);
+        match groups.last_mut() {
+            Some(g) if g.0 == c => g.1.push(u),
+            _ => groups.push((c, vec![u])),
+        }
+    }
+    if groups.len() == 1 {
+        let (c, v) = groups.pop().expect("one group");
+        Entry::Nodes(c, v)
+    } else {
+        Entry::Batch(groups)
+    }
+}
+
+struct Sim<'a> {
+    graph: &'a TaskGraph,
+    cfg: &'a WsConfig,
+    join: Vec<u32>,
+    deques: Vec<VecDeque<Entry>>,
+    stats: Vec<CoreStats>,
+    remote: SimRemote,
+    rngs: Vec<XorShift64>,
+    first_pending: Vec<bool>,
+    first_checks: Vec<u64>,
+    acquired: Vec<bool>,
+    executed_total: u64,
+    makespan: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: u64,
+}
+
+/// Simulates `graph` under work stealing per `cfg`.
+pub fn simulate_ws(graph: &TaskGraph, cfg: &WsConfig) -> SimResult {
+    assert!(cfg.cores > 0, "need at least one core");
+    let p = cfg.cores;
+    let n = graph.node_count() as u64;
+
+    let mut sim = Sim {
+        graph,
+        cfg,
+        join: (0..graph.node_count())
+            .map(|u| graph.in_degree(u as NodeId) as u32)
+            .collect(),
+        deques: (0..p).map(|_| VecDeque::new()).collect(),
+        stats: vec![CoreStats::default(); p],
+        remote: SimRemote::default(),
+        rngs: (0..p)
+            .map(|c| XorShift64::new(cfg.seed ^ (0x9E37_79B9u64.wrapping_mul(c as u64 + 1))))
+            .collect(),
+        first_pending: vec![cfg.policy.force_first_colored && p > 1; p],
+        first_checks: vec![0; p],
+        acquired: vec![false; p],
+        executed_total: 0,
+        makespan: 0,
+        heap: BinaryHeap::new(),
+        seq: 0,
+    };
+
+    // The root: all sources, color-grouped, handed to core 0 ("one worker
+    // starts out with executing the root node").
+    let sources = graph.sources();
+    sim.deques[0].push_back(make_batch(graph, sources));
+
+    for c in 0..p {
+        sim.schedule(0, c);
+    }
+
+    let mut events = 0u64;
+    while sim.executed_total < n {
+        let Reverse((t, _, c)) = sim.heap.pop().expect("work remains but no events pending");
+        sim.step(c, t);
+        events += 1;
+        if events % (1 << 26) == 0 {
+            // Safety net: a healthy simulation needs a few events per node
+            // plus steal retries; hundreds of millions means livelock.
+            assert!(
+                events < (1 << 30),
+                "simulator stuck: {} events, {}/{} nodes executed, t={}, heap={}",
+                events,
+                sim.executed_total,
+                n,
+                t,
+                sim.heap.len()
+            );
+        }
+    }
+
+    SimResult {
+        makespan: sim.makespan,
+        cores: sim.stats,
+        remote: sim.remote,
+    }
+}
+
+impl<'a> Sim<'a> {
+    fn schedule(&mut self, t: u64, core: usize) {
+        self.seq += 1;
+        self.heap.push(Reverse((t, self.seq, core)));
+    }
+
+    fn step(&mut self, c: usize, t: u64) {
+        if let Some(entry) = self.deques[c].pop_back() {
+            self.process(c, t, entry);
+        } else {
+            self.steal_round(c, t);
+        }
+    }
+
+    /// Splits an entry down to one node (pushing the halves, exactly the
+    /// spawn_colors/spawn_nodes order), executes the node, and notifies its
+    /// successors at completion time.
+    fn process(&mut self, c: usize, mut t: u64, entry: Entry) {
+        if !self.acquired[c] {
+            self.acquired[c] = true;
+            self.stats[c].first_work = t;
+        }
+        let my = Color::from(c);
+        let mut cur = entry;
+        loop {
+            match cur {
+                Entry::Batch(mut groups) => {
+                    if groups.len() == 1 {
+                        let (col, v) = groups.pop().expect("one group");
+                        cur = Entry::Nodes(col, v);
+                        continue;
+                    }
+                    t += self.cfg.cost.split;
+                    self.stats[c].busy += self.cfg.cost.split;
+                    let mid = groups.len() / 2;
+                    let mut second = groups.split_off(mid);
+                    let mut first = groups;
+                    if second.iter().any(|g| g.0 == my) {
+                        std::mem::swap(&mut first, &mut second);
+                    }
+                    // The continuation (non-preferred colors) is pushed
+                    // first: oldest among this core's new entries, so
+                    // thieves reach it first.
+                    self.deques[c].push_back(Entry::Batch(second));
+                    cur = Entry::Batch(first);
+                }
+                Entry::Nodes(col, mut v) => {
+                    if v.len() == 1 {
+                        let u = v.pop().expect("one node");
+                        self.execute(c, t, u);
+                        return;
+                    }
+                    t += self.cfg.cost.split;
+                    self.stats[c].busy += self.cfg.cost.split;
+                    let mid = v.len() / 2;
+                    let second = v.split_off(mid);
+                    self.deques[c].push_back(Entry::Nodes(col, second));
+                    cur = Entry::Nodes(col, v);
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, c: usize, t: u64, u: NodeId) {
+        let g = self.graph;
+        let topo = &self.cfg.topology;
+        let my_domain = topo.domain_of_worker(c);
+
+        // Price the node's accesses local/remote.
+        let (mut local, mut remote_bytes) = (0u64, 0u64);
+        for a in g.accesses(u) {
+            match topo.domain_of_color(a.owner) {
+                Some(d) if d == my_domain => local += a.bytes,
+                _ => remote_bytes += a.bytes,
+            }
+        }
+        let dur = self.cfg.cost.node_ticks(g.work(u), local, remote_bytes);
+
+        // §V-B metric: the node itself + each predecessor's output.
+        self.remote.total += 1;
+        self.remote.node_total += 1;
+        if topo.is_remote(c, g.color(u)) {
+            self.remote.remote += 1;
+            self.remote.node_remote += 1;
+        }
+        for &p in g.predecessors(u) {
+            self.remote.total += 1;
+            if topo.is_remote(c, g.color(p)) {
+                self.remote.remote += 1;
+            }
+        }
+
+        self.stats[c].executed += 1;
+        self.stats[c].busy += dur;
+        self.executed_total += 1;
+        let t_end = t + dur;
+        self.makespan = self.makespan.max(t_end);
+
+        // compute_and_notify at completion time.
+        let mut ready: Vec<NodeId> = Vec::new();
+        for &s in g.successors(u) {
+            self.join[s as usize] -= 1;
+            if self.join[s as usize] == 0 {
+                ready.push(s);
+            }
+        }
+        if !ready.is_empty() {
+            let batch = make_batch(g, ready);
+            self.deques[c].push_back(batch);
+        }
+        self.schedule(t_end, c);
+    }
+
+    fn steal_round(&mut self, c: usize, t: u64) {
+        let p = self.cfg.cores;
+        let cost = &self.cfg.cost;
+        if p < 2 {
+            // Single core: nothing to steal; if work remains it is in our
+            // own deque and step() would have found it. Spin forward.
+            self.stats[c].idle += cost.idle_backoff;
+            self.schedule(t + cost.idle_backoff, c);
+            return;
+        }
+        let my = if self.cfg.policy.match_domain {
+            self.cfg
+                .topology
+                .domain_colors(self.cfg.topology.domain_of_worker(c))
+        } else {
+            ColorSet::singleton(Color::from(c))
+        };
+        let mut now = t;
+
+        if self.first_pending[c] {
+            // Forced first colored steal: one attempt per round.
+            now += cost.steal_check;
+            self.stats[c].colored_attempts += 1;
+            self.first_checks[c] += 1;
+            let v = self.rngs[c].victim(p, c);
+            if let Some(front) = self.deques[v].front() {
+                if front.colors().intersects(&my) {
+                    let entry = self.deques[v].pop_front().expect("peeked");
+                    self.stats[c].colored_steals += 1;
+                    self.first_pending[c] = false;
+                    now += cost.steal_transfer;
+                    self.stats[c].idle += now - t;
+                    // The stolen entry is in the thief's hands — process it
+                    // directly (it must not be stealable in flight, or two
+                    // idle cores can ping-pong it forever without either
+                    // resume firing).
+                    self.process(c, now, entry);
+                    return;
+                }
+            }
+            if self.first_checks[c] >= self.cfg.policy.first_steal_max_attempts {
+                self.first_pending[c] = false; // escape hatch (Table III)
+            }
+            self.stats[c].idle += now - t;
+            self.schedule(now, c);
+            return;
+        }
+
+        for _ in 0..self.cfg.policy.colored_attempts {
+            now += cost.steal_check;
+            self.stats[c].colored_attempts += 1;
+            let v = self.rngs[c].victim(p, c);
+            if let Some(front) = self.deques[v].front() {
+                if front.colors().intersects(&my) {
+                    let entry = self.deques[v].pop_front().expect("peeked");
+                    self.stats[c].colored_steals += 1;
+                    now += cost.steal_transfer;
+                    self.stats[c].idle += now - t;
+                    self.process(c, now, entry);
+                    return;
+                }
+            }
+        }
+
+        now += cost.steal_check;
+        self.stats[c].random_attempts += 1;
+        let v = self.rngs[c].victim(p, c);
+        if !self.deques[v].is_empty() {
+            let entry = self.deques[v].pop_front().expect("non-empty");
+            self.stats[c].random_steals += 1;
+            now += cost.steal_transfer;
+            self.stats[c].idle += now - t;
+            self.process(c, now, entry);
+            return;
+        }
+
+        now += cost.idle_backoff;
+        self.stats[c].idle += now - t;
+        self.schedule(now, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial_ticks;
+    use nabbitc_graph::generate;
+
+    fn total_executed(r: &SimResult) -> u64 {
+        r.cores.iter().map(|c| c.executed).sum()
+    }
+
+    #[test]
+    fn executes_every_node() {
+        let g = generate::layered_random(10, 20, 3, (50, 200), 8, 1);
+        let r = simulate_ws(&g, &WsConfig::nabbitc(8));
+        assert_eq!(total_executed(&r), g.node_count() as u64);
+        assert!(r.makespan > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generate::layered_random(10, 20, 3, (50, 200), 8, 2);
+        let a = simulate_ws(&g, &WsConfig::nabbitc(8));
+        let b = simulate_ws(&g, &WsConfig::nabbitc(8));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.remote, b.remote);
+        assert_eq!(a.cores, b.cores);
+    }
+
+    #[test]
+    fn single_core_close_to_serial() {
+        let g = generate::independent(200, 100, 1);
+        let cfg = WsConfig::nabbitc(1);
+        let r = simulate_ws(&g, &cfg);
+        let serial = serial_ticks(&g, &cfg.cost);
+        assert!(r.makespan >= serial, "sim cannot beat serial");
+        assert!(
+            (r.makespan as f64) < serial as f64 * 1.5,
+            "single-core overhead should be modest: {} vs {}",
+            r.makespan,
+            serial
+        );
+    }
+
+    #[test]
+    fn speedup_grows_with_cores() {
+        // The paper's setup: data is distributed across the P cores in use,
+        // so the number of colors equals the core count of each run.
+        let cost = CostModel::default();
+        let serial = serial_ticks(&generate::independent(4000, 500, 1), &cost);
+        let g10 = generate::independent(4000, 500, 10);
+        let g40 = generate::independent(4000, 500, 40);
+        let s10 = simulate_ws(&g10, &WsConfig::nabbitc(10)).speedup(serial);
+        let s40 = simulate_ws(&g40, &WsConfig::nabbitc(40)).speedup(serial);
+        assert!(s10 > 4.0, "10-core speedup too low: {s10}");
+        assert!(s40 > s10, "speedup should grow: {s40} <= {s10}");
+    }
+
+    #[test]
+    fn nabbitc_has_fewer_remote_accesses_than_nabbit() {
+        // Regular iterated stencil across 4 domains: the heart of Fig. 7.
+        let cores = 40;
+        let g = generate::iterated_stencil(8, 400, 200, cores);
+        let c = simulate_ws(&g, &WsConfig::nabbitc(cores));
+        let nb = simulate_ws(&g, &WsConfig::nabbit(cores));
+        assert!(
+            c.remote.pct() < nb.remote.pct(),
+            "NabbitC {}% vs Nabbit {}%",
+            c.remote.pct(),
+            nb.remote.pct()
+        );
+        assert!(c.remote.pct() < 25.0, "NabbitC remote% too high: {}", c.remote.pct());
+        assert!(nb.remote.pct() > 30.0, "Nabbit remote% too low: {}", nb.remote.pct());
+    }
+
+    #[test]
+    fn nabbitc_fewer_successful_steals() {
+        // Fig. 8: forcing good first steals means thieves grab big chunks.
+        let cores = 40;
+        let g = generate::iterated_stencil(8, 400, 200, cores);
+        let c = simulate_ws(&g, &WsConfig::nabbitc(cores));
+        let nb = simulate_ws(&g, &WsConfig::nabbit(cores));
+        assert!(
+            c.avg_successful_steals() < nb.avg_successful_steals(),
+            "NabbitC {} vs Nabbit {}",
+            c.avg_successful_steals(),
+            nb.avg_successful_steals()
+        );
+    }
+
+    #[test]
+    fn invalid_coloring_completes_and_matches_nabbit_shape() {
+        // Table III: all nodes invalid ⇒ every colored steal fails.
+        let cores = 20;
+        let mut g = generate::iterated_stencil(6, 200, 200, cores);
+        g.recolor(|_, _| Color::INVALID);
+        let mut cfg = WsConfig::nabbitc(cores);
+        cfg.policy.first_steal_max_attempts = 200;
+        let r = simulate_ws(&g, &cfg);
+        assert_eq!(total_executed(&r), g.node_count() as u64);
+        assert_eq!(
+            r.cores.iter().map(|c| c.colored_steals).sum::<u64>(),
+            0,
+            "no colored steal can succeed with invalid colors"
+        );
+        assert!(r.cores.iter().map(|c| c.random_steals).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn forced_first_steal_waits_recorded() {
+        let cores = 20;
+        let g = generate::iterated_stencil(6, 200, 200, cores);
+        let r = simulate_ws(&g, &WsConfig::nabbitc(cores));
+        // Core 0 starts with the root (first_work == 0); every other core
+        // must wait at least one steal check.
+        assert_eq!(r.cores[0].first_work, 0);
+        let waited = r.cores[1..].iter().filter(|c| c.first_work > 0).count();
+        assert_eq!(waited, cores - 1);
+    }
+
+    #[test]
+    fn chain_graph_is_serialized() {
+        let g = generate::chain(100, 100, 4);
+        let cfg = WsConfig::nabbitc(4);
+        let r = simulate_ws(&g, &cfg);
+        // A chain cannot go faster than its span.
+        let serial = serial_ticks(&g, &cfg.cost);
+        assert!(r.makespan >= serial);
+    }
+
+    #[test]
+    fn domain_matching_executes_and_keeps_locality() {
+        let cores = 40;
+        let g = generate::iterated_stencil(8, 400, 200, cores);
+        let mut cfg = WsConfig::nabbitc(cores);
+        cfg.policy = nabbitc_runtime::StealPolicy::nabbitc_domain();
+        let r = simulate_ws(&g, &cfg);
+        assert_eq!(total_executed(&r), g.node_count() as u64);
+        let nb = simulate_ws(&g, &WsConfig::nabbit(cores));
+        assert!(
+            r.remote.pct() < nb.remote.pct(),
+            "domain matching should still beat random stealing: {} !< {}",
+            r.remote.pct(),
+            nb.remote.pct()
+        );
+    }
+
+    #[test]
+    fn uma_topology_no_remote() {
+        let g = generate::iterated_stencil(5, 50, 100, 8);
+        let mut cfg = WsConfig::nabbitc(8);
+        cfg.topology = NumaTopology::uma(8);
+        let r = simulate_ws(&g, &cfg);
+        assert_eq!(r.remote.pct(), 0.0);
+    }
+}

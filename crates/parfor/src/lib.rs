@@ -1,0 +1,26 @@
+//! OpenMP-like parallel-for baselines.
+//!
+//! The paper compares NabbitC against OpenMP's loop schedulers (§V):
+//! **OPENMPSTATIC** divides the iteration space evenly among pinned
+//! threads — when computation loops are scheduled like the initialization
+//! loops this gives regular applications perfect locality *and* perfect
+//! load balance with zero scheduling overhead; **OPENMPGUIDED** hands out
+//! adaptively shrinking chunks from a shared counter — dynamic load balance
+//! but no locality control.
+//!
+//! [`Team`] is a persistent group of logically pinned threads (thread `t`
+//! has color `t`, domain `t / cores_per_domain`, exactly like the runtime's
+//! workers) executing [`parallel_for`](Team::parallel_for) loops with a
+//! [`Schedule`]. Because the team persists, the static schedule's
+//! iteration→thread mapping is stable across loops — the property that
+//! makes "initialize in one static loop, compute in another" yield
+//! first-touch locality.
+//!
+//! Remote accesses are accounted with the same §V-B node-granularity
+//! metric as the executors, via a per-iteration color function.
+
+mod schedule;
+mod team;
+
+pub use schedule::Schedule;
+pub use team::{ForReport, Team};

@@ -1,0 +1,103 @@
+//! Loop scheduling strategies.
+
+/// How a `parallel_for` divides its iteration space, mirroring OpenMP's
+/// `schedule` clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Even contiguous blocks, one per thread (OpenMP `static` without a
+    /// chunk size). Deterministic iteration→thread mapping, stable across
+    /// loops on a persistent team.
+    Static,
+    /// Round-robin blocks of the given size (OpenMP `static, chunk`).
+    StaticChunk(usize),
+    /// Adaptively shrinking chunks from a shared counter: each grab takes
+    /// `max(remaining / threads, min_chunk)` iterations (OpenMP `guided`).
+    Guided {
+        /// Minimum chunk size (OpenMP's optional chunk argument; 1 if
+        /// unspecified).
+        min_chunk: usize,
+    },
+    /// Fixed-size chunks from a shared counter (OpenMP `dynamic, chunk`).
+    Dynamic {
+        /// Chunk size per grab.
+        chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// OpenMP `schedule(guided)` with the default minimum chunk of 1.
+    pub fn guided() -> Self {
+        Schedule::Guided { min_chunk: 1 }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Static => "static",
+            Schedule::StaticChunk(_) => "static-chunk",
+            Schedule::Guided { .. } => "guided",
+            Schedule::Dynamic { .. } => "dynamic",
+        }
+    }
+
+    /// The static iteration range of thread `t` out of `threads` for a loop
+    /// of `n` iterations (only meaningful for [`Schedule::Static`]).
+    pub fn static_range(n: usize, threads: usize, t: usize) -> std::ops::Range<usize> {
+        debug_assert!(t < threads);
+        // Distribute the remainder one iteration at a time, like libgomp.
+        let base = n / threads;
+        let rem = n % threads;
+        let lo = t * base + t.min(rem);
+        let len = base + usize::from(t < rem);
+        lo..(lo + len).min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_ranges_partition_exactly() {
+        for &(n, p) in &[(10usize, 3usize), (0, 4), (7, 7), (5, 8), (100, 1), (16, 4)] {
+            let mut covered = vec![0u32; n];
+            for t in 0..p {
+                for i in Schedule::static_range(n, p, t) {
+                    covered[i] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn static_ranges_are_contiguous_and_ordered() {
+        let n = 103;
+        let p = 8;
+        let mut next = 0;
+        for t in 0..p {
+            let r = Schedule::static_range(n, p, t);
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, n);
+    }
+
+    #[test]
+    fn static_balance_within_one() {
+        let n = 103;
+        let p = 8;
+        let sizes: Vec<usize> = (0..p).map(|t| Schedule::static_range(n, p, t).len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Schedule::Static.name(), "static");
+        assert_eq!(Schedule::guided().name(), "guided");
+        assert_eq!(Schedule::Dynamic { chunk: 4 }.name(), "dynamic");
+        assert_eq!(Schedule::StaticChunk(2).name(), "static-chunk");
+    }
+}

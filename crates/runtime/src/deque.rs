@@ -1,0 +1,536 @@
+//! Chase–Lev work-stealing deque with embedded color tags and a
+//! *conditional* (colored) steal.
+//!
+//! The paper keeps a separate "color deque" in lockstep with the Cilk work
+//! deque because it cannot change Cilk's frame layout; each entry is "a
+//! fixed length array of boolean flags indicating colors contained in the
+//! corresponding continuation. This makes the thief's check a constant time
+//! operation" (§III). Here we control the layout, so the color mask lives
+//! *inside* the deque slot and the steal operation takes the thief's color
+//! as a predicate evaluated before the claiming CAS — semantically the same
+//! check with one less structure to keep synchronized.
+//!
+//! The algorithm is the classic dynamic circular work-stealing deque
+//! (Chase & Lev, SPAA'05) with the C11 orderings of Lê et al. (PPoPP'13).
+//! Values are `Box<T>` raw pointers so every slot field is individually
+//! atomic — no torn reads anywhere:
+//!
+//! * `push`/`pop` are owner-only (single thread);
+//! * `steal`/`steal_if` may be called by any number of thieves;
+//! * a *colored* steal reads the top slot's color words and returns
+//!   [`Steal::ColorMismatch`] without touching `top` when the thief's color
+//!   is absent — a failed colored steal attempt, O(1), no interference with
+//!   the victim (exactly the paper's cheap check);
+//! * retired buffers from growth are kept alive until the deque drops, so
+//!   in-flight thieves can always dereference the buffer they loaded.
+
+use crossbeam_utils::CachePadded;
+use nabbitc_color::{Color, ColorSet};
+use parking_lot::Mutex;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The thief claimed this value.
+    Success(Box<T>),
+    /// The deque was (apparently) empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Colored steal only: the top entry does not contain the thief's
+    /// color. The entry was left in place.
+    ColorMismatch,
+}
+
+impl<T> Steal<T> {
+    /// Unwraps a successful steal.
+    pub fn success(self) -> Option<Box<T>> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+const COLOR_WORDS: usize = 4;
+
+/// One deque slot: a value pointer plus the entry's color mask. All fields
+/// atomic; thieves read them speculatively and the top-CAS validates the
+/// claim (standard Chase–Lev reasoning — a slot at index `t` cannot be
+/// recycled until `top` has moved past `t`).
+struct Slot<T> {
+    ptr: AtomicPtr<T>,
+    colors: [AtomicU64; COLOR_WORDS],
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Self {
+        Slot {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+            colors: Default::default(),
+        }
+    }
+}
+
+struct Buffer<T> {
+    mask: usize,
+    slots: Box<[Slot<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(Buffer {
+            mask: cap - 1,
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+        })
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &Slot<T> {
+        &self.slots[(index as usize) & self.mask]
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+/// A work-stealing deque whose entries carry a [`ColorSet`].
+///
+/// Owner operations: [`push`](Self::push), [`pop`](Self::pop).
+/// Thief operations: [`steal`](Self::steal), [`steal_if`](Self::steal_if).
+///
+/// The owner side must be used from a single thread at a time; this is not
+/// enforced by the type system here because the pool stores all deques in
+/// one array (each worker only touches its own bottom end). Misuse is
+/// checked in debug builds via an owner tag would be overkill; the pool is
+/// the only client.
+pub struct ColoredDeque<T> {
+    bottom: CachePadded<AtomicIsize>,
+    top: CachePadded<AtomicIsize>,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth; freed on drop. Keeping them alive lets
+    /// in-flight thieves finish their speculative reads safely.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for ColoredDeque<T> {}
+unsafe impl<T: Send> Sync for ColoredDeque<T> {}
+
+const MIN_CAP: usize = 64;
+
+impl<T> Default for ColoredDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ColoredDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        ColoredDeque {
+            bottom: CachePadded::new(AtomicIsize::new(0)),
+            top: CachePadded::new(AtomicIsize::new(0)),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::new(MIN_CAP))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Approximate number of entries (racy; for stats/heuristics only).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// Whether the deque appears empty (racy).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner: pushes a value tagged with `colors` at the bottom.
+    pub fn push(&self, value: Box<T>, colors: ColorSet) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+
+        if b - t >= buf.cap() as isize {
+            self.grow(b, t);
+            buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        }
+
+        let slot = buf.slot(b);
+        for (w, v) in slot.colors.iter().zip(colors.to_words()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.ptr.store(Box::into_raw(value), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner: pops the most recently pushed value (LIFO end).
+    pub fn pop(&self) -> Option<Box<T>> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+
+        if t <= b {
+            // Non-empty.
+            let ptr = buf.slot(b).ptr.load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race against thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            // SAFETY: we own index b exclusively now (either b > t, so no
+            // thief can claim it, or we won the CAS above).
+            Some(unsafe { Box::from_raw(ptr) })
+        } else {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: unconditional steal from the top (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        self.steal_impl(None)
+    }
+
+    /// Thief: *colored* steal — succeed only if the top entry's color set
+    /// contains `color`. A mismatch leaves the deque untouched and costs
+    /// four relaxed loads plus the initial index loads.
+    pub fn steal_if(&self, color: Color) -> Steal<T> {
+        self.steal_impl(Some(ColorSet::singleton(color)))
+    }
+
+    /// Thief: colored steal with a *set* of acceptable colors — succeeds if
+    /// the top entry intersects `accept`. Used for domain-granularity
+    /// matching (the paper: "multiple nearby cores can have the same
+    /// color"; matching any color in the thief's NUMA domain keeps work
+    /// inside the domain).
+    pub fn steal_if_any(&self, accept: &ColorSet) -> Steal<T> {
+        self.steal_impl(Some(*accept))
+    }
+
+    fn steal_impl(&self, accept: Option<ColorSet>) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let slot = buf.slot(t);
+
+        if let Some(accept) = accept {
+            let mut words = [0u64; COLOR_WORDS];
+            for (w, a) in words.iter_mut().zip(slot.colors.iter()) {
+                *w = a.load(Ordering::Relaxed);
+            }
+            // A stale read here (slot recycled concurrently) either fails
+            // the check — a spurious mismatch, harmless — or passes it and
+            // is then invalidated by the CAS below.
+            if !ColorSet::from_words(words).intersects(&accept) {
+                return Steal::ColorMismatch;
+            }
+        }
+
+        let ptr = slot.ptr.load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: winning the CAS on `top` grants exclusive ownership
+            // of the value read from slot t: the slot cannot have been
+            // recycled while top == t (the owner only reuses a slot index
+            // after top has advanced past it, and growth copies preserve
+            // slot contents at unchanged indices).
+            Steal::Success(unsafe { Box::from_raw(ptr) })
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Owner: doubles the buffer, copying live entries `t..b`.
+    #[cold]
+    fn grow(&self, b: isize, t: isize) {
+        let old = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        let new = Buffer::new(old.cap() * 2);
+        for i in t..b {
+            let os = old.slot(i);
+            let ns = new.slot(i);
+            ns.ptr
+                .store(os.ptr.load(Ordering::Relaxed), Ordering::Relaxed);
+            for (nw, ow) in ns.colors.iter().zip(os.colors.iter()) {
+                nw.store(ow.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        let old_ptr = self.buffer.swap(Box::into_raw(new), Ordering::Release);
+        self.retired.lock().push(old_ptr);
+    }
+}
+
+impl<T> Drop for ColoredDeque<T> {
+    fn drop(&mut self) {
+        // Drain remaining values (owner context: no concurrent access
+        // possible when dropping by &mut).
+        while let Some(v) = self.pop() {
+            drop(v);
+        }
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+            for p in self.retired.lock().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    fn set(colors: &[u16]) -> ColorSet {
+        colors.iter().map(|&c| Color(c)).collect()
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        d.push(Box::new(1), set(&[0]));
+        d.push(Box::new(2), set(&[1]));
+        assert_eq!(*d.pop().unwrap(), 2);
+        assert_eq!(*d.pop().unwrap(), 1);
+        assert!(d.pop().is_none());
+        assert!(d.pop().is_none()); // repeated pops on empty stay empty
+    }
+
+    #[test]
+    fn steal_fifo() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        d.push(Box::new(1), set(&[0]));
+        d.push(Box::new(2), set(&[0]));
+        assert_eq!(*d.steal().success().unwrap(), 1);
+        assert_eq!(*d.steal().success().unwrap(), 2);
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn colored_steal_checks_top_entry() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        d.push(Box::new(1), set(&[3])); // top (steal end)
+        d.push(Box::new(2), set(&[5]));
+        assert!(matches!(d.steal_if(Color(5)), Steal::ColorMismatch));
+        assert_eq!(*d.steal_if(Color(3)).success().unwrap(), 1);
+        // Now entry colored {5} is on top.
+        assert!(matches!(d.steal_if(Color(3)), Steal::ColorMismatch));
+        assert_eq!(*d.steal_if(Color(5)).success().unwrap(), 2);
+    }
+
+    #[test]
+    fn steal_if_any_matches_set() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        d.push(Box::new(1), set(&[4]));
+        let accept: ColorSet = [Color(3), Color(4), Color(5)].into_iter().collect();
+        let reject: ColorSet = [Color(0), Color(1)].into_iter().collect();
+        assert!(matches!(d.steal_if_any(&reject), Steal::ColorMismatch));
+        assert_eq!(*d.steal_if_any(&accept).success().unwrap(), 1);
+    }
+
+    #[test]
+    fn colored_steal_on_empty_is_empty() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        assert!(matches!(d.steal_if(Color(0)), Steal::Empty));
+    }
+
+    #[test]
+    fn invalid_color_never_matches() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        d.push(Box::new(1), ColorSet::all(8));
+        assert!(matches!(d.steal_if(Color::INVALID), Steal::ColorMismatch));
+        // Entry tagged with the empty set (invalid node color) is
+        // unstealable by any colored steal — the Table III setup.
+        let d2: ColoredDeque<u32> = ColoredDeque::new();
+        d2.push(Box::new(9), ColorSet::singleton(Color::INVALID));
+        assert!(matches!(d2.steal_if(Color(0)), Steal::ColorMismatch));
+        assert_eq!(*d2.steal().success().unwrap(), 9); // random steal still works
+    }
+
+    #[test]
+    fn growth_preserves_entries_and_colors() {
+        let d: ColoredDeque<u64> = ColoredDeque::new();
+        let n = 10_000u64; // forces several growths from MIN_CAP=64
+        for i in 0..n {
+            d.push(Box::new(i), set(&[(i % 13) as u16]));
+        }
+        // Steal half from the top (FIFO: 0,1,2,...).
+        for i in 0..n / 2 {
+            assert!(matches!(d.steal_if(Color(100)), Steal::ColorMismatch | Steal::Empty) || true);
+            assert_eq!(*d.steal_if(Color((i % 13) as u16)).success().unwrap(), i);
+        }
+        // Pop the rest from the bottom (LIFO: n-1, n-2, ...).
+        for i in (n / 2..n).rev() {
+            assert_eq!(*d.pop().unwrap(), i);
+        }
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn drop_frees_remaining_entries() {
+        // Miri/leak-check would catch failures; here we check drop counts.
+        struct Counting(Arc<AtomicUsize>);
+        impl Drop for Counting {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let d: ColoredDeque<Counting> = ColoredDeque::new();
+            for _ in 0..100 {
+                d.push(Box::new(Counting(drops.clone())), set(&[0]));
+            }
+            let _ = d.pop();
+        }
+        assert_eq!(drops.load(Relaxed), 100);
+    }
+
+    #[test]
+    fn stress_owner_vs_thieves_every_item_once() {
+        const ITEMS: usize = 200_000;
+        const THIEVES: usize = 6;
+        let d: Arc<ColoredDeque<usize>> = Arc::new(ColoredDeque::new());
+        let seen: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+        let done = Arc::new(AtomicUsize::new(0));
+
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let d = d.clone();
+                let seen = seen.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    loop {
+                        match d.steal() {
+                            Steal::Success(v) => {
+                                seen[*v].fetch_add(1, Relaxed);
+                                got += 1;
+                            }
+                            Steal::Empty => {
+                                if done.load(Relaxed) == 1 {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                            _ => {}
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        // Owner: pushes everything, popping intermittently.
+        let mut popped = 0usize;
+        for i in 0..ITEMS {
+            d.push(Box::new(i), set(&[(i % 7) as u16]));
+            if i % 3 == 0 {
+                if let Some(v) = d.pop() {
+                    seen[*v].fetch_add(1, Relaxed);
+                    popped += 1;
+                }
+            }
+        }
+        while let Some(v) = d.pop() {
+            seen[*v].fetch_add(1, Relaxed);
+            popped += 1;
+        }
+        done.store(1, Relaxed);
+        let stolen: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+
+        assert_eq!(popped + stolen, ITEMS);
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Relaxed), 1, "item {i} seen {} times", s.load(Relaxed));
+        }
+    }
+
+    #[test]
+    fn stress_colored_thieves_only_take_matching() {
+        const ITEMS: usize = 100_000;
+        const THIEVES: usize = 4; // colors 0..4
+        let d: Arc<ColoredDeque<usize>> = Arc::new(ColoredDeque::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        let taken = Arc::new(AtomicUsize::new(0));
+
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|tc| {
+                let d = d.clone();
+                let done = done.clone();
+                let taken = taken.clone();
+                std::thread::spawn(move || {
+                    let my = Color(tc as u16);
+                    let mut violations = 0usize;
+                    loop {
+                        match d.steal_if(my) {
+                            Steal::Success(v) => {
+                                // Item i was tagged with color i % THIEVES.
+                                if *v % THIEVES != tc {
+                                    violations += 1;
+                                }
+                                taken.fetch_add(1, Relaxed);
+                            }
+                            Steal::Empty => {
+                                if done.load(Relaxed) == 1 {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                            _ => {}
+                        }
+                    }
+                    violations
+                })
+            })
+            .collect();
+
+        for i in 0..ITEMS {
+            d.push(Box::new(i), set(&[(i % THIEVES) as u16]));
+        }
+        // Wait for thieves to drain everything (they cover all colors).
+        while taken.load(Relaxed) < ITEMS {
+            std::hint::spin_loop();
+        }
+        done.store(1, Relaxed);
+        for t in thieves {
+            assert_eq!(t.join().unwrap(), 0, "colored steal took a non-matching item");
+        }
+    }
+
+    #[test]
+    fn len_tracks_roughly() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        assert!(d.is_empty());
+        for i in 0..10 {
+            d.push(Box::new(i), set(&[0]));
+        }
+        assert_eq!(d.len(), 10);
+        d.pop();
+        assert_eq!(d.len(), 9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Colored work-stealing runtime — the Cilk Plus substitute for NabbitC.
+//!
+//! The paper modifies the GCC Cilk Plus runtime in two ways (§III):
+//!
+//! 1. a **color deque** rides alongside each worker's work deque so that
+//!    every stealable continuation is tagged with the set of colors of the
+//!    task-graph nodes reachable through it (`cilkrts_set_next_colors`), and
+//! 2. the steal path gains **colored steals**: an idle worker makes a
+//!    constant number of steal attempts that succeed only if the
+//!    continuation on top of the victim's deque contains the thief's color,
+//!    then falls back to an ordinary random steal. Additionally the *first*
+//!    steal each worker performs in a computation is forced to be a
+//!    successful colored steal.
+//!
+//! This crate reproduces that machinery natively: [`deque::ColoredDeque`]
+//! is a Chase–Lev work-stealing deque whose entries carry a
+//! [`ColorSet`](nabbitc_color::ColorSet) and whose steal operation takes the
+//! thief's color as a predicate checked *before* the claiming CAS — the same
+//! constant-time boolean-array check the paper implements, with one less
+//! data structure to keep in sync. [`pool::Pool`] runs the worker loop with
+//! the paper's exact policy, parameterized by [`policy::StealPolicy`].
+//!
+//! Tasks are heap-allocated closures (child stealing). A spawned batch that
+//! Cilk would express as "spawn the preferred half, leave the rest in the
+//! continuation" becomes "push the rest (tagged with its colors), then
+//! process the preferred half" — the pushed entry sits at the *steal end*
+//! of the deque exactly like the Cilk continuation would.
+
+pub mod deque;
+pub mod policy;
+pub mod pool;
+pub mod rng;
+pub mod stats;
+pub mod task;
+pub mod topology;
+
+pub use deque::{ColoredDeque, Steal};
+pub use policy::StealPolicy;
+pub use pool::{Pool, PoolConfig, WorkerContext};
+pub use stats::{PoolStats, WorkerStatsSnapshot};
+pub use task::Task;
+pub use topology::NumaTopology;

@@ -1,0 +1,657 @@
+//! Worker pool and steal-policy loop.
+//!
+//! Workers are created once per [`Pool`] and pinned *logically*: worker `w`
+//! has color `w` and belongs to NUMA domain `w / cores_per_domain` of the
+//! configured [`NumaTopology`]. A job is submitted with [`Pool::run`]; the
+//! root task enters a one-shot injector, one worker picks it up (the paper:
+//! "one worker starts out with executing the root node and all other
+//! workers are stealing"), and everything else flows through spawns and
+//! steals.
+//!
+//! The steal loop implements §III's policy exactly:
+//!
+//! 1. while a worker's own deque has work, pop from the bottom;
+//! 2. when empty, make [`StealPolicy::colored_attempts`] colored steal
+//!    attempts at random victims, then one unconditional random steal, and
+//!    repeat;
+//! 3. if [`StealPolicy::force_first_colored`] is set, the worker's *first*
+//!    steal of the job must be a successful colored steal; the time spent
+//!    waiting is recorded (Figure 9) as are the checks performed (the `C`
+//!    term of Theorem 1). A configurable attempt bound keeps adversarial
+//!    colorings (Table III) from spinning forever.
+
+use crate::deque::{ColoredDeque, Steal};
+use crate::policy::StealPolicy;
+use crate::rng::XorShift64;
+use crate::stats::{PoolStats, WorkerStats};
+use crate::task::Task;
+use crate::topology::NumaTopology;
+use crossbeam_utils::Backoff;
+use nabbitc_color::{Color, ColorSet};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pool construction parameters.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of worker threads (= number of colors).
+    pub workers: usize,
+    /// Logical NUMA topology; workers map to domains in contiguous blocks.
+    pub topology: NumaTopology,
+    /// Steal policy (NabbitC, Nabbit, or custom).
+    pub policy: StealPolicy,
+    /// Seed for per-worker victim-selection RNGs.
+    pub seed: u64,
+}
+
+impl PoolConfig {
+    /// NabbitC pool with `workers` workers on a single-socket topology.
+    pub fn nabbitc(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            topology: NumaTopology::uma(workers.max(1)),
+            policy: StealPolicy::nabbitc(),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Vanilla-Nabbit pool (random steals only).
+    pub fn nabbit(workers: usize) -> Self {
+        PoolConfig {
+            policy: StealPolicy::nabbit(),
+            ..Self::nabbitc(workers)
+        }
+    }
+
+    /// Sets the topology (builder style).
+    pub fn with_topology(mut self, t: NumaTopology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Sets the policy (builder style).
+    pub fn with_policy(mut self, p: StealPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+struct PoolInner {
+    deques: Vec<ColoredDeque<Task>>,
+    stats: Vec<WorkerStats>,
+    topology: NumaTopology,
+    policy: StealPolicy,
+    workers: usize,
+
+    /// Outstanding (spawned but unfinished) tasks of the current job.
+    pending: AtomicUsize,
+    /// Workers currently inside the job loop.
+    active: AtomicUsize,
+    /// One-shot root injector.
+    injector: Mutex<VecDeque<Task>>,
+    injector_len: AtomicUsize,
+    /// Job generation counter; bumped by `run` to wake workers.
+    epoch: AtomicU64,
+    shutdown: AtomicBool,
+    job_panicked: AtomicBool,
+    /// Job start, nanoseconds since pool origin (for first-work waits).
+    job_start_ns: AtomicU64,
+    origin: Instant,
+
+    job_lock: Mutex<()>,
+    job_cv: Condvar,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// Handle to a running worker pool.
+///
+/// Dropping the pool shuts the workers down and joins them.
+pub struct Pool {
+    inner: Arc<PoolInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    run_guard: Mutex<()>,
+}
+
+impl Pool {
+    /// Spawns the worker threads.
+    pub fn new(config: PoolConfig) -> Pool {
+        assert!(config.workers > 0, "pool needs at least one worker");
+        assert!(
+            config.workers <= nabbitc_color::MAX_COLORS,
+            "at most {} workers supported",
+            nabbitc_color::MAX_COLORS
+        );
+        let inner = Arc::new(PoolInner {
+            deques: (0..config.workers).map(|_| ColoredDeque::new()).collect(),
+            stats: (0..config.workers).map(|_| WorkerStats::default()).collect(),
+            topology: config.topology.clone(),
+            policy: config.policy.clone(),
+            workers: config.workers,
+            pending: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            job_panicked: AtomicBool::new(false),
+            job_start_ns: AtomicU64::new(0),
+            origin: Instant::now(),
+            job_lock: Mutex::new(()),
+            job_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let threads = (0..config.workers)
+            .map(|w| {
+                let inner = inner.clone();
+                let seed = config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                std::thread::Builder::new()
+                    .name(format!("nabbitc-worker-{w}"))
+                    .spawn(move || worker_main(inner, w, seed))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Pool {
+            inner,
+            threads,
+            run_guard: Mutex::new(()),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// The pool's topology.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.inner.topology
+    }
+
+    /// The pool's steal policy.
+    pub fn policy(&self) -> &StealPolicy {
+        &self.inner.policy
+    }
+
+    /// Runs a job to completion: submits `root` (tagged with `colors` for
+    /// colored steals) and blocks until every transitively spawned task has
+    /// finished. Panics if any task panicked.
+    pub fn run<F>(&self, colors: ColorSet, root: F)
+    where
+        F: FnOnce(&mut WorkerContext<'_>) + Send + 'static,
+    {
+        let _guard = self.run_guard.lock();
+        let inner = &self.inner;
+
+        // Wait for stragglers from a previous job to leave the loop so the
+        // first-work stats of this job are attributed correctly.
+        {
+            let mut g = inner.done_lock.lock();
+            while inner.active.load(Ordering::SeqCst) > 0 {
+                inner.done_cv.wait(&mut g);
+            }
+        }
+        assert_eq!(inner.pending.load(Ordering::SeqCst), 0);
+
+        inner.job_panicked.store(false, Ordering::SeqCst);
+        inner.pending.store(1, Ordering::SeqCst);
+        {
+            let mut inj = inner.injector.lock();
+            inj.push_back(Task::new(colors, root));
+            inner.injector_len.store(inj.len(), Ordering::SeqCst);
+        }
+        inner.job_start_ns.store(
+            inner.origin.elapsed().as_nanos() as u64,
+            Ordering::SeqCst,
+        );
+        {
+            let _g = inner.job_lock.lock();
+            inner.epoch.fetch_add(1, Ordering::SeqCst);
+            inner.job_cv.notify_all();
+        }
+        {
+            let mut g = inner.done_lock.lock();
+            while inner.pending.load(Ordering::SeqCst) != 0 {
+                inner.done_cv.wait(&mut g);
+            }
+        }
+        if inner.job_panicked.load(Ordering::SeqCst) {
+            panic!("a task panicked during Pool::run");
+        }
+    }
+
+    /// Snapshot of per-worker statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.inner.stats.iter().map(|s| s.snapshot()).collect(),
+        }
+    }
+
+    /// Clears all statistics counters.
+    pub fn reset_stats(&self) {
+        for s in &self.inner.stats {
+            s.reset();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.inner.job_lock.lock();
+            self.inner.job_cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Per-worker execution context handed to every task.
+///
+/// Provides the worker's identity/color, spawning, and victim RNG — the
+/// surface NabbitC's `spawn_colors` machinery needs.
+pub struct WorkerContext<'a> {
+    inner: &'a PoolInner,
+    worker: usize,
+    color: Color,
+    rng: XorShift64,
+}
+
+impl<'a> WorkerContext<'a> {
+    /// This worker's index.
+    #[inline]
+    pub fn worker_id(&self) -> usize {
+        self.worker
+    }
+
+    /// This worker's color (`c_p` in the paper's pseudo-code).
+    #[inline]
+    pub fn color(&self) -> Color {
+        self.color
+    }
+
+    /// Number of workers in the pool.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// The pool topology.
+    #[inline]
+    pub fn topology(&self) -> &NumaTopology {
+        &self.inner.topology
+    }
+
+    /// Spawns a task onto this worker's deque, tagged with `colors` — the
+    /// combined `cilk_spawn` + `cilkrts_set_next_colors` of the paper: the
+    /// pushed entry is stealable and thieves see exactly `colors` when
+    /// deciding a colored steal.
+    pub fn spawn<F>(&mut self, colors: ColorSet, f: F)
+    where
+        F: FnOnce(&mut WorkerContext<'_>) + Send + 'static,
+    {
+        self.inner.pending.fetch_add(1, Ordering::SeqCst);
+        self.inner.deques[self.worker].push(Box::new(Task::new(colors, f)), colors);
+    }
+
+    /// Uniform random value below `n` from the worker's RNG (exposed for
+    /// randomized executors built on top).
+    pub fn rand_below(&mut self, n: usize) -> usize {
+        self.rng.next_below(n)
+    }
+}
+
+fn worker_main(inner: Arc<PoolInner>, worker: usize, seed: u64) {
+    let mut seen_epoch = 0u64;
+    loop {
+        {
+            let mut g = inner.job_lock.lock();
+            while inner.epoch.load(Ordering::SeqCst) == seen_epoch
+                && !inner.shutdown.load(Ordering::SeqCst)
+            {
+                inner.job_cv.wait(&mut g);
+            }
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        seen_epoch = inner.epoch.load(Ordering::SeqCst);
+        inner.active.fetch_add(1, Ordering::SeqCst);
+        run_job_loop(&inner, worker, seed ^ seen_epoch);
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+        let _g = inner.done_lock.lock();
+        inner.done_cv.notify_all();
+    }
+}
+
+fn run_job_loop(inner: &PoolInner, worker: usize, seed: u64) {
+    let mut ctx = WorkerContext {
+        inner,
+        worker,
+        color: Color::from(worker),
+        rng: XorShift64::new(seed),
+    };
+    // Colored steals accept the worker's own color, or — with
+    // domain-granularity matching — any color in its NUMA domain.
+    let accept = if inner.policy.match_domain {
+        inner
+            .topology
+            .domain_colors(inner.topology.domain_of_worker(worker))
+    } else {
+        ColorSet::singleton(Color::from(worker))
+    };
+    let stats = &inner.stats[worker];
+    let job_start = inner.job_start_ns.load(Ordering::SeqCst);
+    let mut acquired_any = false;
+    let mut first_steal_pending = inner.policy.force_first_colored;
+    let backoff = Backoff::new();
+
+    let record_first = |acquired_any: &mut bool| {
+        if !*acquired_any {
+            *acquired_any = true;
+            let now = inner.origin.elapsed().as_nanos() as u64;
+            stats
+                .first_work_wait_ns
+                .store(now.saturating_sub(job_start), Ordering::Relaxed);
+        }
+    };
+
+    loop {
+        // Drain local work first (depth-first, like Cilk).
+        while let Some(task) = inner.deques[worker].pop() {
+            record_first(&mut acquired_any);
+            backoff.reset();
+            execute(inner, &mut ctx, *task);
+        }
+
+        // The root injector (start of the job).
+        if inner.injector_len.load(Ordering::SeqCst) > 0 {
+            let task = {
+                let mut inj = inner.injector.lock();
+                let t = inj.pop_front();
+                inner.injector_len.store(inj.len(), Ordering::SeqCst);
+                t
+            };
+            if let Some(task) = task {
+                record_first(&mut acquired_any);
+                backoff.reset();
+                execute(inner, &mut ctx, task);
+                continue;
+            }
+        }
+
+        if inner.pending.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+
+        let idle_started = Instant::now();
+        let got = steal_round(inner, &mut ctx, &accept, &mut first_steal_pending);
+        stats
+            .idle_ns
+            .fetch_add(idle_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match got {
+            Some(task) => {
+                record_first(&mut acquired_any);
+                backoff.reset();
+                execute(inner, &mut ctx, *task);
+            }
+            None => {
+                if inner.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                backoff.snooze();
+            }
+        }
+    }
+
+    if !acquired_any {
+        // Never got work: the whole job was waiting (counts fully as
+        // first-work wait, e.g. tiny jobs on large pools).
+        let now = inner.origin.elapsed().as_nanos() as u64;
+        stats
+            .first_work_wait_ns
+            .store(now.saturating_sub(job_start), Ordering::Relaxed);
+    }
+}
+
+fn execute(inner: &PoolInner, ctx: &mut WorkerContext<'_>, task: Task) {
+    inner.stats[ctx.worker].tasks_executed.fetch_add(1, Ordering::Relaxed);
+    let result = catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
+    if result.is_err() {
+        inner.job_panicked.store(true, Ordering::SeqCst);
+    }
+    if inner.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let _g = inner.done_lock.lock();
+        inner.done_cv.notify_all();
+    }
+}
+
+/// One round of the §III steal policy. Returns quickly (bounded attempts)
+/// so the caller's termination check stays fresh.
+fn steal_round(
+    inner: &PoolInner,
+    ctx: &mut WorkerContext<'_>,
+    accept: &ColorSet,
+    first_steal_pending: &mut bool,
+) -> Option<Box<Task>> {
+    let workers = inner.workers;
+    if workers < 2 {
+        return None;
+    }
+    let me = ctx.worker;
+    let stats = &inner.stats[me];
+
+    if *first_steal_pending {
+        // Forced first colored steal: only colored attempts until one
+        // succeeds (bounded by the policy's escape hatch).
+        for _ in 0..64 {
+            if inner.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            let checks = stats.first_steal_checks.fetch_add(1, Ordering::Relaxed) + 1;
+            stats.colored_steal_attempts.fetch_add(1, Ordering::Relaxed);
+            let v = ctx.rng.victim(workers, me);
+            if let Steal::Success(t) = inner.deques[v].steal_if_any(accept) {
+                stats.colored_steals.fetch_add(1, Ordering::Relaxed);
+                *first_steal_pending = false;
+                return Some(t);
+            }
+            if checks >= inner.policy.first_steal_max_attempts {
+                // Adversarial coloring (e.g. Table III): give up on the
+                // forcing so the computation can proceed.
+                *first_steal_pending = false;
+                break;
+            }
+        }
+        if *first_steal_pending {
+            return None; // keep forcing on the next round
+        }
+    }
+
+    for _ in 0..inner.policy.colored_attempts {
+        stats.colored_steal_attempts.fetch_add(1, Ordering::Relaxed);
+        let v = ctx.rng.victim(workers, me);
+        if let Steal::Success(t) = inner.deques[v].steal_if_any(accept) {
+            stats.colored_steals.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
+        }
+    }
+
+    stats.random_steal_attempts.fetch_add(1, Ordering::Relaxed);
+    let v = ctx.rng.victim(workers, me);
+    if let Steal::Success(t) = inner.deques[v].steal() {
+        stats.random_steals.fetch_add(1, Ordering::Relaxed);
+        return Some(t);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    fn count_to(pool: &Pool, n: u64) -> u64 {
+        let counter = Arc::new(StdAtomicU64::new(0));
+        let c = counter.clone();
+        let workers = pool.workers();
+        pool.run(ColorSet::all(workers), move |ctx| {
+            fn fanout(
+                ctx: &mut WorkerContext<'_>,
+                c: Arc<StdAtomicU64>,
+                lo: u64,
+                hi: u64,
+                colors: ColorSet,
+            ) {
+                if hi - lo <= 4 {
+                    for _ in lo..hi {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }
+                } else {
+                    let mid = lo + (hi - lo) / 2;
+                    let c2 = c.clone();
+                    ctx.spawn(colors, move |ctx| fanout(ctx, c2, mid, hi, colors));
+                    fanout(ctx, c, lo, mid, colors);
+                }
+            }
+            let colors = ColorSet::all(ctx.workers());
+            fanout(ctx, c, 0, n, colors);
+        });
+        counter.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn single_worker_runs_job() {
+        let pool = Pool::new(PoolConfig::nabbitc(1));
+        assert_eq!(count_to(&pool, 1000), 1000);
+    }
+
+    #[test]
+    fn multi_worker_runs_job() {
+        let pool = Pool::new(PoolConfig::nabbitc(8));
+        assert_eq!(count_to(&pool, 100_000), 100_000);
+    }
+
+    #[test]
+    fn nabbit_policy_runs_job() {
+        let pool = Pool::new(PoolConfig::nabbit(8));
+        assert_eq!(count_to(&pool, 100_000), 100_000);
+    }
+
+    #[test]
+    fn multiple_jobs_reuse_pool() {
+        let pool = Pool::new(PoolConfig::nabbitc(4));
+        for _ in 0..20 {
+            assert_eq!(count_to(&pool, 5_000), 5_000);
+        }
+    }
+
+    #[test]
+    fn work_is_distributed() {
+        let pool = Pool::new(PoolConfig::nabbitc(8));
+        pool.reset_stats();
+        assert_eq!(count_to(&pool, 400_000), 400_000);
+        let stats = pool.stats();
+        assert_eq!(
+            stats.workers.len(),
+            8,
+            "stats should cover every worker"
+        );
+        let participating = stats.workers.iter().filter(|w| w.tasks_executed > 0).count();
+        assert!(
+            participating >= 4,
+            "expected most workers to participate, got {participating}"
+        );
+        assert!(stats.total_successful_steals() > 0);
+    }
+
+    #[test]
+    fn domain_matching_policy_completes() {
+        let topo = NumaTopology::new(2, 4);
+        let pool = Pool::new(
+            PoolConfig::nabbitc(8)
+                .with_topology(topo)
+                .with_policy(StealPolicy::nabbitc_domain()),
+        );
+        assert_eq!(count_to(&pool, 100_000), 100_000);
+        let stats = pool.stats();
+        assert!(stats.total_tasks() > 0);
+    }
+
+    #[test]
+    fn invalid_coloring_still_completes() {
+        // Table III setup: every task tagged with the empty color set so
+        // all colored steals fail; the escape hatch + random steals must
+        // still finish the job.
+        let mut policy = StealPolicy::nabbitc();
+        policy.first_steal_max_attempts = 1000;
+        let pool = Pool::new(PoolConfig::nabbitc(4).with_policy(policy));
+        let counter = Arc::new(StdAtomicU64::new(0));
+        let c = counter.clone();
+        pool.run(ColorSet::empty(), move |ctx| {
+            for _ in 0..64 {
+                let c2 = c.clone();
+                ctx.spawn(ColorSet::empty(), move |_| {
+                    c2.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "task panicked")]
+    fn task_panic_propagates() {
+        let pool = Pool::new(PoolConfig::nabbitc(2));
+        pool.run(ColorSet::all(2), |_| panic!("boom"));
+    }
+
+    #[test]
+    fn pool_survives_task_panic() {
+        let pool = Pool::new(PoolConfig::nabbitc(2));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(ColorSet::all(2), |_| panic!("boom"));
+        }));
+        assert!(r.is_err());
+        // Pool remains usable.
+        assert_eq!(count_to(&pool, 100), 100);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let pool = Pool::new(PoolConfig::nabbitc(2));
+        count_to(&pool, 1000);
+        assert!(pool.stats().total_tasks() > 0);
+        pool.reset_stats();
+        assert_eq!(pool.stats().total_tasks(), 0);
+    }
+
+    #[test]
+    fn worker_context_identity() {
+        let pool = Pool::new(PoolConfig::nabbitc(3));
+        let ids = Arc::new(Mutex::new(Vec::new()));
+        let ids2 = ids.clone();
+        pool.run(ColorSet::all(3), move |ctx| {
+            ids2.lock().push((ctx.worker_id(), ctx.color(), ctx.workers()));
+        });
+        let v = ids.lock();
+        assert_eq!(v.len(), 1);
+        let (w, c, n) = v[0];
+        assert_eq!(n, 3);
+        assert!(w < 3);
+        assert_eq!(c, Color::from(w));
+    }
+}

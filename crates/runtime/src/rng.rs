@@ -1,0 +1,109 @@
+//! Minimal per-worker PRNG for victim selection.
+//!
+//! Steal-path victim selection sits on the hottest idle loop in the runtime;
+//! we use xorshift64*, the classic single-u64-state generator, rather than
+//! pulling a full `rand` generator into the worker. Deterministic per seed,
+//! which keeps scheduler tests reproducible when combined with a fixed
+//! worker count.
+
+/// xorshift64* PRNG.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is remapped (xorshift cannot hold
+    /// state zero).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n`. Uses the multiply-shift trick (Lemire);
+    /// slight modulo bias is irrelevant for victim selection.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Picks a victim worker id uniformly from `0..workers`, excluding
+    /// `me`. Requires `workers >= 2`.
+    #[inline]
+    pub fn victim(&mut self, workers: usize, me: usize) -> usize {
+        debug_assert!(workers >= 2);
+        let v = self.next_below(workers - 1);
+        if v >= me {
+            v + 1
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..10_000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn victim_never_self_and_covers_all() {
+        let mut r = XorShift64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            let v = r.victim(8, 3);
+            assert_ne!(v, 3);
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        let others = seen.iter().enumerate().filter(|&(i, _)| i != 3).all(|(_, &s)| s);
+        assert!(others, "all other workers should eventually be picked");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = XorShift64::new(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[r.next_below(4)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c} out of tolerance");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-worker scheduler statistics.
+//!
+//! These counters regenerate the paper's Figure 8 (average successful
+//! steals per worker), Figure 9 (idle time from forcing the first colored
+//! steal), and the steal-overhead discussion in §V-C.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Live atomic counters for one worker (runtime-internal).
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    pub tasks_executed: CachePadded<AtomicU64>,
+    pub colored_steal_attempts: CachePadded<AtomicU64>,
+    pub colored_steals: CachePadded<AtomicU64>,
+    pub random_steal_attempts: CachePadded<AtomicU64>,
+    pub random_steals: CachePadded<AtomicU64>,
+    /// Colored checks made while satisfying the forced first steal (the
+    /// quantity `C` in Theorem 1).
+    pub first_steal_checks: CachePadded<AtomicU64>,
+    /// Nanoseconds from job start until this worker first acquired work.
+    pub first_work_wait_ns: CachePadded<AtomicU64>,
+    /// Total nanoseconds spent in the steal loop (idle).
+    pub idle_ns: CachePadded<AtomicU64>,
+}
+
+impl WorkerStats {
+    pub(crate) fn reset(&self) {
+        self.tasks_executed.store(0, Relaxed);
+        self.colored_steal_attempts.store(0, Relaxed);
+        self.colored_steals.store(0, Relaxed);
+        self.random_steal_attempts.store(0, Relaxed);
+        self.random_steals.store(0, Relaxed);
+        self.first_steal_checks.store(0, Relaxed);
+        self.first_work_wait_ns.store(0, Relaxed);
+        self.idle_ns.store(0, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> WorkerStatsSnapshot {
+        WorkerStatsSnapshot {
+            tasks_executed: self.tasks_executed.load(Relaxed),
+            colored_steal_attempts: self.colored_steal_attempts.load(Relaxed),
+            colored_steals: self.colored_steals.load(Relaxed),
+            random_steal_attempts: self.random_steal_attempts.load(Relaxed),
+            random_steals: self.random_steals.load(Relaxed),
+            first_steal_checks: self.first_steal_checks.load(Relaxed),
+            first_work_wait_ns: self.first_work_wait_ns.load(Relaxed),
+            idle_ns: self.idle_ns.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one worker's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// Tasks executed.
+    pub tasks_executed: u64,
+    /// Colored steal attempts (successful or not).
+    pub colored_steal_attempts: u64,
+    /// Successful colored steals.
+    pub colored_steals: u64,
+    /// Random (unconditional) steal attempts.
+    pub random_steal_attempts: u64,
+    /// Successful random steals.
+    pub random_steals: u64,
+    /// Checks performed while the forced first colored steal was pending.
+    pub first_steal_checks: u64,
+    /// Time from job start to first acquired work, nanoseconds.
+    pub first_work_wait_ns: u64,
+    /// Total idle (steal-loop) time, nanoseconds.
+    pub idle_ns: u64,
+}
+
+impl WorkerStatsSnapshot {
+    /// All successful steals.
+    pub fn successful_steals(&self) -> u64 {
+        self.colored_steals + self.random_steals
+    }
+
+    /// All steal attempts.
+    pub fn steal_attempts(&self) -> u64 {
+        self.colored_steal_attempts + self.random_steal_attempts
+    }
+}
+
+/// Aggregated statistics for a pool run.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Per-worker snapshots.
+    pub workers: Vec<WorkerStatsSnapshot>,
+}
+
+impl PoolStats {
+    /// Sum of tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_executed).sum()
+    }
+
+    /// Average successful steals per worker — the y-axis of Figure 8.
+    pub fn avg_successful_steals(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.workers.iter().map(|w| w.successful_steals()).sum();
+        total as f64 / self.workers.len() as f64
+    }
+
+    /// Average first-work wait per worker in seconds — the y-axis of
+    /// Figure 9.
+    pub fn avg_first_work_wait_s(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.workers.iter().map(|w| w.first_work_wait_ns).sum();
+        total as f64 / self.workers.len() as f64 / 1e9
+    }
+
+    /// Total colored steal attempts across workers.
+    pub fn total_colored_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.colored_steal_attempts).sum()
+    }
+
+    /// Total successful steals across workers.
+    pub fn total_successful_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.successful_steals()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let s = WorkerStats::default();
+        s.tasks_executed.store(5, Relaxed);
+        s.colored_steals.store(2, Relaxed);
+        s.random_steals.store(1, Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.tasks_executed, 5);
+        assert_eq!(snap.successful_steals(), 3);
+        s.reset();
+        assert_eq!(s.snapshot(), WorkerStatsSnapshot::default());
+    }
+
+    #[test]
+    fn pool_aggregates() {
+        let stats = PoolStats {
+            workers: vec![
+                WorkerStatsSnapshot {
+                    tasks_executed: 10,
+                    colored_steals: 4,
+                    random_steals: 0,
+                    first_work_wait_ns: 2_000_000_000,
+                    ..Default::default()
+                },
+                WorkerStatsSnapshot {
+                    tasks_executed: 20,
+                    colored_steals: 0,
+                    random_steals: 2,
+                    first_work_wait_ns: 0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(stats.total_tasks(), 30);
+        assert_eq!(stats.avg_successful_steals(), 3.0);
+        assert!((stats.avg_first_work_wait_s() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pool_stats_are_zero() {
+        let stats = PoolStats::default();
+        assert_eq!(stats.avg_successful_steals(), 0.0);
+        assert_eq!(stats.avg_first_work_wait_s(), 0.0);
+    }
+}

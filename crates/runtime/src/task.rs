@@ -1,0 +1,38 @@
+//! Runtime task representation.
+
+use crate::pool::WorkerContext;
+use nabbitc_color::ColorSet;
+
+/// A unit of stealable work: a closure plus the set of colors of the
+/// task-graph nodes reachable through it.
+///
+/// The color set is what `cilkrts_set_next_colors` communicates to the Cilk
+/// runtime in the paper: when NabbitC spawns the non-preferred half of a
+/// color-split batch, it tags that half with the union of its node colors so
+/// thieves can make an informed colored steal.
+pub struct Task {
+    /// Colors available inside this task (for colored steals).
+    pub colors: ColorSet,
+    func: Box<dyn FnOnce(&mut WorkerContext<'_>) + Send>,
+}
+
+impl Task {
+    /// Creates a task.
+    pub fn new(colors: ColorSet, func: impl FnOnce(&mut WorkerContext<'_>) + Send + 'static) -> Self {
+        Task {
+            colors,
+            func: Box::new(func),
+        }
+    }
+
+    /// Runs the task on a worker.
+    pub fn run(self, ctx: &mut WorkerContext<'_>) {
+        (self.func)(ctx)
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task").field("colors", &self.colors).finish()
+    }
+}

@@ -1,0 +1,291 @@
+//! Work/span analysis — the quantities appearing in the paper's Theorem 1.
+//!
+//! For a task graph `G = (V, E)` with node work `W(u)`:
+//!
+//! * work `T1 = Σ_u W(u) + O(|E|)` — every edge must also be checked once;
+//! * span `T∞ = max_{p ∈ paths(s,t)} Σ_{u ∈ p} W(u) + O(M)`;
+//! * `M` — the number of nodes on the longest (by count) source→sink path;
+//! * `d` — the maximum degree, which enters the bound as `M lg d`.
+//!
+//! Theorem 1: NabbitC executes `G` in `O(T1/P + T∞ + M lg d + lg(P/ε) + C)`
+//! time with probability ≥ `1 − ε`, where `C` is the per-worker startup cost
+//! of the forced first colored steal. `tests/theory_bound.rs` checks the
+//! simulated schedulers against this bound with fitted constants.
+
+use crate::TaskGraph;
+use nabbitc_color::{Color, ColorSet};
+use std::collections::HashMap;
+
+/// Summary of the Theorem 1 quantities for a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphAnalysis {
+    /// `Σ W(u)` — pure node work.
+    pub total_work: u64,
+    /// `T1` including the `O(|E|)` edge-checking term (unit cost per edge).
+    pub t1: u64,
+    /// Weighted critical path `max Σ W(u)` over all paths.
+    pub critical_path_work: u64,
+    /// `T∞` including the `O(M)` term (unit cost per node on the path).
+    pub t_inf: u64,
+    /// Longest path length in *nodes* (`M`).
+    pub longest_path_nodes: u64,
+    /// Maximum total degree `d = max(in+out)`.
+    pub max_degree: usize,
+    /// Average parallelism `T1 / T∞` (zero if `T∞` is zero).
+    pub parallelism: f64,
+}
+
+/// Computes the full [`GraphAnalysis`] in one topological sweep.
+pub fn analyze(g: &TaskGraph) -> GraphAnalysis {
+    let n = g.node_count();
+    let total_work: u64 = g.nodes().map(|u| g.work(u)).sum();
+    let t1 = total_work + g.edge_count() as u64;
+
+    // Longest weighted path and longest node-count path, both ending at u.
+    let mut best_work = vec![0u64; n];
+    let mut best_nodes = vec![0u64; n];
+    for &u in g.topo_order() {
+        let ui = u as usize;
+        let (mut w, mut m) = (0u64, 0u64);
+        for &p in g.predecessors(u) {
+            w = w.max(best_work[p as usize]);
+            m = m.max(best_nodes[p as usize]);
+        }
+        best_work[ui] = w + g.work(u);
+        best_nodes[ui] = m + 1;
+    }
+    let critical_path_work = best_work.iter().copied().max().unwrap_or(0);
+    let longest_path_nodes = best_nodes.iter().copied().max().unwrap_or(0);
+    let t_inf = critical_path_work + longest_path_nodes;
+
+    let max_degree = g
+        .nodes()
+        .map(|u| g.in_degree(u) + g.out_degree(u))
+        .max()
+        .unwrap_or(0);
+
+    let parallelism = if t_inf > 0 {
+        t1 as f64 / t_inf as f64
+    } else {
+        0.0
+    };
+
+    GraphAnalysis {
+        total_work,
+        t1,
+        critical_path_work,
+        t_inf,
+        longest_path_nodes,
+        max_degree,
+        parallelism,
+    }
+}
+
+/// Per-color work distribution — how much node work is assigned to each
+/// color. A perfectly colored regular benchmark distributes work evenly;
+/// PageRank's power-law blocks do not, which is exactly why static
+/// scheduling loses there (§V-A).
+#[derive(Debug, Clone, Default)]
+pub struct ColorWorkProfile {
+    /// Work per color.
+    pub work_by_color: HashMap<Color, u64>,
+    /// Node count per color.
+    pub nodes_by_color: HashMap<Color, u64>,
+}
+
+impl ColorWorkProfile {
+    /// Colors present in the graph.
+    pub fn colors(&self) -> ColorSet {
+        self.work_by_color.keys().copied().collect()
+    }
+
+    /// Load imbalance factor: `max work per color / mean work per color`.
+    /// 1.0 means perfectly balanced across colors.
+    pub fn imbalance(&self) -> f64 {
+        if self.work_by_color.is_empty() {
+            return 1.0;
+        }
+        let max = *self.work_by_color.values().max().expect("nonempty") as f64;
+        let sum: u64 = self.work_by_color.values().sum();
+        let mean = sum as f64 / self.work_by_color.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Computes the per-color work distribution.
+pub fn color_profile(g: &TaskGraph) -> ColorWorkProfile {
+    let mut p = ColorWorkProfile::default();
+    for u in g.nodes() {
+        *p.work_by_color.entry(g.color(u)).or_insert(0) += g.work(u);
+        *p.nodes_by_color.entry(g.color(u)).or_insert(0) += 1;
+    }
+    p
+}
+
+/// Lower bound on `P`-processor completion time: `max(T1/P, T∞)`
+/// (the work and span laws).
+pub fn completion_lower_bound(a: &GraphAnalysis, p: usize) -> f64 {
+    assert!(p > 0, "need at least one processor");
+    (a.t1 as f64 / p as f64).max(a.t_inf as f64)
+}
+
+/// The Theorem 1 asymptotic upper bound with explicit constants:
+/// `c1*T1/P + c2*T∞ + c3*M*lg d + c4*lg P + startup`.
+pub fn theorem1_bound(
+    a: &GraphAnalysis,
+    p: usize,
+    constants: (f64, f64, f64, f64),
+    startup: f64,
+) -> f64 {
+    assert!(p > 0, "need at least one processor");
+    let (c1, c2, c3, c4) = constants;
+    let lg_d = (a.max_degree.max(2) as f64).log2();
+    let lg_p = (p.max(2) as f64).log2();
+    c1 * a.t1 as f64 / p as f64
+        + c2 * a.t_inf as f64
+        + c3 * a.longest_path_nodes as f64 * lg_d
+        + c4 * lg_p
+        + startup
+}
+
+/// Per-node earliest start times under infinite processors (levels by work).
+/// Useful for visualizing available parallelism over time.
+pub fn earliest_start_times(g: &TaskGraph) -> Vec<u64> {
+    let n = g.node_count();
+    let mut est = vec![0u64; n];
+    for &u in g.topo_order() {
+        let finish = est[u as usize] + g.work(u);
+        for &v in g.successors(u) {
+            est[v as usize] = est[v as usize].max(finish);
+        }
+    }
+    est
+}
+
+/// Checks whether the sink is reachable from every node and every node is
+/// reachable from some source — i.e., the graph has no dead work when driven
+/// from its sinks (Nabbit executes on demand from the sink).
+pub fn all_work_reaches_sinks(g: &TaskGraph) -> bool {
+    // Reverse BFS from all sinks.
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut stack = g.sinks();
+    for &s in &stack {
+        seen[s as usize] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &p in g.predecessors(u) {
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen.iter().all(|&b| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeId};
+
+    fn chain(lens: &[u64]) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        for (i, &w) in lens.iter().enumerate() {
+            b.add_simple_node(w, Color(0), 0);
+            if i > 0 {
+                b.add_edge((i - 1) as NodeId, i as NodeId);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_analysis() {
+        let g = chain(&[5, 7, 3]);
+        let a = analyze(&g);
+        assert_eq!(a.total_work, 15);
+        assert_eq!(a.t1, 15 + 2);
+        assert_eq!(a.critical_path_work, 15);
+        assert_eq!(a.longest_path_nodes, 3);
+        assert_eq!(a.t_inf, 18);
+        assert_eq!(a.max_degree, 2);
+    }
+
+    #[test]
+    fn diamond_analysis() {
+        // 0 -> {1,2} -> 3, works 1, 10, 2, 1.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_simple_node(10, Color(0), 0);
+        b.add_simple_node(2, Color(1), 0);
+        b.add_simple_node(1, Color(1), 0);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let a = analyze(&b.build().unwrap());
+        assert_eq!(a.total_work, 14);
+        assert_eq!(a.critical_path_work, 12); // 0 -> 1 -> 3
+        assert_eq!(a.longest_path_nodes, 3);
+        assert_eq!(a.max_degree, 2); // every node has in+out = 2
+    }
+
+    #[test]
+    fn single_node() {
+        let g = chain(&[42]);
+        let a = analyze(&g);
+        assert_eq!(a.t1, 42);
+        assert_eq!(a.t_inf, 43);
+        assert_eq!(a.longest_path_nodes, 1);
+        assert!(a.parallelism < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_laws() {
+        let g = chain(&[5, 7, 3]);
+        let a = analyze(&g);
+        assert_eq!(completion_lower_bound(&a, 1), 18.0); // max(T1=17, T_inf=18)
+        assert_eq!(completion_lower_bound(&a, 100), a.t_inf as f64);
+    }
+
+    #[test]
+    fn color_profile_imbalance() {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(30, Color(0), 0);
+        b.add_simple_node(10, Color(1), 0);
+        b.add_edge(0, 1);
+        let p = color_profile(&b.build().unwrap());
+        assert_eq!(p.work_by_color[&Color(0)], 30);
+        assert!((p.imbalance() - 1.5).abs() < 1e-12);
+        assert!(p.colors().contains(Color(1)));
+    }
+
+    #[test]
+    fn earliest_start_levels() {
+        let g = chain(&[5, 7, 3]);
+        assert_eq!(earliest_start_times(&g), vec![0, 5, 12]);
+    }
+
+    #[test]
+    fn reachability_check() {
+        let g = chain(&[1, 1]);
+        assert!(all_work_reaches_sinks(&g));
+    }
+
+    #[test]
+    fn theorem1_bound_dominates_lower_bound() {
+        let g = chain(&[5, 7, 3]);
+        let a = analyze(&g);
+        for p in [1usize, 2, 8, 80] {
+            assert!(
+                theorem1_bound(&a, p, (1.0, 1.0, 1.0, 1.0), 0.0)
+                    >= completion_lower_bound(&a, p)
+            );
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Seeded task-graph generators.
+//!
+//! These produce the structural families used throughout the test suite and
+//! benchmarks: chains (pure span), independent sets (pure work), fork-join
+//! diamonds, 2-D wavefronts (the Smith-Waterman shape), layered random DAGs
+//! (irregular dependence structure), and trees. All generators are
+//! deterministic given their seed.
+
+use crate::{GraphBuilder, NodeId, TaskGraph};
+use nabbitc_color::Color;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assigns colors by evenly partitioning node ids across `num_colors`
+/// colors, mimicking the paper's "distribute data evenly, color by
+/// initializing thread" strategy.
+pub fn block_color(u: usize, n: usize, num_colors: usize) -> Color {
+    if num_colors == 0 || n == 0 {
+        return Color(0);
+    }
+    let block = n.div_ceil(num_colors);
+    Color::from((u / block).min(num_colors - 1))
+}
+
+/// A chain of `n` nodes, each with `work`: `T∞ = T1`.
+pub fn chain(n: usize, work: u64, num_colors: usize) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 0..n {
+        b.add_simple_node(work, block_color(i, n, num_colors), 64);
+        if i > 0 {
+            b.add_edge((i - 1) as NodeId, i as NodeId);
+        }
+    }
+    b.build().expect("chain is acyclic")
+}
+
+/// `n` independent nodes funneled into one sink: embarrassingly parallel.
+/// All colors appear adjacent to the root when explored from the sink,
+/// matching Theorem 1's "reasonable task graph" condition.
+pub fn independent(n: usize, work: u64, num_colors: usize) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = GraphBuilder::with_capacity(n + 1, n);
+    for i in 0..n {
+        b.add_simple_node(work, block_color(i, n, num_colors), 64);
+    }
+    let sink = b.add_simple_node(1, Color(0), 0);
+    for i in 0..n as NodeId {
+        b.add_edge(i, sink);
+    }
+    b.build().expect("fan-in is acyclic")
+}
+
+/// A `rows × cols` wavefront grid: node `(i,j)` depends on `(i-1,j)`,
+/// `(i,j-1)` and `(i-1,j-1)` — the Smith-Waterman dependence structure.
+/// Colors assigned by row block.
+pub fn wavefront(rows: usize, cols: usize, work: u64, num_colors: usize) -> TaskGraph {
+    assert!(rows > 0 && cols > 0);
+    let id = |i: usize, j: usize| (i * cols + j) as NodeId;
+    let mut b = GraphBuilder::with_capacity(rows * cols, 3 * rows * cols);
+    for i in 0..rows {
+        for _j in 0..cols {
+            b.add_simple_node(work, block_color(i, rows, num_colors), 256);
+        }
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            if i > 0 {
+                b.add_edge(id(i - 1, j), id(i, j));
+            }
+            if j > 0 {
+                b.add_edge(id(i, j - 1), id(i, j));
+            }
+            if i > 0 && j > 0 {
+                b.add_edge(id(i - 1, j - 1), id(i, j));
+            }
+        }
+    }
+    b.build().expect("wavefront is acyclic")
+}
+
+/// A layered random DAG: `layers` layers of `width` nodes; each node picks
+/// 1..=`max_preds` random predecessors from the previous layer. Node work is
+/// uniform in `work_range`. This is the irregular family used for stress
+/// and theory tests.
+pub fn layered_random(
+    layers: usize,
+    width: usize,
+    max_preds: usize,
+    work_range: (u64, u64),
+    num_colors: usize,
+    seed: u64,
+) -> TaskGraph {
+    assert!(layers > 0 && width > 0 && max_preds > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = layers * width;
+    let mut b = GraphBuilder::with_capacity(n, n * max_preds);
+    for l in 0..layers {
+        for w in 0..width {
+            let work = rng.gen_range(work_range.0..=work_range.1.max(work_range.0));
+            let u = l * width + w;
+            b.add_simple_node(work, block_color(u, n, num_colors), 64);
+        }
+    }
+    for l in 1..layers {
+        for w in 0..width {
+            let u = (l * width + w) as NodeId;
+            let k = rng.gen_range(1..=max_preds.min(width));
+            // Sample k distinct predecessors from layer l-1.
+            let mut picks: Vec<usize> = (0..width).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..width);
+                picks.swap(i, j);
+            }
+            for &p in &picks[..k] {
+                b.add_edge(((l - 1) * width + p) as NodeId, u);
+            }
+        }
+    }
+    b.build().expect("layered DAG is acyclic")
+}
+
+/// A complete binary in-tree of `depth` levels (leaves at the top, root is
+/// the sink): `2^depth - 1` nodes. Models reductions.
+pub fn binary_in_tree(depth: usize, work: u64, num_colors: usize) -> TaskGraph {
+    assert!(depth > 0 && depth < 31);
+    let n = (1usize << depth) - 1;
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 0..n {
+        b.add_simple_node(work, block_color(i, n, num_colors), 64);
+    }
+    // Heap layout: node i has children 2i+1, 2i+2; children are predecessors.
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b.add_edge(c as NodeId, i as NodeId);
+            }
+        }
+    }
+    b.build().expect("tree is acyclic")
+}
+
+/// Iterated block dependence: `iters` rows of `blocks` nodes; node
+/// `(t, b)` depends on `(t-1, b')` for every `b'` in `b`'s stencil
+/// neighborhood (radius 1). This is the heat/fdtd/life shape.
+pub fn iterated_stencil(iters: usize, blocks: usize, work: u64, num_colors: usize) -> TaskGraph {
+    assert!(iters > 0 && blocks > 0);
+    let id = |t: usize, j: usize| (t * blocks + j) as NodeId;
+    let mut b = GraphBuilder::with_capacity(iters * blocks, iters * blocks * 3);
+    for _t in 0..iters {
+        for j in 0..blocks {
+            b.add_simple_node(work, block_color(j, blocks, num_colors), 1024);
+        }
+    }
+    for t in 1..iters {
+        for j in 0..blocks {
+            let lo = j.saturating_sub(1);
+            let hi = (j + 1).min(blocks - 1);
+            for p in lo..=hi {
+                b.add_edge(id(t - 1, p), id(t, j));
+            }
+        }
+    }
+    b.build().expect("stencil graph is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(10, 5, 4);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 9);
+        let a = analyze(&g);
+        assert_eq!(a.critical_path_work, 50);
+        assert_eq!(a.longest_path_nodes, 10);
+    }
+
+    #[test]
+    fn independent_shape() {
+        let g = independent(16, 3, 4);
+        assert_eq!(g.node_count(), 17);
+        let a = analyze(&g);
+        assert_eq!(a.critical_path_work, 4); // one node + sink
+        assert!(a.parallelism > 8.0);
+    }
+
+    #[test]
+    fn wavefront_shape() {
+        let g = wavefront(4, 5, 2, 2);
+        assert_eq!(g.node_count(), 20);
+        let a = analyze(&g);
+        // Longest path walks the diagonal then an edge: 4+5-1 nodes.
+        assert_eq!(a.longest_path_nodes, 8);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(6), 3);
+    }
+
+    #[test]
+    fn layered_random_deterministic() {
+        let g1 = layered_random(6, 8, 3, (1, 10), 4, 42);
+        let g2 = layered_random(6, 8, 3, (1, 10), 4, 42);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for u in g1.nodes() {
+            assert_eq!(g1.work(u), g2.work(u));
+            assert_eq!(g1.predecessors(u), g2.predecessors(u));
+        }
+        let g3 = layered_random(6, 8, 3, (1, 10), 4, 43);
+        // Different seeds should (overwhelmingly) differ somewhere.
+        let same = g1.nodes().all(|u| {
+            g1.work(u) == g3.work(u) && g1.predecessors(u) == g3.predecessors(u)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_in_tree(4, 1, 2);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.sinks(), vec![0]);
+        assert_eq!(g.sources().len(), 8);
+        let a = analyze(&g);
+        assert_eq!(a.longest_path_nodes, 4);
+    }
+
+    #[test]
+    fn iterated_stencil_shape() {
+        let g = iterated_stencil(3, 6, 2, 3);
+        assert_eq!(g.node_count(), 18);
+        // Interior node at t=1 has 3 preds.
+        assert_eq!(g.in_degree(6 + 2), 3);
+        // Edge node has 2.
+        assert_eq!(g.in_degree(6), 2);
+    }
+
+    #[test]
+    fn block_color_even_partition() {
+        assert_eq!(block_color(0, 100, 4), Color(0));
+        assert_eq!(block_color(99, 100, 4), Color(3));
+        assert_eq!(block_color(50, 100, 4), Color(2));
+        // Degenerate inputs fall back to color 0.
+        assert_eq!(block_color(5, 0, 4), Color(0));
+        assert_eq!(block_color(5, 10, 0), Color(0));
+    }
+}

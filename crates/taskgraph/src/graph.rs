@@ -1,0 +1,428 @@
+//! CSR task-graph representation and builder.
+
+use nabbitc_color::Color;
+
+/// Index of a node in a [`TaskGraph`].
+pub type NodeId = u32;
+
+/// One memory region touched by a node: `bytes` residing in the region owned
+/// by (initialized by) the worker with color `owner`.
+///
+/// The NUMA simulator prices these accesses as local or remote depending on
+/// which domain the executing core sits in; the paper's §V-B remote-access
+/// metric counts them at node granularity the same way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeAccess {
+    /// Color of the worker that owns (initialized) the region.
+    pub owner: Color,
+    /// Bytes touched in that region.
+    pub bytes: u64,
+}
+
+/// Errors produced by [`GraphBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph contains a dependence cycle; payload is one node on it.
+    Cycle(NodeId),
+    /// An edge endpoint is out of range.
+    InvalidNode(NodeId),
+    /// A node lists the same predecessor twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Cycle(n) => write!(f, "dependence cycle through node {n}"),
+            GraphError::InvalidNode(n) => write!(f, "edge references unknown node {n}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            GraphError::Empty => write!(f, "task graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Mutable builder for [`TaskGraph`].
+///
+/// Nodes are added with their work estimate, color, and memory footprint;
+/// edges are added as `(pred, succ)` pairs. [`GraphBuilder::build`] verifies
+/// acyclicity and produces the immutable CSR form.
+#[derive(Default, Clone)]
+pub struct GraphBuilder {
+    work: Vec<u64>,
+    color: Vec<Color>,
+    accesses: Vec<Vec<NodeAccess>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            work: Vec::with_capacity(nodes),
+            color: Vec::with_capacity(nodes),
+            accesses: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// `work` is the node's computational cost in abstract work units
+    /// (`W(u)` in the paper); `color` its locality hint; `accesses` the
+    /// memory regions it touches.
+    pub fn add_node(&mut self, work: u64, color: Color, accesses: Vec<NodeAccess>) -> NodeId {
+        let id = self.work.len() as NodeId;
+        self.work.push(work);
+        self.color.push(color);
+        self.accesses.push(accesses);
+        id
+    }
+
+    /// Convenience: node with a single access to its own color's region.
+    pub fn add_simple_node(&mut self, work: u64, color: Color, bytes: u64) -> NodeId {
+        self.add_node(
+            work,
+            color,
+            vec![NodeAccess {
+                owner: color,
+                bytes,
+            }],
+        )
+    }
+
+    /// Declares that `succ` depends on `pred` (an edge `pred -> succ`).
+    pub fn add_edge(&mut self, pred: NodeId, succ: NodeId) {
+        self.edges.push((pred, succ));
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Finalizes the graph, checking edge validity and acyclicity.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        let n = self.work.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        for &(u, v) in &self.edges {
+            if u as usize >= n {
+                return Err(GraphError::InvalidNode(u));
+            }
+            if v as usize >= n {
+                return Err(GraphError::InvalidNode(v));
+            }
+        }
+
+        // Duplicate-edge detection via sort.
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
+            }
+        }
+
+        // CSR for successors and predecessors.
+        let m = self.edges.len();
+        let mut succ_off = vec![0u32; n + 1];
+        let mut pred_off = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            succ_off[u as usize + 1] += 1;
+            pred_off[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_adj = vec![0 as NodeId; m];
+        let mut pred_adj = vec![0 as NodeId; m];
+        let mut succ_cur = succ_off.clone();
+        let mut pred_cur = pred_off.clone();
+        for &(u, v) in &self.edges {
+            succ_adj[succ_cur[u as usize] as usize] = v;
+            succ_cur[u as usize] += 1;
+            pred_adj[pred_cur[v as usize] as usize] = u;
+            pred_cur[v as usize] += 1;
+        }
+
+        let g = TaskGraph {
+            work: self.work,
+            color: self.color,
+            accesses: self.accesses,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
+            topo: Vec::new(),
+        };
+        let topo = g.compute_topo_order()?;
+        Ok(TaskGraph { topo, ..g })
+    }
+}
+
+/// An immutable task graph in CSR form.
+///
+/// Nodes are identified by dense [`NodeId`]s. Both predecessor and successor
+/// adjacency are stored so that executors can walk dependences in either
+/// direction (Nabbit explores predecessors on demand and notifies
+/// successors).
+#[derive(Clone)]
+pub struct TaskGraph {
+    work: Vec<u64>,
+    color: Vec<Color>,
+    accesses: Vec<Vec<NodeAccess>>,
+    succ_off: Vec<u32>,
+    succ_adj: Vec<NodeId>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<NodeId>,
+    topo: Vec<NodeId>,
+}
+
+impl TaskGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.succ_adj.len()
+    }
+
+    /// Work `W(u)` of a node.
+    #[inline]
+    pub fn work(&self, u: NodeId) -> u64 {
+        self.work[u as usize]
+    }
+
+    /// Locality color of a node.
+    #[inline]
+    pub fn color(&self, u: NodeId) -> Color {
+        self.color[u as usize]
+    }
+
+    /// Memory accesses of a node.
+    #[inline]
+    pub fn accesses(&self, u: NodeId) -> &[NodeAccess] {
+        &self.accesses[u as usize]
+    }
+
+    /// Successors of `u` (nodes that depend on `u`).
+    #[inline]
+    pub fn successors(&self, u: NodeId) -> &[NodeId] {
+        let (a, b) = (self.succ_off[u as usize], self.succ_off[u as usize + 1]);
+        &self.succ_adj[a as usize..b as usize]
+    }
+
+    /// Predecessors of `u` (nodes `u` depends on).
+    #[inline]
+    pub fn predecessors(&self, u: NodeId) -> &[NodeId] {
+        let (a, b) = (self.pred_off[u as usize], self.pred_off[u as usize + 1]);
+        &self.pred_adj[a as usize..b as usize]
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.predecessors(u).len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.successors(u).len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// Nodes with no predecessors.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&u| self.in_degree(u) == 0).collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&u| self.out_degree(u) == 0).collect()
+    }
+
+    /// A topological order of the nodes (computed once at build time).
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Overrides every node's color. Used by the bad/invalid coloring
+    /// experiments (Tables II and III) without rebuilding the graph.
+    pub fn recolor(&mut self, mut f: impl FnMut(NodeId, Color) -> Color) {
+        for u in 0..self.color.len() {
+            self.color[u] = f(u as NodeId, self.color[u]);
+        }
+    }
+
+    /// Total bytes touched by a node.
+    pub fn footprint(&self, u: NodeId) -> u64 {
+        self.accesses[u as usize].iter().map(|a| a.bytes).sum()
+    }
+
+    fn compute_topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.node_count();
+        let mut indeg: Vec<u32> = (0..n).map(|u| self.in_degree(u as NodeId) as u32).collect();
+        let mut queue: Vec<NodeId> = (0..n as NodeId).filter(|&u| indeg[u as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &v in self.successors(u) {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let on_cycle = (0..n as NodeId)
+                .find(|&u| indeg[u as usize] > 0)
+                .expect("cycle implies a node with positive residual indegree");
+            return Err(GraphError::Cycle(on_cycle));
+        }
+        Ok(order)
+    }
+}
+
+impl std::fmt::Debug for TaskGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskGraph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // 0 -> {1,2} -> 3
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_simple_node(10 + i, Color(i as u16), 64);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.predecessors(3), &[1, 2]);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+        assert_eq!(g.work(2), 12);
+        assert_eq!(g.color(1), Color(1));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 4];
+            for (i, &u) in g.topo_order().iter().enumerate() {
+                pos[u as usize] = i;
+            }
+            pos
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_simple_node(1, Color(0), 0);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        assert!(matches!(b.build(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_edge(0, 0);
+        assert!(matches!(b.build(), Err(GraphError::Cycle(0))));
+    }
+
+    #[test]
+    fn invalid_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_edge(0, 5);
+        assert_eq!(b.build().unwrap_err(), GraphError::InvalidNode(5));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_simple_node(1, Color(0), 0);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.build().unwrap_err(), GraphError::DuplicateEdge(0, 1));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn recolor_applies() {
+        let mut g = diamond();
+        g.recolor(|_, c| Color(c.0 + 10));
+        assert_eq!(g.color(0), Color(10));
+        assert_eq!(g.color(3), Color(13));
+    }
+
+    #[test]
+    fn footprint_sums_accesses() {
+        let mut b = GraphBuilder::new();
+        b.add_node(
+            1,
+            Color(0),
+            vec![
+                NodeAccess { owner: Color(0), bytes: 100 },
+                NodeAccess { owner: Color(1), bytes: 28 },
+            ],
+        );
+        let g = b.build().unwrap();
+        assert_eq!(g.footprint(0), 128);
+    }
+}

@@ -1,0 +1,255 @@
+//! Shared workload utilities: disjoint-write buffers and skewed samplers.
+
+use std::cell::UnsafeCell;
+
+/// A buffer that task-graph kernels write concurrently into *disjoint*
+/// regions.
+///
+/// The task graph guarantees that no two concurrently-runnable nodes touch
+/// the same elements (each node owns a block, and nodes sharing a block are
+/// ordered by dependences). Rust cannot see that proof, so the buffer
+/// exposes unsafe raw access with the invariant documented here — the
+/// standard HPC pattern for dependence-carried disjointness.
+pub struct SharedBuffer<T> {
+    data: UnsafeCell<Vec<T>>,
+}
+
+// SAFETY: access discipline is delegated to callers per the type docs.
+unsafe impl<T: Send> Send for SharedBuffer<T> {}
+unsafe impl<T: Send> Sync for SharedBuffer<T> {}
+
+impl<T: Clone> SharedBuffer<T> {
+    /// Creates a buffer of `n` copies of `init`.
+    pub fn new(n: usize, init: T) -> Self {
+        SharedBuffer {
+            data: UnsafeCell::new(vec![init; n]),
+        }
+    }
+}
+
+impl<T> SharedBuffer<T> {
+    /// Wraps an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        SharedBuffer {
+            data: UnsafeCell::new(v),
+        }
+    }
+
+    /// Length of the buffer.
+    pub fn len(&self) -> usize {
+        unsafe { (*self.data.get()).len() }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shared read of the whole buffer.
+    ///
+    /// # Safety
+    /// No concurrent `slice_mut` may overlap the read region; the caller's
+    /// task graph must order writers before readers.
+    pub unsafe fn slice(&self, lo: usize, hi: usize) -> &[T] {
+        debug_assert!(lo <= hi && hi <= self.len());
+        std::slice::from_raw_parts((*self.data.get()).as_ptr().add(lo), hi - lo)
+    }
+
+    /// Exclusive write access to `[lo, hi)`.
+    ///
+    /// # Safety
+    /// The caller must guarantee no other thread reads or writes `[lo, hi)`
+    /// concurrently (disjoint blocks + dependence ordering).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.len());
+        std::slice::from_raw_parts_mut((*self.data.get()).as_mut_ptr().add(lo), hi - lo)
+    }
+
+    /// Reads element `i` through a raw pointer (no shared reference is
+    /// created, so concurrent disjoint writes elsewhere in the buffer are
+    /// permitted).
+    ///
+    /// # Safety
+    /// No concurrent write to element `i` (the task graph must order the
+    /// writer of `i` before this reader).
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len());
+        *(*self.data.get()).as_ptr().add(i)
+    }
+
+    /// Writes element `i` through a raw pointer.
+    ///
+    /// # Safety
+    /// No concurrent read of or write to element `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len());
+        *(*self.data.get()).as_mut_ptr().add(i) = v;
+    }
+
+    /// Consumes the buffer, returning the vector (requires `&mut self`, so
+    /// no concurrent access can exist).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data.into_inner()
+    }
+
+    /// Full snapshot by clone (safe: takes `&mut self`).
+    pub fn to_vec(&mut self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        unsafe { (*self.data.get()).clone() }
+    }
+}
+
+/// Deterministic discrete power-law sampler over `0..n`: value `k` has
+/// probability ∝ `(k+1)^-alpha`. Implemented by inverse-transform on the
+/// continuous Pareto and clamping; small `alpha` → heavy tail.
+pub struct PowerLaw {
+    n: usize,
+    exponent: f64,
+}
+
+impl PowerLaw {
+    /// Creates a sampler over `0..n` with tail exponent `alpha > 1`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0 && alpha > 1.0, "need n > 0 and alpha > 1");
+        PowerLaw {
+            n,
+            exponent: 1.0 / (1.0 - alpha),
+        }
+    }
+
+    /// Samples with the uniform `u ∈ (0, 1)`.
+    pub fn sample(&self, u: f64) -> usize {
+        let u = u.clamp(1e-12, 1.0 - 1e-12);
+        // Inverse CDF of continuous power law on [1, ∞), shifted to 0-base.
+        let x = u.powf(self.exponent) - 1.0;
+        (x as usize).min(self.n - 1)
+    }
+}
+
+/// Splits `n` items into `blocks` contiguous blocks; returns block `b`'s
+/// range.
+pub fn block_range(n: usize, blocks: usize, b: usize) -> std::ops::Range<usize> {
+    debug_assert!(b < blocks);
+    let base = n / blocks;
+    let rem = n % blocks;
+    let lo = b * base + b.min(rem);
+    let len = base + usize::from(b < rem);
+    lo..(lo + len).min(n)
+}
+
+/// The color that owns block `b` of `blocks` when data is distributed
+/// across `p` workers: blocks are striped evenly, matching "each thread
+/// initializes a unique region" with threads initializing equal shares of
+/// the blocks.
+pub fn block_owner(b: usize, blocks: usize, p: usize) -> usize {
+    debug_assert!(b < blocks && p > 0);
+    // Contiguous block→worker mapping, same convention as a static loop
+    // over blocks.
+    let base = blocks / p;
+    let rem = blocks % p;
+    // Worker w owns base + (w < rem) blocks, contiguously.
+    let cutoff = rem * (base + 1);
+    if base == 0 {
+        // More workers than blocks: block b belongs to worker b.
+        return b.min(p - 1);
+    }
+    if b < cutoff {
+        b / (base + 1)
+    } else {
+        rem + (b - cutoff) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn shared_buffer_roundtrip() {
+        let buf = SharedBuffer::new(8, 0u32);
+        unsafe {
+            buf.slice_mut(2, 5).copy_from_slice(&[1, 2, 3]);
+        }
+        assert_eq!(buf.into_vec(), vec![0, 0, 1, 2, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let pl = PowerLaw::new(10_000, 2.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<usize> = (0..100_000).map(|_| pl.sample(rng.gen())).collect();
+        let zeros = samples.iter().filter(|&&s| s == 0).count();
+        let tail = samples.iter().filter(|&&s| s > 100).count();
+        // Head-heavy: ~half the mass at 0, but a real tail exists.
+        assert!(zeros > 30_000, "head too light: {zeros}");
+        assert!(tail > 700, "tail too light: {tail}");
+        assert!(samples.iter().all(|&s| s < 10_000));
+    }
+
+    #[test]
+    fn heavier_alpha_means_lighter_tail() {
+        let pl_heavy_tail = PowerLaw::new(100_000, 1.5);
+        let pl_light_tail = PowerLaw::new(100_000, 3.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let us: Vec<f64> = (0..50_000).map(|_| rng.gen()).collect();
+        let big = |pl: &PowerLaw| us.iter().filter(|&&u| pl.sample(u) > 1000).count();
+        assert!(big(&pl_heavy_tail) > 10 * big(&pl_light_tail).max(1));
+    }
+
+    #[test]
+    fn block_ranges_partition() {
+        for &(n, blocks) in &[(100usize, 7usize), (5, 8), (64, 64), (1000, 3)] {
+            let mut seen = vec![false; n];
+            for b in 0..blocks {
+                for i in block_range(n, blocks, b) {
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "n={n} blocks={blocks}");
+        }
+    }
+
+    #[test]
+    fn block_owner_covers_all_workers_when_possible() {
+        let blocks = 160;
+        let p = 40;
+        let owners: Vec<usize> = (0..blocks).map(|b| block_owner(b, blocks, p)).collect();
+        // Every worker owns something, ownership is monotone (contiguous).
+        for w in 0..p {
+            assert!(owners.contains(&w), "worker {w} owns nothing");
+        }
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        assert!(owners.iter().all(|&w| w < p));
+    }
+
+    #[test]
+    fn block_owner_more_workers_than_blocks() {
+        for b in 0..4 {
+            assert_eq!(block_owner(b, 4, 16), b);
+        }
+    }
+
+    #[test]
+    fn block_owner_balance_within_one() {
+        let blocks = 103;
+        let p = 8;
+        let mut counts = vec![0usize; p];
+        for b in 0..blocks {
+            counts[block_owner(b, blocks, p)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "{counts:?}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Synthetic power-law web graphs.
+//!
+//! The paper evaluates PageRank on three LAW web crawls (uk-2002,
+//! twitter-2010, uk-2007-05) that are not redistributable here. What the
+//! scheduler comparison actually depends on is (a) power-law work imbalance
+//! across vertex blocks and (b) the cross-block structure of in-edges; this
+//! generator controls both with two knobs:
+//!
+//! * `out_alpha` — tail exponent of the out-degree distribution (smaller =
+//!   heavier tail; twitter-2010 "shows wider variation in its connectivity
+//!   (e.g., much larger maximum out-degree)" than the uk crawls);
+//! * `target_alpha` — skew of target-vertex popularity (preferential-
+//!   attachment-like in-degree concentration).
+//!
+//! Generation is seeded and deterministic.
+
+use crate::util::PowerLaw;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WebGraphParams {
+    /// Vertices.
+    pub nv: usize,
+    /// Average out-degree (edges ≈ nv × avg_deg).
+    pub avg_deg: usize,
+    /// Out-degree tail exponent (>1; smaller = heavier tail).
+    pub out_alpha: f64,
+    /// Target popularity skew exponent (>1).
+    pub target_alpha: f64,
+    /// Fraction of edges that stay near their source in id space (real web
+    /// crawls in URL order are strongly near-diagonal: most links are
+    /// intra-host). The rest are global power-law links.
+    pub locality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WebGraphParams {
+    /// uk-2002-like: moderate skew. Scaled from nv=18M to container size.
+    pub fn uk2002() -> Self {
+        WebGraphParams {
+            nv: 45_000,
+            avg_deg: 16,
+            out_alpha: 2.4,
+            target_alpha: 2.2,
+            locality: 0.97,
+            seed: 0x0002_2002,
+        }
+    }
+
+    /// twitter-2010-like: extreme out-degree tail (max out-degree in the
+    /// millions on the real crawl).
+    pub fn twitter2010() -> Self {
+        WebGraphParams {
+            nv: 102_500,
+            avg_deg: 35,
+            out_alpha: 1.7,
+            target_alpha: 1.8,
+            // Social graphs have far weaker id-space locality than URL-
+            // ordered web crawls — twitter defeats locality strategies
+            // (paper §V-B: "all strategies incur a high percentage of
+            // remote accesses for twitter-2010").
+            locality: 0.25,
+            seed: 0x0020_2010,
+        }
+    }
+
+    /// uk-2007-05-like: the largest crawl, moderate skew.
+    pub fn uk2007() -> Self {
+        WebGraphParams {
+            nv: 262_500,
+            avg_deg: 14,
+            out_alpha: 2.4,
+            target_alpha: 2.2,
+            locality: 0.97,
+            seed: 0x2007_0005,
+        }
+    }
+}
+
+/// A directed graph in forward and transposed CSR form.
+#[derive(Clone, Debug)]
+pub struct WebGraph {
+    /// Vertices.
+    pub nv: usize,
+    /// Out-edge offsets (len nv+1).
+    pub out_off: Vec<u32>,
+    /// Out-edge targets.
+    pub out_adj: Vec<u32>,
+    /// In-edge offsets (len nv+1).
+    pub in_off: Vec<u32>,
+    /// In-edge sources.
+    pub in_adj: Vec<u32>,
+}
+
+impl WebGraph {
+    /// Number of edges.
+    pub fn ne(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        (self.out_off[v + 1] - self.out_off[v]) as usize
+    }
+
+    /// In-neighbors of `v`.
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        &self.in_adj[self.in_off[v] as usize..self.in_off[v + 1] as usize]
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.out_adj[self.out_off[v] as usize..self.out_off[v + 1] as usize]
+    }
+
+    /// Maximum out-degree (the skew indicator the paper cites for
+    /// twitter-2010).
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.nv).map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+}
+
+/// Number of "hub" regions global links concentrate into — popular hosts.
+/// Spread at regular intervals across the id space so they land in
+/// different blocks/domains.
+const HUBS: usize = 16;
+
+/// Generates a graph.
+pub fn generate(params: &WebGraphParams) -> WebGraph {
+    let nv = params.nv;
+    assert!(nv > 1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Out-degrees: power law scaled to hit the requested average.
+    let deg_law = PowerLaw::new(nv.min(1 << 22), params.out_alpha);
+    let mut degs: Vec<usize> = (0..nv).map(|_| deg_law.sample(rng.gen()) + 1).collect();
+    let sum: usize = degs.iter().sum();
+    let want = nv * params.avg_deg;
+    // Hit the requested average without distorting the tail: if the raw
+    // mean is too low, add a uniform base degree (tail untouched); if too
+    // high (very heavy tails), scale down multiplicatively.
+    if sum < want {
+        let base = (want - sum) / nv;
+        let mut extra = (want - sum) % nv;
+        for d in degs.iter_mut() {
+            *d += base + usize::from(extra > 0);
+            extra = extra.saturating_sub(1);
+        }
+    } else if sum > want {
+        let scale = want as f64 / sum as f64;
+        for d in degs.iter_mut() {
+            *d = ((*d as f64 * scale).round() as usize).max(1);
+        }
+    }
+
+    // Global links go to hub regions (popular hosts): a power-law choice
+    // of hub, uniform within the hub's id window. This reproduces the two
+    // properties the paper's datasets have at block granularity: global
+    // in-links concentrate into few blocks (work imbalance) while the
+    // *distinct* predecessor-block sets stay small (dependence sparsity).
+    let hub_law = PowerLaw::new(HUBS, params.target_alpha);
+    let hub_width = (nv / 64).max(1);
+    let hub_stride = nv / HUBS;
+    // Near links: offsets concentrated within a small id window.
+    let near_law = PowerLaw::new((nv / 512).max(2), 1.8);
+    let mut out_off = Vec::with_capacity(nv + 1);
+    let mut out_adj: Vec<u32> = Vec::with_capacity(want + nv);
+    out_off.push(0u32);
+    for (v, &d) in degs.iter().enumerate() {
+        for _ in 0..d {
+            let mut t = if rng.gen::<f64>() < params.locality {
+                // Local link: small signed offset from the source.
+                let off = near_law.sample(rng.gen()) + 1;
+                if rng.gen::<bool>() {
+                    ((v + off) % nv) as u32
+                } else {
+                    ((v + nv - off % nv) % nv) as u32
+                }
+            } else {
+                let hub = hub_law.sample(rng.gen());
+                ((hub * hub_stride + rng.gen_range(0..hub_width)) % nv) as u32
+            };
+            if t as usize == v {
+                t = (t + 1) % nv as u32; // no self loops
+            }
+            out_adj.push(t);
+        }
+        out_off.push(out_adj.len() as u32);
+    }
+
+    // Transpose.
+    let ne = out_adj.len();
+    let mut in_off = vec![0u32; nv + 1];
+    for &t in &out_adj {
+        in_off[t as usize + 1] += 1;
+    }
+    for i in 0..nv {
+        in_off[i + 1] += in_off[i];
+    }
+    let mut in_adj = vec![0u32; ne];
+    let mut cur = in_off.clone();
+    for v in 0..nv {
+        for &t in &out_adj[out_off[v] as usize..out_off[v + 1] as usize] {
+            in_adj[cur[t as usize] as usize] = v as u32;
+            cur[t as usize] += 1;
+        }
+    }
+
+    WebGraph {
+        nv,
+        out_off,
+        out_adj,
+        in_off,
+        in_adj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = WebGraphParams {
+            nv: 2000,
+            avg_deg: 8,
+            out_alpha: 2.0,
+            target_alpha: 2.0,
+            locality: 0.7,
+            seed: 5,
+        };
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.out_adj, b.out_adj);
+        assert_eq!(a.in_adj, b.in_adj);
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let p = WebGraphParams {
+            nv: 1000,
+            avg_deg: 6,
+            out_alpha: 2.0,
+            target_alpha: 2.0,
+            locality: 0.7,
+            seed: 7,
+        };
+        let g = generate(&p);
+        // Every out-edge appears as an in-edge.
+        let mut fwd: Vec<(u32, u32)> = Vec::new();
+        for v in 0..g.nv {
+            for &t in g.out_neighbors(v) {
+                fwd.push((v as u32, t));
+            }
+        }
+        let mut bwd: Vec<(u32, u32)> = Vec::new();
+        for v in 0..g.nv {
+            for &s in g.in_neighbors(v) {
+                bwd.push((s, v as u32));
+            }
+        }
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(&WebGraphParams {
+            nv: 500,
+            avg_deg: 10,
+            out_alpha: 1.8,
+            target_alpha: 1.8,
+            locality: 0.5,
+            seed: 3,
+        });
+        for v in 0..g.nv {
+            assert!(!g.out_neighbors(v).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn twitter_like_has_heavier_tail_than_uk_like() {
+        let scale = |mut p: WebGraphParams| {
+            p.nv = 20_000;
+            p
+        };
+        let uk = generate(&scale(WebGraphParams::uk2002()));
+        let tw = generate(&scale(WebGraphParams::twitter2010()));
+        assert!(
+            tw.max_out_degree() > 2 * uk.max_out_degree(),
+            "twitter max {} vs uk max {}",
+            tw.max_out_degree(),
+            uk.max_out_degree()
+        );
+    }
+
+    #[test]
+    fn locality_knob_controls_near_edges() {
+        let base = WebGraphParams {
+            nv: 8_000,
+            avg_deg: 10,
+            out_alpha: 2.2,
+            target_alpha: 2.0,
+            locality: 0.9,
+            seed: 21,
+        };
+        let near_frac = |g: &WebGraph, window: usize| -> f64 {
+            let mut near = 0usize;
+            for v in 0..g.nv {
+                for &t in g.out_neighbors(v) {
+                    let d = (v as i64 - t as i64).unsigned_abs() as usize;
+                    if d.min(g.nv - d) <= window {
+                        near += 1;
+                    }
+                }
+            }
+            near as f64 / g.ne() as f64
+        };
+        let local = generate(&base);
+        let global = generate(&WebGraphParams { locality: 0.1, ..base });
+        let w = base.nv / 32;
+        assert!(
+            near_frac(&local, w) > near_frac(&global, w) + 0.3,
+            "locality 0.9 ({:.2}) should have far more near edges than 0.1 ({:.2})",
+            near_frac(&local, w),
+            near_frac(&global, w)
+        );
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let p = WebGraphParams {
+            nv: 10_000,
+            avg_deg: 12,
+            out_alpha: 2.2,
+            target_alpha: 2.0,
+            locality: 0.8,
+            seed: 11,
+        };
+        let g = generate(&p);
+        let avg = g.ne() as f64 / g.nv as f64;
+        assert!(
+            (avg - 12.0).abs() < 4.0,
+            "average degree {avg} too far from 12"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! # NabbitC — locality-aware dynamic task graph scheduling
+//!
+//! A Rust reproduction of *Locality-Aware Dynamic Task Graph Scheduling*
+//! (Maglalang, Krishnamoorthy, Agrawal — ICPP 2017): the **NabbitC**
+//! scheduler, which extends the Nabbit dynamic task-graph executor with
+//! user-supplied locality *colors* so that NUMA workers preferentially
+//! execute tasks whose data is local — without giving up the provable load
+//! balance of randomized work stealing.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`color`] | `nabbitc-color` | [`Color`](color::Color), constant-time [`ColorSet`](color::ColorSet) |
+//! | [`graph`] | `nabbitc-graph` | task graphs, generators, work/span analysis, trace validation |
+//! | [`runtime`] | `nabbitc-runtime` | colored Chase–Lev deques, the worker pool, steal policies |
+//! | [`core`] | `nabbitc-core` | Nabbit/NabbitC executors, morphing-continuation spawning, §V-B metrics |
+//! | [`parfor`] | `nabbitc-parfor` | OpenMP-like static/guided/dynamic baselines |
+//! | [`numasim`] | `nabbitc-numasim` | deterministic 8×10-core NUMA simulator (regenerates the paper's figures) |
+//! | [`workloads`] | `nabbitc-workloads` | the Table I benchmark suite, runnable + simulated |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nabbitc::prelude::*;
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // A diamond task graph, colored across two workers.
+//! let mut b = GraphBuilder::new();
+//! let src = b.add_simple_node(10, Color(0), 64);
+//! let left = b.add_simple_node(10, Color(0), 64);
+//! let right = b.add_simple_node(10, Color(1), 64);
+//! let sink = b.add_simple_node(10, Color(1), 64);
+//! b.add_edge(src, left);
+//! b.add_edge(src, right);
+//! b.add_edge(left, sink);
+//! b.add_edge(right, sink);
+//! let graph = Arc::new(b.build().unwrap());
+//!
+//! // Execute under the NabbitC policy (colored steals on).
+//! let pool = Arc::new(Pool::new(PoolConfig::nabbitc(2)));
+//! let exec = StaticExecutor::new(pool);
+//! let done = Arc::new(AtomicU64::new(0));
+//! let d = done.clone();
+//! exec.execute(&graph, Arc::new(move |_node, _worker| {
+//!     d.fetch_add(1, Ordering::SeqCst);
+//! }));
+//! assert_eq!(done.load(Ordering::SeqCst), 4);
+//! ```
+
+pub use nabbitc_color as color;
+pub use nabbitc_core as core;
+pub use nabbitc_graph as graph;
+pub use nabbitc_numasim as numasim;
+pub use nabbitc_parfor as parfor;
+pub use nabbitc_runtime as runtime;
+pub use nabbitc_workloads as workloads;
+
+/// The commonly-used surface in one import.
+pub mod prelude {
+    pub use nabbitc_color::{Color, ColorSet};
+    pub use nabbitc_core::{
+        ColoringMode, DynamicExecutor, ExecOptions, StaticExecutor, TaskSpec,
+    };
+    pub use nabbitc_graph::{GraphBuilder, NodeAccess, NodeId, TaskGraph};
+    pub use nabbitc_numasim::{
+        simulate_omp, simulate_ws, CostModel, OmpSchedule, SimResult, WsConfig,
+    };
+    pub use nabbitc_parfor::{Schedule, Team};
+    pub use nabbitc_runtime::{NumaTopology, Pool, PoolConfig, StealPolicy};
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over randomly generated task graphs: the executors
+//! and the simulator must uphold their invariants on *any* DAG, not just
+//! the benchmark shapes.
+
+use nabbitc::core::{ExecOptions, StaticExecutor};
+use nabbitc::graph::analysis::{analyze, completion_lower_bound};
+use nabbitc::graph::{generate, serial, trace::order_respects_dependences};
+use nabbitc::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case spins up a pool; keep the suite quick
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn threaded_executor_valid_on_random_dags(
+        layers in 2usize..8,
+        width in 1usize..12,
+        max_preds in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let g = Arc::new(generate::layered_random(
+            layers, width, max_preds, (1, 10), 4, seed,
+        ));
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+        let exec = StaticExecutor::new(pool).with_options(ExecOptions {
+            record_trace: true,
+            count_remote: true,
+        });
+        let counts: Arc<Vec<AtomicU32>> =
+            Arc::new((0..g.node_count()).map(|_| AtomicU32::new(0)).collect());
+        let c2 = counts.clone();
+        let report = exec.execute(&g, Arc::new(move |u, _w| {
+            c2[u as usize].fetch_add(1, Ordering::SeqCst);
+        }));
+        prop_assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        prop_assert!(report.trace.validate(&g).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn simulator_invariants_on_random_dags(
+        layers in 2usize..10,
+        width in 1usize..20,
+        max_preds in 1usize..5,
+        work_hi in 5u64..500,
+        cores in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::layered_random(
+            layers, width, max_preds, (1, work_hi), cores, seed,
+        );
+        let mut cfg = WsConfig::nabbitc(cores);
+        cfg.seed = seed ^ 0xABCD;
+        let r = simulate_ws(&g, &cfg);
+        // Everything executes.
+        prop_assert_eq!(r.total_executed(), g.node_count() as u64);
+        // Work/span laws hold in abstract work units (the simulator adds
+        // overhead on top of pure work, so its makespan can only be
+        // larger).
+        let a = analyze(&g);
+        prop_assert!(r.makespan as f64 >= completion_lower_bound(&a, cores));
+        // Determinism.
+        let r2 = simulate_ws(&g, &cfg);
+        prop_assert_eq!(r.makespan, r2.makespan);
+        prop_assert_eq!(r.remote, r2.remote);
+    }
+
+    #[test]
+    fn serial_order_valid_on_random_dags(
+        layers in 1usize..12,
+        width in 1usize..15,
+        max_preds in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = generate::layered_random(layers, width, max_preds, (1, 5), 4, seed);
+        let order = serial::execute(&g, |_| {});
+        prop_assert!(order_respects_dependences(&g, &order));
+    }
+
+    #[test]
+    fn nabbit_and_nabbitc_simulations_execute_same_set(
+        layers in 2usize..8,
+        width in 2usize..16,
+        seed in 0u64..500,
+    ) {
+        let g = generate::layered_random(layers, width, 3, (10, 100), 8, seed);
+        let nc = simulate_ws(&g, &WsConfig::nabbitc(8));
+        let nb = simulate_ws(&g, &WsConfig::nabbit(8));
+        prop_assert_eq!(nc.total_executed(), nb.total_executed());
+        // The §V-B denominator (nodes + preds) is schedule-independent.
+        prop_assert_eq!(nc.remote.total, nb.remote.total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn omp_simulations_cover_all_iterations(
+        phases in 1usize..6,
+        iters in 1usize..200,
+        cores in 1usize..40,
+        bytes in 0u64..10_000,
+    ) {
+        use nabbitc::numasim::ompsim::{IterDesc, Phase};
+        let nest = nabbitc::numasim::LoopNest {
+            phases: (0..phases)
+                .map(|_| Phase {
+                    iters: (0..iters)
+                        .map(|i| IterDesc {
+                            work: 10 + (i as u64 % 50),
+                            accesses: vec![NodeAccess {
+                                owner: Color::from(i % cores.max(1)),
+                                bytes,
+                            }],
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        let topo = NumaTopology::paper_machine().truncated(cores);
+        let cost = CostModel::default();
+        for sched in [OmpSchedule::Static, OmpSchedule::Guided] {
+            let r = simulate_omp(&nest, sched, cores, &topo, &cost);
+            prop_assert_eq!(r.total_executed(), (phases * iters) as u64);
+        }
+    }
+}

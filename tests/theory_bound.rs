@@ -1,0 +1,96 @@
+//! Empirical Theorem 1 check.
+//!
+//! Theorem 1: NabbitC executes a task graph in
+//! `O(T1/P + T∞ + M lg d + lg(P/ε) + C)` time w.h.p., where `C` is the
+//! startup cost of the forced first colored steal. We check the simulated
+//! makespans against this bound with fixed constants across a spread of
+//! graph families, core counts, and seeds — and also check the work/span
+//! *lower* bound, so the window is bounded on both sides.
+
+use nabbitc::graph::analysis::{analyze, completion_lower_bound, theorem1_bound};
+use nabbitc::graph::generate;
+use nabbitc::graph::TaskGraph;
+use nabbitc::numasim::{simulate_ws, CostModel, WsConfig};
+
+/// Simulated cost of a node ≈ overhead + work + bytes; the theorem's
+/// abstract work units must be compared in the same currency, so scale T1
+/// and T∞ by the per-unit cost the simulator charges.
+fn sim_cfg(p: usize, seed: u64) -> WsConfig {
+    let mut cfg = WsConfig::nabbitc(p);
+    cfg.seed = seed;
+    // Charge almost nothing for memory so ticks ≈ work units + overheads.
+    cfg.cost = CostModel {
+        local_byte: 0.0,
+        remote_byte: 0.0,
+        ..CostModel::default()
+    };
+    cfg
+}
+
+fn check_bound(graph: &TaskGraph, name: &str) {
+    let a = analyze(graph);
+    let per_node_overhead = CostModel::default().node_overhead as f64;
+    for p in [1usize, 4, 10, 20, 40, 80] {
+        for seed in [1u64, 2, 3] {
+            let r = simulate_ws(graph, &sim_cfg(p, seed));
+            let makespan = r.makespan as f64;
+
+            // Lower bound: work and span laws (plus per-node overhead,
+            // which the simulator charges but the abstract T1 does not).
+            let lower = completion_lower_bound(&a, p);
+            assert!(
+                makespan >= lower,
+                "{name}: makespan {makespan} below work/span lower bound {lower} (P={p})"
+            );
+
+            // Upper bound: Theorem 1 with fixed constants. The constants
+            // absorb the simulator's scheduling costs; what matters is
+            // that ONE set of constants covers every family, every P, and
+            // every seed — i.e. the scaling terms are the right ones.
+            let overheads = per_node_overhead * a.t1 as f64 / p as f64
+                + per_node_overhead * a.t_inf as f64;
+            let startup = r.cores.iter().map(|c| c.first_work).max().unwrap_or(0) as f64;
+            let bound =
+                theorem1_bound(&a, p, (4.0, 4.0, 50.0, 2000.0), startup) + 8.0 * overheads;
+            assert!(
+                makespan <= bound,
+                "{name}: makespan {makespan} exceeds Theorem 1 bound {bound} (P={p}, seed={seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_holds_on_independent_work() {
+    check_bound(&generate::independent(3000, 200, 80), "independent");
+}
+
+#[test]
+fn bound_holds_on_chains() {
+    check_bound(&generate::chain(2000, 50, 80), "chain");
+}
+
+#[test]
+fn bound_holds_on_wavefronts() {
+    check_bound(&generate::wavefront(60, 60, 100, 80), "wavefront");
+}
+
+#[test]
+fn bound_holds_on_layered_random() {
+    for seed in [7u64, 8, 9] {
+        check_bound(
+            &generate::layered_random(30, 60, 4, (20, 300), 80, seed),
+            "layered",
+        );
+    }
+}
+
+#[test]
+fn bound_holds_on_trees() {
+    check_bound(&generate::binary_in_tree(12, 80, 80), "tree");
+}
+
+#[test]
+fn bound_holds_on_stencils() {
+    check_bound(&generate::iterated_stencil(10, 200, 150, 80), "stencil");
+}
