@@ -1,0 +1,116 @@
+//! Locality-oblivious baselines: the strategies smarter assigners must
+//! beat, and the fallbacks when a graph has no exploitable structure.
+
+use crate::{node_weight, ColorAssigner};
+use nabbitc_color::Color;
+use nabbitc_graph::TaskGraph;
+
+/// `color(u) = u mod workers`.
+///
+/// Perfect node-count balance, no locality at all: on any graph whose
+/// edges connect nearby ids (stencils, wavefronts, block dataflow) nearly
+/// every edge is cut. This is the paper's "valid but wrong" regime of
+/// Table II, produced systematically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin;
+
+impl ColorAssigner for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
+        assert!(workers > 0, "need at least one worker");
+        graph
+            .nodes()
+            .map(|u| Color::from(u as usize % workers))
+            .collect()
+    }
+}
+
+/// Contiguous id ranges, split so each color receives an (approximately)
+/// equal share of total node weight.
+///
+/// This is the "distribute data evenly in id order, color by initializing
+/// worker" convention the paper's regular benchmarks use; it is a strong
+/// baseline whenever node ids are laid out spatially (stencil rows, SW
+/// blocks) and a weak one when they are not (graphs in discovery order).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockContiguous;
+
+impl ColorAssigner for BlockContiguous {
+    fn name(&self) -> &'static str {
+        "block-contiguous"
+    }
+
+    fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
+        assert!(workers > 0, "need at least one worker");
+        let total: u64 = graph.nodes().map(|u| node_weight(graph, u)).sum();
+        let mut colors = Vec::with_capacity(graph.node_count());
+        let mut consumed = 0u64;
+        let mut color = 0usize;
+        for u in graph.nodes() {
+            // Advance to the color whose weight bucket `consumed` falls in:
+            // bucket k covers [k*total/workers, (k+1)*total/workers).
+            while color + 1 < workers && consumed * workers as u64 >= (color as u64 + 1) * total {
+                color += 1;
+            }
+            colors.push(Color::from(color));
+            consumed += node_weight(graph, u);
+        }
+        colors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assignment_is_valid, assignment_loads};
+    use nabbitc_graph::generate;
+
+    #[test]
+    fn round_robin_cycles_colors() {
+        let g = generate::chain(10, 1, 1);
+        let colors = RoundRobin.assign(&g, 4);
+        assert!(assignment_is_valid(&colors, 4));
+        assert_eq!(colors[0], Color(0));
+        assert_eq!(colors[5], Color(1));
+        assert_eq!(colors[7], Color(3));
+        // Node counts per color differ by at most one.
+        let mut counts = [0usize; 4];
+        for c in &colors {
+            counts[c.index()] += 1;
+        }
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn block_contiguous_is_contiguous_and_covers_all_colors() {
+        let g = generate::independent(100, 5, 1);
+        for workers in [1usize, 3, 7] {
+            let colors = BlockContiguous.assign(&g, workers);
+            assert!(assignment_is_valid(&colors, workers));
+            // Monotone color sequence (contiguous ranges).
+            assert!(colors.windows(2).all(|w| w[0] <= w[1]));
+            let loads = assignment_loads(&g, &colors, workers);
+            assert!(loads.iter().all(|&l| l > 0), "p={workers}: {loads:?}");
+        }
+    }
+
+    #[test]
+    fn block_contiguous_balances_uniform_weights() {
+        let g = generate::independent(1000, 10, 1);
+        let loads = assignment_loads(&g, &BlockContiguous.assign(&g, 8), 8);
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min < 1.1, "{loads:?}");
+    }
+
+    #[test]
+    fn single_worker_everything_color_zero() {
+        let g = generate::chain(5, 2, 1);
+        for s in [&RoundRobin as &dyn ColorAssigner, &BlockContiguous] {
+            assert!(s.assign(&g, 1).iter().all(|&c| c == Color(0)));
+        }
+    }
+}

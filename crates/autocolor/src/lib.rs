@@ -1,0 +1,195 @@
+//! Automatic locality coloring — NabbitC without hand-written colors.
+//!
+//! The paper's NabbitC scheduler (§III) is only as good as the coloring the
+//! user supplies: a node's color names the worker whose memory holds the
+//! node's data, and the Table II/III experiments show that wrong or invalid
+//! colors forfeit the entire locality benefit. That makes hand coloring the
+//! single biggest usability cliff of the scheme — every new workload needs
+//! a bespoke data-distribution argument before NabbitC can help it.
+//!
+//! This crate removes the cliff: given any [`TaskGraph`] (or, online, any
+//! stream of dynamically discovered task keys) it infers a coloring
+//! automatically. All strategies sit behind one [`ColorAssigner`] trait:
+//!
+//! * [`RoundRobin`] — `color(u) = u mod workers`; the locality-oblivious
+//!   baseline every smarter strategy must beat;
+//! * [`BlockContiguous`] — contiguous id ranges balanced by node weight,
+//!   the "distribute data evenly in id order" heuristic the paper's own
+//!   benchmarks use implicitly;
+//! * [`BfsLocality`] — a topological sweep that keeps parent/child chains
+//!   on one color under a per-color load cap;
+//! * [`RecursiveBisection`] — balanced graph partitioning into `workers`
+//!   parts with greedy Kernighan–Lin-style boundary refinement, trading
+//!   cross-color edge-cut against load balance;
+//! * [`DynamicAffinity`] — predecessor-majority voting with a load cap;
+//!   usable offline through [`ColorAssigner`] and online through
+//!   [`OnlineAssigner`] for the on-demand executor.
+//!
+//! A coloring is *scheduling metadata only* until it is applied:
+//! [`apply_assignment`] recolors the graph **and** re-homes every node's
+//! access list to the assigned color, modeling first-touch data placement
+//! by the worker that owns the node (the paper's "each worker initializes
+//! a unique region"). [`autocolor`] is the clone-and-apply convenience.
+//!
+//! Two invariants are tested per strategy and property-tested over random
+//! DAGs:
+//!
+//! 1. **validity** (all strategies) — every assigned color is `< workers`
+//!    (never [`Color::INVALID`], which Table III shows degenerates
+//!    NabbitC);
+//! 2. **balance** (the weight-aware strategies: [`BfsLocality`],
+//!    [`RecursiveBisection`], [`DynamicAffinity`]) — max per-color load
+//!    ≤ 2 × `max(total/workers, wmax)`, the greedy-scheduling bound (see
+//!    [`balance_limit`]). The id-based baselines ignore weights by design
+//!    and meet the bound only on uniform graphs.
+
+pub mod baseline;
+pub mod bfs;
+pub mod bisect;
+pub mod online;
+
+pub use baseline::{BlockContiguous, RoundRobin};
+pub use bfs::BfsLocality;
+pub use bisect::RecursiveBisection;
+pub use online::{DynamicAffinity, OnlineAssigner};
+
+use nabbitc_color::Color;
+use nabbitc_graph::{NodeId, TaskGraph};
+
+/// A strategy that infers one color per node of a task graph.
+pub trait ColorAssigner {
+    /// Short name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Produces a color for every node (indexed by [`NodeId`]), targeting a
+    /// machine with `workers` workers. Every returned color must satisfy
+    /// `color.index() < workers`.
+    fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color>;
+}
+
+/// The load-balance weight of a node: its computational work plus a
+/// byte-scaled share of its memory footprint, so memory-bound nodes with
+/// trivial `work` still count toward a color's capacity.
+#[inline]
+pub fn node_weight(graph: &TaskGraph, u: NodeId) -> u64 {
+    graph.work(u).max(1) + graph.footprint(u) / 256
+}
+
+/// The balance ceiling every assigner guarantees: max per-color load is at
+/// most `2 × max(total/workers, wmax)` — the classic greedy-scheduling
+/// bound, with `wmax` covering graphs whose single heaviest node exceeds an
+/// even share.
+pub fn balance_limit(graph: &TaskGraph, workers: usize) -> u64 {
+    assert!(workers > 0, "need at least one worker");
+    let total: u64 = graph.nodes().map(|u| node_weight(graph, u)).sum();
+    let wmax = graph
+        .nodes()
+        .map(|u| node_weight(graph, u))
+        .max()
+        .unwrap_or(0);
+    2 * (total.div_ceil(workers as u64)).max(wmax)
+}
+
+/// Checks that every color in `colors` is valid for `workers` workers.
+pub fn assignment_is_valid(colors: &[Color], workers: usize) -> bool {
+    colors.iter().all(|c| c.is_valid() && c.index() < workers)
+}
+
+/// Per-color loads (node-weight sums) under an assignment; length
+/// `workers`.
+pub fn assignment_loads(graph: &TaskGraph, colors: &[Color], workers: usize) -> Vec<u64> {
+    assert_eq!(colors.len(), graph.node_count(), "one color per node");
+    let mut loads = vec![0u64; workers];
+    for u in graph.nodes() {
+        loads[colors[u as usize].index()] += node_weight(graph, u);
+    }
+    loads
+}
+
+/// Applies an assignment to a graph in place: sets every node's color and
+/// re-homes its accesses to that color (first-touch placement by the
+/// owning worker). Panics if the assignment is invalid.
+pub fn apply_assignment(graph: &mut TaskGraph, colors: &[Color]) {
+    assert_eq!(colors.len(), graph.node_count(), "one color per node");
+    assert!(
+        colors.iter().all(|c| c.is_valid()),
+        "assignments must use valid colors"
+    );
+    graph.recolor(|u, _| colors[u as usize]);
+    graph.localize_accesses();
+}
+
+/// Clone-and-apply convenience: runs `assigner` and returns a recolored
+/// copy of `graph` with data re-homed to the inferred colors.
+pub fn autocolor(graph: &TaskGraph, assigner: &dyn ColorAssigner, workers: usize) -> TaskGraph {
+    let colors = assigner.assign(graph, workers);
+    let mut out = graph.clone();
+    apply_assignment(&mut out, &colors);
+    out
+}
+
+/// Every static strategy (including [`DynamicAffinity`]'s offline
+/// replay), boxed, for sweeps in benches and tests.
+pub fn all_strategies() -> Vec<Box<dyn ColorAssigner>> {
+    vec![
+        Box::new(RoundRobin),
+        Box::new(BlockContiguous),
+        Box::new(BfsLocality::default()),
+        Box::new(RecursiveBisection::default()),
+        Box::new(DynamicAffinity::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nabbitc_graph::generate;
+
+    #[test]
+    fn apply_assignment_recolors_and_rehomes() {
+        let mut g = generate::wavefront(4, 4, 1, 4);
+        let colors: Vec<Color> = (0..16usize).map(|u| Color::from(u % 2)).collect();
+        apply_assignment(&mut g, &colors);
+        for u in g.nodes() {
+            assert_eq!(g.color(u), colors[u as usize]);
+            for a in g.accesses(u) {
+                assert_eq!(a.owner, colors[u as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn autocolor_leaves_original_untouched() {
+        let g = generate::chain(10, 1, 4);
+        let before: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
+        let _ = autocolor(&g, &RoundRobin, 3);
+        let after: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn every_strategy_is_valid_and_balanced_on_a_stencil() {
+        let g = generate::iterated_stencil(8, 32, 3, 4);
+        for workers in [1usize, 2, 5, 8] {
+            let limit = balance_limit(&g, workers);
+            for s in all_strategies() {
+                let colors = s.assign(&g, workers);
+                assert_eq!(colors.len(), g.node_count());
+                assert!(
+                    assignment_is_valid(&colors, workers),
+                    "{} invalid at p={workers}",
+                    s.name()
+                );
+                let max = *assignment_loads(&g, &colors, workers)
+                    .iter()
+                    .max()
+                    .expect("nonempty");
+                assert!(
+                    max <= limit,
+                    "{} unbalanced at p={workers}: max {max} > limit {limit}",
+                    s.name()
+                );
+            }
+        }
+    }
+}

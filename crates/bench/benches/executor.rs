@@ -51,8 +51,8 @@ fn bench_executor(c: &mut Criterion) {
         fn compute(&self, _: &Self::Key, _: usize) {}
     }
     let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
-    let dyn_exec = nabbitc_core::DynamicExecutor::new(pool, Arc::new(Wave))
-        .with_remote_counting(false);
+    let dyn_exec =
+        nabbitc_core::DynamicExecutor::new(pool, Arc::new(Wave)).with_remote_counting(false);
     g.bench_function("dynamic_wavefront_50x50", |b| {
         b.iter(|| {
             dyn_exec.execute((49, 49));

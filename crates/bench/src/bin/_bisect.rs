@@ -2,10 +2,19 @@ use nabbitc_numasim::{simulate_ws, WsConfig};
 use nabbitc_workloads::cg::{graph_from_shape, CgShape};
 
 fn main() {
-    let s = CgShape { blocks: 2, nnz_per_block: 1000, vec_bytes: 800 };
+    let s = CgShape {
+        blocks: 2,
+        nnz_per_block: 1000,
+        vec_bytes: 800,
+    };
     let g = graph_from_shape(&s, 2);
     for u in g.nodes() {
-        eprintln!("node {u}: color {:?} preds {:?} succs {:?}", g.color(u), g.predecessors(u), g.successors(u));
+        eprintln!(
+            "node {u}: color {:?} preds {:?} succs {:?}",
+            g.color(u),
+            g.predecessors(u),
+            g.successors(u)
+        );
     }
     let mut cfg = WsConfig::nabbit(2);
     cfg.seed = 11;

@@ -11,7 +11,13 @@ use nabbitc_numasim::{simulate_ws, CostModel, WsConfig};
 use nabbitc_runtime::StealPolicy;
 use nabbitc_workloads::{registry, BenchId};
 
-fn avg_speedup(id: BenchId, scale: nabbitc_workloads::Scale, p: usize, policy: StealPolicy, cost: CostModel) -> f64 {
+fn avg_speedup(
+    id: BenchId,
+    scale: nabbitc_workloads::Scale,
+    p: usize,
+    policy: StealPolicy,
+    cost: CostModel,
+) -> f64 {
     let built = registry::build(id, scale, p);
     let serial = serial_baseline(id, scale);
     let mut total = 0.0;
@@ -65,7 +71,12 @@ fn main() {
     }
 
     rep.line("\n## Remote/local cost ratio (NabbitC vs Nabbit)\n");
-    rep.header(&["remote ratio", "nabbit speedup", "nabbitc speedup", "advantage"]);
+    rep.header(&[
+        "remote ratio",
+        "nabbit speedup",
+        "nabbitc speedup",
+        "advantage",
+    ]);
     for ratio in [1.0f64, 1.5, 2.0, 3.0, 4.0, 6.0] {
         let cost = CostModel::default().with_remote_ratio(ratio);
         let nb = avg_speedup(id, scale, p, StealPolicy::nabbit(), cost.clone());

@@ -1,0 +1,123 @@
+//! Autocolor vs hand coloring: edge-cut, remote-access rate, and makespan
+//! for every automatic strategy against the paper's hand (majority)
+//! coloring, on the simulated NUMA machine.
+//!
+//! Each benchmark is rebuilt with its hand coloring *erased*
+//! (`registry::build_uncolored`) before the assigners see it, so the
+//! automatic strategies work from task structure, work, and footprints
+//! alone — exactly what a user without a data-distribution argument would
+//! hand us. The hand coloring runs through the identical
+//! `simulate_ws_recolored` pipeline, making every column comparable.
+//!
+//! Read the makespan column with care: edge-cut is necessary but not
+//! sufficient. On wavefront shapes (sw) a spatially compact partition can
+//! *serialize* the pipeline — the hand row-blocking cuts more edges yet
+//! finishes earlier because every diagonal keeps all colors busy. On
+//! stencils and block dataflow, lower cut tracks lower remote% and equal
+//! or better makespan.
+//!
+//! `cargo run -p nabbitc-bench --bin autocolor_vs_hand --release`
+
+use nabbitc_autocolor::all_strategies;
+use nabbitc_bench::{f1, f2, scale_from_env, Report};
+use nabbitc_color::Color;
+use nabbitc_graph::analysis::{color_balance, edge_cut, edge_cut_fraction};
+use nabbitc_graph::TaskGraph;
+use nabbitc_numasim::{simulate_ws, simulate_ws_recolored, WsConfig};
+use nabbitc_workloads::{registry, BenchId};
+
+/// Benchmarks covering the three structural families: regular stencil
+/// (heat), 2-D wavefront (sw), and irregular power-law dataflow
+/// (page-uk-2002).
+const BENCHES: [BenchId; 3] = [BenchId::Heat, BenchId::Sw, BenchId::PageUk2002];
+
+/// Core counts: one single-domain and one multi-domain point.
+const CORES: [usize; 2] = [20, 40];
+
+fn row_for(
+    rep: &mut Report,
+    bench: BenchId,
+    p: usize,
+    name: &str,
+    graph: &TaskGraph,
+    colors: &[Color],
+    hand_makespan: u64,
+) {
+    // One clone carries both the metrics and the simulation: recolor +
+    // re-home once, then simulate directly (same pipeline as
+    // `simulate_ws_recolored`, without a second copy of the graph).
+    let mut colored = graph.clone();
+    colored.recolor(|u, _| colors[u as usize]);
+    let cut = edge_cut(&colored);
+    let cut_pct = 100.0 * edge_cut_fraction(&colored);
+    let balance = color_balance(&colored, p).imbalance();
+    colored.localize_accesses();
+    let r = simulate_ws(&colored, &WsConfig::nabbitc(p));
+    rep.row(&[
+        bench.name().to_string(),
+        p.to_string(),
+        name.to_string(),
+        cut.to_string(),
+        f1(cut_pct),
+        f2(balance),
+        f1(r.remote.pct()),
+        f2(hand_makespan as f64 / r.makespan as f64),
+    ]);
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let mut rep = Report::new(
+        "autocolor_vs_hand",
+        &format!("Autocolor vs hand coloring (scale {scale:?})"),
+    );
+    rep.line(
+        "speedup-vs-hand > 1: the automatic coloring beats the hand coloring; \
+         cut% is the fraction of dependence edges crossing colors.\n",
+    );
+    rep.header(&[
+        "bench",
+        "P",
+        "strategy",
+        "edge-cut",
+        "cut%",
+        "imbalance",
+        "remote%",
+        "speedup-vs-hand",
+    ]);
+
+    for id in BENCHES {
+        for &p in CORES.iter() {
+            let hand = registry::build(id, scale, p);
+            let hand_colors: Vec<Color> = hand.graph.nodes().map(|u| hand.graph.color(u)).collect();
+            let hand_result =
+                simulate_ws_recolored(&hand.graph, &hand_colors, &WsConfig::nabbitc(p));
+
+            row_for(
+                &mut rep,
+                id,
+                p,
+                "hand",
+                &hand.graph,
+                &hand_colors,
+                hand_result.makespan,
+            );
+
+            let bare = registry::build_uncolored(id, scale, p);
+            for strategy in all_strategies() {
+                let colors = strategy.assign(&bare.graph, p);
+                row_for(
+                    &mut rep,
+                    id,
+                    p,
+                    strategy.name(),
+                    &bare.graph,
+                    &colors,
+                    hand_result.makespan,
+                );
+            }
+            eprintln!("autocolor_vs_hand: {} P={p} done", id.name());
+        }
+    }
+    rep.finish();
+}

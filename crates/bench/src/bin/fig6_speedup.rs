@@ -4,7 +4,9 @@
 //!
 //! `cargo run -p nabbitc-bench --bin fig6_speedup --release`
 
-use nabbitc_bench::{f1, run_strategy, scale_from_env, serial_baseline, Report, Strategy, SWEEP_CORES};
+use nabbitc_bench::{
+    f1, run_strategy, scale_from_env, serial_baseline, Report, Strategy, SWEEP_CORES,
+};
 use nabbitc_workloads::BenchId;
 
 fn main() {
@@ -14,7 +16,14 @@ fn main() {
         &format!("Figure 6 — speedup over serial (scale {scale:?})"),
     );
     rep.line("Series per benchmark: omp-static, omp-guided, nabbit, nabbitc.\n");
-    rep.header(&["benchmark", "cores", "omp-static", "omp-guided", "nabbit", "nabbitc"]);
+    rep.header(&[
+        "benchmark",
+        "cores",
+        "omp-static",
+        "omp-guided",
+        "nabbit",
+        "nabbitc",
+    ]);
     for id in BenchId::all() {
         let serial = serial_baseline(id, scale);
         for &p in SWEEP_CORES.iter() {

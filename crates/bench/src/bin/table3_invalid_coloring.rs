@@ -17,7 +17,9 @@ fn main() {
         "table3_invalid_coloring",
         &format!("Table III — NabbitC(invalid coloring) / Nabbit speedup ratio (scale {scale:?})"),
     );
-    rep.line("All colored steals fail; ratio ≈ 1 means the machinery adds no significant overhead.\n");
+    rep.line(
+        "All colored steals fail; ratio ≈ 1 means the machinery adds no significant overhead.\n",
+    );
     let mut header = vec!["P".to_string()];
     header.extend(BenchId::all().iter().map(|id| id.name().to_string()));
     rep.header(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());

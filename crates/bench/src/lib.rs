@@ -5,7 +5,9 @@
 //! stdout and a CSV file under `results/`. See DESIGN.md's per-experiment
 //! index for the mapping.
 
-use nabbitc_numasim::{serial_ticks, simulate_omp, simulate_ws, CostModel, OmpSchedule, SimResult, WsConfig};
+use nabbitc_numasim::{
+    serial_ticks, simulate_omp, simulate_ws, CostModel, OmpSchedule, SimResult, WsConfig,
+};
 use nabbitc_runtime::NumaTopology;
 use nabbitc_workloads::{registry, BenchId, Scale};
 use std::fmt::Write as _;
@@ -142,7 +144,11 @@ impl Report {
     /// Adds a table header (also the CSV header).
     pub fn header(&mut self, cols: &[&str]) {
         let _ = writeln!(self.md, "| {} |", cols.join(" | "));
-        let _ = writeln!(self.md, "|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            self.md,
+            "|{}|",
+            cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
         let _ = writeln!(self.csv, "{}", cols.join(","));
     }
 

@@ -1,0 +1,249 @@
+//! Autocolor integration: executors that infer their own colors.
+//!
+//! Two entry points, one per executor:
+//!
+//! * [`StaticExecutor::execute_autocolored`] — run any pre-built
+//!   [`TaskGraph`] under an inferred coloring, ignoring whatever colors
+//!   the graph was built with (pass
+//!   [`RecursiveBisection`](nabbitc_autocolor::RecursiveBisection) for the
+//!   highest-quality static assignment);
+//! * [`AutoColoredSpec`] — wrap any [`TaskSpec`] so its `color()` is
+//!   answered by an [`OnlineAssigner`] (predecessor-majority vote with
+//!   discovery hints and a load cap — hints carry affinity down the
+//!   sink-first exploration order) instead of the user. This is what
+//!   makes the on-demand
+//!   executor usable on task specs whose author never thought about NUMA:
+//!   `DynamicExecutor::new(pool, Arc::new(AutoColoredSpec::new(spec, p)))`.
+//!
+//! Both keep the scheduling machinery untouched — autocolor only changes
+//! *which* color a task carries, never the stealing protocol.
+
+use crate::dynamic::TaskSpec;
+use crate::static_exec::{StaticExecutor, StaticReport};
+use nabbitc_autocolor::{autocolor, ColorAssigner, OnlineAssigner};
+use nabbitc_color::Color;
+use nabbitc_graph::{NodeId, TaskGraph};
+use std::sync::Arc;
+
+impl StaticExecutor {
+    /// Executes `graph` under colors inferred by `assigner` (for this
+    /// pool's worker count), instead of the graph's own colors. The
+    /// graph's accesses are re-homed to the inferred colors (first-touch
+    /// placement), so the remote-access report prices the inferred
+    /// placement.
+    ///
+    /// Returns the report plus the recolored graph, which callers should
+    /// reuse when executing repeatedly (assignment is the expensive part).
+    pub fn execute_autocolored<K>(
+        &self,
+        graph: &TaskGraph,
+        assigner: &dyn ColorAssigner,
+        kernel: Arc<K>,
+    ) -> (StaticReport, Arc<TaskGraph>)
+    where
+        K: Fn(NodeId, usize) + Send + Sync + 'static,
+    {
+        let recolored = Arc::new(autocolor(graph, assigner, self.pool().workers()));
+        let report = self.execute(&recolored, kernel);
+        (report, recolored)
+    }
+}
+
+/// A [`TaskSpec`] adapter that overrides `color()` with an online
+/// auto-colorer; `predecessors()` and `compute()` pass through.
+///
+/// Colors are decided the first time the executor asks about a key —
+/// which, under the on-demand protocol, is when the key is discovered —
+/// and cached thereafter, preserving the executor's requirement that
+/// `color()` is stable per key.
+pub struct AutoColoredSpec<S: TaskSpec> {
+    inner: Arc<S>,
+    assigner: OnlineAssigner<S::Key>,
+}
+
+impl<S: TaskSpec> AutoColoredSpec<S> {
+    /// Wraps `inner` for a machine with `workers` workers.
+    pub fn new(inner: Arc<S>, workers: usize) -> Self {
+        AutoColoredSpec {
+            inner,
+            assigner: OnlineAssigner::new(workers),
+        }
+    }
+
+    /// As [`new`](Self::new), with an explicit load-cap slack (see
+    /// [`OnlineAssigner::with_cap_slack`]).
+    pub fn with_cap_slack(inner: Arc<S>, workers: usize, cap_slack: f64) -> Self {
+        AutoColoredSpec {
+            inner,
+            assigner: OnlineAssigner::with_cap_slack(workers, cap_slack),
+        }
+    }
+
+    /// The wrapped spec.
+    pub fn inner(&self) -> &Arc<S> {
+        &self.inner
+    }
+
+    /// The online assigner (for inspecting loads after a run).
+    pub fn assigner(&self) -> &OnlineAssigner<S::Key> {
+        &self.assigner
+    }
+}
+
+impl<S: TaskSpec> TaskSpec for AutoColoredSpec<S> {
+    type Key = S::Key;
+
+    fn predecessors(&self, key: &Self::Key) -> Vec<Self::Key> {
+        self.inner.predecessors(key)
+    }
+
+    fn color(&self, key: &Self::Key) -> Color {
+        self.assigner
+            .color_for_with(key, || self.inner.predecessors(key))
+    }
+
+    fn compute(&self, key: &Self::Key, worker: usize) {
+        self.inner.compute(key, worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DynamicExecutor;
+    use crate::static_exec::ExecOptions;
+    use nabbitc_autocolor::{RecursiveBisection, RoundRobin};
+    use nabbitc_graph::analysis::edge_cut;
+    use nabbitc_graph::generate;
+    use nabbitc_runtime::{Pool, PoolConfig};
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+    #[test]
+    fn static_autocolored_executes_every_node_once() {
+        let graph = Arc::new(generate::wavefront(16, 16, 2, 1)); // monochrome input
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+        let exec = StaticExecutor::new(pool).with_options(ExecOptions {
+            record_trace: true,
+            count_remote: true,
+        });
+        let counts: Arc<Vec<AtomicU32>> =
+            Arc::new((0..graph.node_count()).map(|_| AtomicU32::new(0)).collect());
+        let c2 = counts.clone();
+        let (report, recolored) = exec.execute_autocolored(
+            &graph,
+            &RecursiveBisection::default(),
+            Arc::new(move |u: NodeId, _w: usize| {
+                c2[u as usize].fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        report.trace.validate(&recolored).expect("valid trace");
+        // The inferred coloring actually uses the machine.
+        let mut used: Vec<Color> = recolored.nodes().map(|u| recolored.color(u)).collect();
+        used.sort_unstable();
+        used.dedup();
+        assert!(used.len() > 1, "expected multiple colors, got {used:?}");
+        assert!(used.iter().all(|c| c.is_valid() && c.index() < 4));
+    }
+
+    #[test]
+    fn static_autocolored_bisection_cuts_less_than_round_robin() {
+        let graph = Arc::new(generate::iterated_stencil(10, 64, 2, 1));
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+        let exec = StaticExecutor::new(pool);
+        let noop = Arc::new(|_u: NodeId, _w: usize| {});
+        let (_, g_bisect) =
+            exec.execute_autocolored(&graph, &RecursiveBisection::default(), noop.clone());
+        let (_, g_rr) = exec.execute_autocolored(&graph, &RoundRobin, noop);
+        assert!(edge_cut(&g_bisect) < edge_cut(&g_rr));
+    }
+
+    /// A Pascal-triangle spec with no color function of its own.
+    struct UncoloredPascal;
+
+    impl TaskSpec for UncoloredPascal {
+        type Key = (usize, usize);
+
+        fn predecessors(&self, &(i, j): &Self::Key) -> Vec<Self::Key> {
+            let mut p = Vec::new();
+            if i > 0 {
+                if j > 0 {
+                    p.push((i - 1, j - 1));
+                }
+                if j < i {
+                    p.push((i - 1, j));
+                }
+            }
+            p
+        }
+
+        fn color(&self, _: &Self::Key) -> Color {
+            // What an uncolored user spec looks like: a constant. The
+            // adapter must override this.
+            Color(0)
+        }
+
+        fn compute(&self, _: &Self::Key, _: usize) {}
+    }
+
+    #[test]
+    fn dynamic_adapter_executes_and_spreads_colors() {
+        let workers = 4;
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(workers)));
+        let spec = Arc::new(AutoColoredSpec::new(Arc::new(UncoloredPascal), workers));
+        let exec = DynamicExecutor::new(pool, spec.clone());
+        let report = exec.execute((40, 20));
+        assert_eq!(
+            report.nodes_executed as usize,
+            spec.assigner().assigned_count()
+        );
+        let loads = spec.assigner().loads();
+        assert_eq!(loads.len(), workers);
+        assert!(
+            loads.iter().all(|&l| l > 0),
+            "every color should receive keys: {loads:?}"
+        );
+        // Load cap: no color hogs the triangle.
+        let max = *loads.iter().max().unwrap();
+        let total: u64 = loads.iter().sum();
+        assert!(max as f64 <= 0.5 * total as f64, "{loads:?}");
+    }
+
+    #[test]
+    fn adapter_color_is_stable_per_key() {
+        let spec = AutoColoredSpec::new(Arc::new(UncoloredPascal), 3);
+        let k = (7usize, 3usize);
+        let first = spec.color(&k);
+        for _ in 0..10 {
+            assert_eq!(spec.color(&k), first);
+        }
+        assert!(first.is_valid() && first.index() < 3);
+    }
+
+    #[test]
+    fn adapter_compute_passes_through() {
+        struct CountingSpec(AtomicU64);
+        impl TaskSpec for CountingSpec {
+            type Key = u32;
+            fn predecessors(&self, &k: &u32) -> Vec<u32> {
+                if k == 0 {
+                    vec![]
+                } else {
+                    vec![k - 1]
+                }
+            }
+            fn color(&self, _: &u32) -> Color {
+                Color(0)
+            }
+            fn compute(&self, _: &u32, _: usize) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let inner = Arc::new(CountingSpec(AtomicU64::new(0)));
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(2)));
+        let exec = DynamicExecutor::new(pool, Arc::new(AutoColoredSpec::new(inner.clone(), 2)));
+        let report = exec.execute(500);
+        assert_eq!(report.nodes_executed, 501);
+        assert_eq!(inner.0.load(Ordering::SeqCst), 501);
+    }
+}

@@ -84,10 +84,7 @@ mod tests {
     #[test]
     fn correct_is_identity() {
         let t = NumaTopology::new(2, 2);
-        assert_eq!(
-            map_color(ColoringMode::Correct, Color(3), &t, 4),
-            Color(3)
-        );
+        assert_eq!(map_color(ColoringMode::Correct, Color(3), &t, 4), Color(3));
     }
 
     #[test]

@@ -199,12 +199,11 @@ impl<S: TaskSpec> DynamicExecutor<S> {
             let st = state.clone();
             let sink_color = self.spec.color(&sink);
             let sink_key = sink.clone();
-            self.pool
-                .run(ColorSet::singleton(sink_color), move |ctx| {
-                    let (node, created) = st.table.get_or_create(&sink_key, sink_color);
-                    debug_assert!(created, "sink must be fresh");
-                    init_node(&st, ctx, node);
-                });
+            self.pool.run(ColorSet::singleton(sink_color), move |ctx| {
+                let (node, created) = st.table.get_or_create(&sink_key, sink_color);
+                debug_assert!(created, "sink must be fresh");
+                init_node(&st, ctx, node);
+            });
         }
         let elapsed = started.elapsed();
         // The job only terminates when every spawned task finished; verify

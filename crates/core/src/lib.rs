@@ -22,14 +22,18 @@
 //!
 //! [`metrics`] implements the paper's §V-B node-granularity remote-access
 //! accounting; [`coloring`] the Correct / Bad (Table II) / Invalid
-//! (Table III) coloring strategies.
+//! (Table III) coloring strategies; [`auto`] hooks the
+//! `nabbitc-autocolor` subsystem into both executors so graphs and specs
+//! without hand-written colors still schedule locality-aware.
 
+pub mod auto;
 pub mod coloring;
 pub mod dynamic;
 pub mod metrics;
 pub mod spawn;
 pub mod static_exec;
 
+pub use auto::AutoColoredSpec;
 pub use coloring::ColoringMode;
 pub use dynamic::{DynamicExecutor, DynamicReport, TaskSpec};
 pub use metrics::{RemoteAccessReport, RemoteCounters};

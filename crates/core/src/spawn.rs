@@ -174,13 +174,11 @@ mod tests {
     fn every_item_processed_exactly_once() {
         let pool = Pool::new(PoolConfig::nabbitc(4));
         const N: usize = 10_000;
-        let counts: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
+        let counts: Arc<Vec<AtomicUsize>> = Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
         let c2 = counts.clone();
         pool.run(ColorSet::all(4), move |ctx| {
-            let items: Vec<(u32, Color)> = (0..N as u32)
-                .map(|i| (i, Color((i % 4) as u16)))
-                .collect();
+            let items: Vec<(u32, Color)> =
+                (0..N as u32).map(|i| (i, Color((i % 4) as u16))).collect();
             let c3 = c2.clone();
             spawn_colors(
                 ctx,
@@ -251,9 +249,8 @@ mod tests {
         let total = Arc::new(AtomicUsize::new(0));
         let t2 = total.clone();
         pool.run(ColorSet::all(8), move |ctx| {
-            let items: Vec<(u32, Color)> = (0..N as u32)
-                .map(|i| (i, Color((i % 8) as u16)))
-                .collect();
+            let items: Vec<(u32, Color)> =
+                (0..N as u32).map(|i| (i, Color((i % 8) as u16))).collect();
             let t3 = t2.clone();
             spawn_colors(
                 ctx,

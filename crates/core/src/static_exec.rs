@@ -200,7 +200,11 @@ fn process_node<K>(
         let me = ctx.worker_id();
 
         if let Some(rc) = &state.remote {
-            rc.record_node(me, g.color(u), g.predecessors(u).iter().map(|&p| g.color(p)));
+            rc.record_node(
+                me,
+                g.color(u),
+                g.predecessors(u).iter().map(|&p| g.color(p)),
+            );
         }
 
         let start_ns = state
@@ -264,9 +268,8 @@ mod tests {
             record_trace: true,
             count_remote: true,
         });
-        let counts: Arc<Vec<A32>> = Arc::new(
-            (0..graph.node_count()).map(|_| A32::new(0)).collect(),
-        );
+        let counts: Arc<Vec<A32>> =
+            Arc::new((0..graph.node_count()).map(|_| A32::new(0)).collect());
         let c2 = counts.clone();
         let report = exec.execute(
             &graph,

@@ -196,8 +196,18 @@ mod tests {
         let cores = 40;
         let topo = NumaTopology::paper_machine().truncated(cores);
         let nest = first_touch_nest(5, 4000, cores, 4096);
-        let r = simulate_omp(&nest, OmpSchedule::Static, cores, &topo, &CostModel::default());
-        assert_eq!(r.remote.pct(), 0.0, "static + first touch must be fully local");
+        let r = simulate_omp(
+            &nest,
+            OmpSchedule::Static,
+            cores,
+            &topo,
+            &CostModel::default(),
+        );
+        assert_eq!(
+            r.remote.pct(),
+            0.0,
+            "static + first touch must be fully local"
+        );
         assert_eq!(r.total_executed(), 5 * 4000);
     }
 
@@ -206,8 +216,18 @@ mod tests {
         let cores = 40;
         let topo = NumaTopology::paper_machine().truncated(cores);
         let nest = first_touch_nest(5, 4000, cores, 4096);
-        let r = simulate_omp(&nest, OmpSchedule::Guided, cores, &topo, &CostModel::default());
-        assert!(r.remote.pct() > 10.0, "guided should lose locality: {}", r.remote.pct());
+        let r = simulate_omp(
+            &nest,
+            OmpSchedule::Guided,
+            cores,
+            &topo,
+            &CostModel::default(),
+        );
+        assert!(
+            r.remote.pct() > 10.0,
+            "guided should lose locality: {}",
+            r.remote.pct()
+        );
         assert_eq!(r.total_executed(), 5 * 4000);
     }
 
@@ -220,7 +240,12 @@ mod tests {
         let cost = CostModel::default();
         let s = simulate_omp(&nest, OmpSchedule::Static, cores, &topo, &cost);
         let g = simulate_omp(&nest, OmpSchedule::Guided, cores, &topo, &cost);
-        assert!(s.makespan < g.makespan, "static {} vs guided {}", s.makespan, g.makespan);
+        assert!(
+            s.makespan < g.makespan,
+            "static {} vs guided {}",
+            s.makespan,
+            g.makespan
+        );
     }
 
     #[test]
@@ -257,8 +282,20 @@ mod tests {
         let cores = 4;
         let topo = NumaTopology::uma(cores);
         let cost = CostModel::default();
-        let one = simulate_omp(&first_touch_nest(1, 40, cores, 0), OmpSchedule::Static, cores, &topo, &cost);
-        let five = simulate_omp(&first_touch_nest(5, 40, cores, 0), OmpSchedule::Static, cores, &topo, &cost);
+        let one = simulate_omp(
+            &first_touch_nest(1, 40, cores, 0),
+            OmpSchedule::Static,
+            cores,
+            &topo,
+            &cost,
+        );
+        let five = simulate_omp(
+            &first_touch_nest(5, 40, cores, 0),
+            OmpSchedule::Static,
+            cores,
+            &topo,
+            &cost,
+        );
         assert!(five.makespan >= one.makespan + 4 * cost.barrier);
     }
 
@@ -292,7 +329,13 @@ mod tests {
         let cores = 8;
         let topo = NumaTopology::uma(cores);
         let nest = first_touch_nest(1, 3, cores, 64);
-        let r = simulate_omp(&nest, OmpSchedule::Static, cores, &topo, &CostModel::default());
+        let r = simulate_omp(
+            &nest,
+            OmpSchedule::Static,
+            cores,
+            &topo,
+            &CostModel::default(),
+        );
         assert_eq!(r.total_executed(), 3);
     }
 }

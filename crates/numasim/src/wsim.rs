@@ -438,8 +438,16 @@ mod tests {
             c.remote.pct(),
             nb.remote.pct()
         );
-        assert!(c.remote.pct() < 25.0, "NabbitC remote% too high: {}", c.remote.pct());
-        assert!(nb.remote.pct() > 30.0, "Nabbit remote% too low: {}", nb.remote.pct());
+        assert!(
+            c.remote.pct() < 25.0,
+            "NabbitC remote% too high: {}",
+            c.remote.pct()
+        );
+        assert!(
+            nb.remote.pct() > 30.0,
+            "Nabbit remote% too low: {}",
+            nb.remote.pct()
+        );
     }
 
     #[test]

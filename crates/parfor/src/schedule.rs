@@ -87,7 +87,9 @@ mod tests {
     fn static_balance_within_one() {
         let n = 103;
         let p = 8;
-        let sizes: Vec<usize> = (0..p).map(|t| Schedule::static_range(n, p, t).len()).collect();
+        let sizes: Vec<usize> = (0..p)
+            .map(|t| Schedule::static_range(n, p, t).len())
+            .collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
         assert!(max - min <= 1);

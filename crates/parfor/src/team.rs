@@ -268,7 +268,9 @@ mod tests {
         let team = Team::uma(4);
         for n in [0usize, 1, 5, 100, 10_000] {
             assert!(
-                coverage(&team, n, Schedule::guided()).iter().all(|&c| c == 1),
+                coverage(&team, n, Schedule::guided())
+                    .iter()
+                    .all(|&c| c == 1),
                 "n={n}"
             );
         }
@@ -298,7 +300,9 @@ mod tests {
     fn more_threads_than_iterations() {
         let team = Team::uma(8);
         assert!(coverage(&team, 3, Schedule::Static).iter().all(|&c| c == 1));
-        assert!(coverage(&team, 3, Schedule::guided()).iter().all(|&c| c == 1));
+        assert!(coverage(&team, 3, Schedule::guided())
+            .iter()
+            .all(|&c| c == 1));
     }
 
     #[test]

@@ -436,9 +436,13 @@ mod tests {
                                 if done.load(Relaxed) == 1 {
                                     break;
                                 }
-                                std::hint::spin_loop();
+                                // Yield, not spin: the test must progress
+                                // on single-CPU machines where a spinning
+                                // thief would starve the owner for a whole
+                                // scheduler quantum.
+                                std::thread::yield_now();
                             }
-                            _ => {}
+                            _ => std::thread::yield_now(),
                         }
                     }
                     got
@@ -466,7 +470,12 @@ mod tests {
 
         assert_eq!(popped + stolen, ITEMS);
         for (i, s) in seen.iter().enumerate() {
-            assert_eq!(s.load(Relaxed), 1, "item {i} seen {} times", s.load(Relaxed));
+            assert_eq!(
+                s.load(Relaxed),
+                1,
+                "item {i} seen {} times",
+                s.load(Relaxed)
+            );
         }
     }
 
@@ -499,9 +508,12 @@ mod tests {
                                 if done.load(Relaxed) == 1 {
                                     break;
                                 }
-                                std::hint::spin_loop();
+                                std::thread::yield_now();
                             }
-                            _ => {}
+                            // A color mismatch blocks this thief until the
+                            // matching thief takes the top entry — yield so
+                            // that thief gets CPU time even on one core.
+                            _ => std::thread::yield_now(),
                         }
                     }
                     violations
@@ -514,11 +526,15 @@ mod tests {
         }
         // Wait for thieves to drain everything (they cover all colors).
         while taken.load(Relaxed) < ITEMS {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
         done.store(1, Relaxed);
         for t in thieves {
-            assert_eq!(t.join().unwrap(), 0, "colored steal took a non-matching item");
+            assert_eq!(
+                t.join().unwrap(),
+                0,
+                "colored steal took a non-matching item"
+            );
         }
     }
 

@@ -134,7 +134,9 @@ impl Pool {
         );
         let inner = Arc::new(PoolInner {
             deques: (0..config.workers).map(|_| ColoredDeque::new()).collect(),
-            stats: (0..config.workers).map(|_| WorkerStats::default()).collect(),
+            stats: (0..config.workers)
+                .map(|_| WorkerStats::default())
+                .collect(),
             topology: config.topology.clone(),
             policy: config.policy.clone(),
             workers: config.workers,
@@ -211,10 +213,9 @@ impl Pool {
             inj.push_back(Task::new(colors, root));
             inner.injector_len.store(inj.len(), Ordering::SeqCst);
         }
-        inner.job_start_ns.store(
-            inner.origin.elapsed().as_nanos() as u64,
-            Ordering::SeqCst,
-        );
+        inner
+            .job_start_ns
+            .store(inner.origin.elapsed().as_nanos() as u64, Ordering::SeqCst);
         {
             let _g = inner.job_lock.lock();
             inner.epoch.fetch_add(1, Ordering::SeqCst);
@@ -428,7 +429,9 @@ fn run_job_loop(inner: &PoolInner, worker: usize, seed: u64) {
 }
 
 fn execute(inner: &PoolInner, ctx: &mut WorkerContext<'_>, task: Task) {
-    inner.stats[ctx.worker].tasks_executed.fetch_add(1, Ordering::Relaxed);
+    inner.stats[ctx.worker]
+        .tasks_executed
+        .fetch_add(1, Ordering::Relaxed);
     let result = catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
     if result.is_err() {
         inner.job_panicked.store(true, Ordering::SeqCst);
@@ -565,12 +568,12 @@ mod tests {
         pool.reset_stats();
         assert_eq!(count_to(&pool, 400_000), 400_000);
         let stats = pool.stats();
-        assert_eq!(
-            stats.workers.len(),
-            8,
-            "stats should cover every worker"
-        );
-        let participating = stats.workers.iter().filter(|w| w.tasks_executed > 0).count();
+        assert_eq!(stats.workers.len(), 8, "stats should cover every worker");
+        let participating = stats
+            .workers
+            .iter()
+            .filter(|w| w.tasks_executed > 0)
+            .count();
         assert!(
             participating >= 4,
             "expected most workers to participate, got {participating}"
@@ -645,7 +648,8 @@ mod tests {
         let ids = Arc::new(Mutex::new(Vec::new()));
         let ids2 = ids.clone();
         pool.run(ColorSet::all(3), move |ctx| {
-            ids2.lock().push((ctx.worker_id(), ctx.color(), ctx.workers()));
+            ids2.lock()
+                .push((ctx.worker_id(), ctx.color(), ctx.workers()));
         });
         let v = ids.lock();
         assert_eq!(v.len(), 1);

@@ -17,7 +17,11 @@ impl XorShift64 {
     /// state zero).
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -91,7 +95,11 @@ mod tests {
             assert!(v < 8);
             seen[v] = true;
         }
-        let others = seen.iter().enumerate().filter(|&(i, _)| i != 3).all(|(_, &s)| s);
+        let others = seen
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 3)
+            .all(|(_, &s)| s);
         assert!(others, "all other workers should eventually be picked");
     }
 

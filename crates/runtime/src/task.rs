@@ -18,7 +18,10 @@ pub struct Task {
 
 impl Task {
     /// Creates a task.
-    pub fn new(colors: ColorSet, func: impl FnOnce(&mut WorkerContext<'_>) + Send + 'static) -> Self {
+    pub fn new(
+        colors: ColorSet,
+        func: impl FnOnce(&mut WorkerContext<'_>) + Send + 'static,
+    ) -> Self {
         Task {
             colors,
             func: Box::new(func),
@@ -33,6 +36,8 @@ impl Task {
 
 impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Task").field("colors", &self.colors).finish()
+        f.debug_struct("Task")
+            .field("colors", &self.colors)
+            .finish()
     }
 }

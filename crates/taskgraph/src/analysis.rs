@@ -126,6 +126,84 @@ pub fn color_profile(g: &TaskGraph) -> ColorWorkProfile {
     p
 }
 
+/// Number of dependence edges whose endpoints carry different colors —
+/// the quantity the autocolor assigners minimize. Every cut edge is a
+/// potential remote predecessor read under the §V-B metric (the successor
+/// executes on its own color's domain but reads data the predecessor's
+/// color initialized).
+pub fn edge_cut(g: &TaskGraph) -> usize {
+    g.nodes()
+        .map(|u| {
+            g.successors(u)
+                .iter()
+                .filter(|&&v| g.color(v) != g.color(u))
+                .count()
+        })
+        .sum()
+}
+
+/// [`edge_cut`] as a fraction of all edges (0 for edgeless graphs).
+pub fn edge_cut_fraction(g: &TaskGraph) -> f64 {
+    if g.edge_count() == 0 {
+        0.0
+    } else {
+        edge_cut(g) as f64 / g.edge_count() as f64
+    }
+}
+
+/// Work balance of a coloring over an explicit machine size, counting
+/// colors with no nodes (unlike [`ColorWorkProfile`], which only sees
+/// colors that occur — a coloring that leaves workers idle must show up as
+/// imbalance here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorBalance {
+    /// Heaviest color's work.
+    pub max_load: u64,
+    /// Lightest color's work (zero when a color has no nodes).
+    pub min_load: u64,
+    /// Mean work per color (`total / workers`).
+    pub mean_load: f64,
+}
+
+impl ColorBalance {
+    /// `max/mean`; 1.0 is perfect. Returns `max_load as f64` scaled
+    /// to 1.0 when the graph has no work.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_load == 0.0 {
+            1.0
+        } else {
+            self.max_load as f64 / self.mean_load
+        }
+    }
+}
+
+/// Computes [`ColorBalance`] for a graph colored for `workers` workers.
+/// Nodes colored outside `0..workers` (e.g. [`Color::INVALID`]) are
+/// counted in `max_load` via an implicit overflow bucket, so invalid
+/// colorings read as catastrophically imbalanced rather than invisible.
+pub fn color_balance(g: &TaskGraph, workers: usize) -> ColorBalance {
+    assert!(workers > 0, "need at least one worker");
+    let mut loads = vec![0u64; workers + 1];
+    for u in g.nodes() {
+        let c = g.color(u);
+        let idx = if c.is_valid() && c.index() < workers {
+            c.index()
+        } else {
+            workers // overflow bucket
+        };
+        loads[idx] += g.work(u);
+    }
+    let overflow = loads.pop().expect("overflow bucket");
+    let max_load = loads.iter().copied().max().unwrap_or(0).max(overflow);
+    let min_load = loads.iter().copied().min().unwrap_or(0);
+    let total: u64 = loads.iter().sum::<u64>() + overflow;
+    ColorBalance {
+        max_load,
+        min_load,
+        mean_load: total as f64 / workers as f64,
+    }
+}
+
 /// Lower bound on `P`-processor completion time: `max(T1/P, T∞)`
 /// (the work and span laws).
 pub fn completion_lower_bound(a: &GraphAnalysis, p: usize) -> f64 {
@@ -266,6 +344,54 @@ mod tests {
     }
 
     #[test]
+    fn edge_cut_counts_cross_color_edges() {
+        // 0 -> {1,2} -> 3 with colors 0,0,1,1: cut edges are 0->2 and 1->3.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_simple_node(1, Color(0), 0);
+        b.add_simple_node(1, Color(1), 0);
+        b.add_simple_node(1, Color(1), 0);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        assert_eq!(edge_cut(&g), 2);
+        assert!((edge_cut_fraction(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cut_zero_on_monochrome() {
+        let g = chain(&[1, 1, 1]);
+        assert_eq!(edge_cut(&g), 0);
+        assert_eq!(edge_cut_fraction(&g), 0.0);
+    }
+
+    #[test]
+    fn color_balance_counts_empty_colors() {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(30, Color(0), 0);
+        b.add_simple_node(10, Color(1), 0);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        // Over 4 workers two colors are empty: min 0, mean 10.
+        let bal = color_balance(&g, 4);
+        assert_eq!(bal.max_load, 30);
+        assert_eq!(bal.min_load, 0);
+        assert!((bal.imbalance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn color_balance_flags_invalid_colors() {
+        let mut g = chain(&[5, 5]);
+        g.recolor(|_, _| Color::INVALID);
+        let bal = color_balance(&g, 2);
+        // All work lands in the overflow bucket: both real colors empty.
+        assert_eq!(bal.max_load, 10);
+        assert_eq!(bal.min_load, 0);
+    }
+
+    #[test]
     fn earliest_start_levels() {
         let g = chain(&[5, 7, 3]);
         assert_eq!(earliest_start_times(&g), vec![0, 5, 12]);
@@ -283,8 +409,7 @@ mod tests {
         let a = analyze(&g);
         for p in [1usize, 2, 8, 80] {
             assert!(
-                theorem1_bound(&a, p, (1.0, 1.0, 1.0, 1.0), 0.0)
-                    >= completion_lower_bound(&a, p)
+                theorem1_bound(&a, p, (1.0, 1.0, 1.0, 1.0), 0.0) >= completion_lower_bound(&a, p)
             );
         }
     }

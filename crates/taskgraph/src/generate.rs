@@ -211,9 +211,9 @@ mod tests {
         }
         let g3 = layered_random(6, 8, 3, (1, 10), 4, 43);
         // Different seeds should (overwhelmingly) differ somewhere.
-        let same = g1.nodes().all(|u| {
-            g1.work(u) == g3.work(u) && g1.predecessors(u) == g3.predecessors(u)
-        });
+        let same = g1
+            .nodes()
+            .all(|u| g1.work(u) == g3.work(u) && g1.predecessors(u) == g3.predecessors(u));
         assert!(!same);
     }
 

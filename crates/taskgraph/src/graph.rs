@@ -280,10 +280,40 @@ impl TaskGraph {
         self.accesses[u as usize].iter().map(|a| a.bytes).sum()
     }
 
+    /// Erases all coloring information: every node becomes `Color(0)` and
+    /// its accesses are re-homed there — the canonical "user handed us an
+    /// uncolored graph" form consumed by the autocolor assigners.
+    pub fn strip_colors(&mut self) {
+        self.recolor(|_, _| Color(0));
+        self.localize_accesses();
+    }
+
+    /// Re-homes every node's accesses to the node's *current* color,
+    /// merging them into one region of the same total size.
+    ///
+    /// This models first-touch placement under a fresh coloring: the
+    /// worker that owns a node initializes the data it touches. Used by
+    /// the autocolor subsystem after recoloring, so that the NUMA
+    /// simulator and the §V-B metric price the inferred placement rather
+    /// than the hand placement the graph was built with.
+    pub fn localize_accesses(&mut self) {
+        for u in 0..self.accesses.len() {
+            let bytes: u64 = self.accesses[u].iter().map(|a| a.bytes).sum();
+            let owner = self.color[u];
+            self.accesses[u] = if bytes > 0 {
+                vec![NodeAccess { owner, bytes }]
+            } else {
+                Vec::new()
+            };
+        }
+    }
+
     fn compute_topo_order(&self) -> Result<Vec<NodeId>, GraphError> {
         let n = self.node_count();
         let mut indeg: Vec<u32> = (0..n).map(|u| self.in_degree(u as NodeId) as u32).collect();
-        let mut queue: Vec<NodeId> = (0..n as NodeId).filter(|&u| indeg[u as usize] == 0).collect();
+        let mut queue: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&u| indeg[u as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {
@@ -412,14 +442,51 @@ mod tests {
     }
 
     #[test]
+    fn localize_accesses_rehomes_to_node_color() {
+        let mut b = GraphBuilder::new();
+        b.add_node(
+            1,
+            Color(2),
+            vec![
+                NodeAccess {
+                    owner: Color(0),
+                    bytes: 100,
+                },
+                NodeAccess {
+                    owner: Color(1),
+                    bytes: 28,
+                },
+            ],
+        );
+        b.add_node(1, Color(3), vec![]);
+        let mut g = b.build().unwrap();
+        g.localize_accesses();
+        assert_eq!(
+            g.accesses(0),
+            &[NodeAccess {
+                owner: Color(2),
+                bytes: 128
+            }]
+        );
+        assert!(g.accesses(1).is_empty());
+        assert_eq!(g.footprint(0), 128);
+    }
+
+    #[test]
     fn footprint_sums_accesses() {
         let mut b = GraphBuilder::new();
         b.add_node(
             1,
             Color(0),
             vec![
-                NodeAccess { owner: Color(0), bytes: 100 },
-                NodeAccess { owner: Color(1), bytes: 28 },
+                NodeAccess {
+                    owner: Color(0),
+                    bytes: 100,
+                },
+                NodeAccess {
+                    owner: Color(1),
+                    bytes: 28,
+                },
             ],
         );
         let g = b.build().unwrap();

@@ -279,13 +279,27 @@ mod tests {
         let g = generate::chain(2, 1, 1);
         let t = Trace {
             events: vec![
-                TraceEvent { node: 0, worker: 0, start: 5, end: 6 },
-                TraceEvent { node: 1, worker: 1, start: 0, end: 1 },
+                TraceEvent {
+                    node: 0,
+                    worker: 0,
+                    start: 5,
+                    end: 6,
+                },
+                TraceEvent {
+                    node: 1,
+                    worker: 1,
+                    start: 0,
+                    end: 1,
+                },
             ],
         };
         assert!(matches!(
             t.validate(&g),
-            Err(TraceError::DependenceViolation { pred: 0, node: 1, .. })
+            Err(TraceError::DependenceViolation {
+                pred: 0,
+                node: 1,
+                ..
+            })
         ));
     }
 
@@ -293,7 +307,12 @@ mod tests {
     fn negative_duration_detected() {
         let g = generate::chain(1, 1, 1);
         let t = Trace {
-            events: vec![TraceEvent { node: 0, worker: 0, start: 2, end: 1 }],
+            events: vec![TraceEvent {
+                node: 0,
+                worker: 0,
+                start: 2,
+                end: 1,
+            }],
         };
         assert_eq!(t.validate(&g), Err(TraceError::NegativeDuration(0)));
     }
@@ -302,8 +321,18 @@ mod tests {
     fn makespan_and_workers() {
         let t = Trace {
             events: vec![
-                TraceEvent { node: 0, worker: 3, start: 10, end: 20 },
-                TraceEvent { node: 1, worker: 5, start: 15, end: 40 },
+                TraceEvent {
+                    node: 0,
+                    worker: 3,
+                    start: 10,
+                    end: 20,
+                },
+                TraceEvent {
+                    node: 1,
+                    worker: 5,
+                    start: 15,
+                    end: 40,
+                },
             ],
         };
         assert_eq!(t.makespan(), 30);
@@ -314,9 +343,24 @@ mod tests {
     fn utilization_summary() {
         let t = Trace {
             events: vec![
-                TraceEvent { node: 0, worker: 0, start: 0, end: 10 },
-                TraceEvent { node: 1, worker: 0, start: 10, end: 20 },
-                TraceEvent { node: 2, worker: 1, start: 0, end: 10 },
+                TraceEvent {
+                    node: 0,
+                    worker: 0,
+                    start: 0,
+                    end: 10,
+                },
+                TraceEvent {
+                    node: 1,
+                    worker: 0,
+                    start: 10,
+                    end: 20,
+                },
+                TraceEvent {
+                    node: 2,
+                    worker: 1,
+                    start: 0,
+                    end: 10,
+                },
             ],
         };
         let u = t.utilization();

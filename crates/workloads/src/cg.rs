@@ -61,10 +61,16 @@ pub fn graph_from_shape(s: &CgShape, p: usize) -> TaskGraph {
             bytes: s.nnz_per_block * 12 + s.vec_bytes,
         }];
         if b > 0 {
-            acc.push(NodeAccess { owner: own(b - 1), bytes: s.vec_bytes / 4 });
+            acc.push(NodeAccess {
+                owner: own(b - 1),
+                bytes: s.vec_bytes / 4,
+            });
         }
         if b + 1 < blocks {
-            acc.push(NodeAccess { owner: own(b + 1), bytes: s.vec_bytes / 4 });
+            acc.push(NodeAccess {
+                owner: own(b + 1),
+                bytes: s.vec_bytes / 4,
+            });
         }
         gb.add_node(s.nnz_per_block * 2, own(b), acc);
     }
@@ -73,7 +79,10 @@ pub fn graph_from_shape(s: &CgShape, p: usize) -> TaskGraph {
         gb.add_node(
             s.vec_bytes / 4,
             own(b),
-            vec![NodeAccess { owner: own(b), bytes: s.vec_bytes * 2 }],
+            vec![NodeAccess {
+                owner: own(b),
+                bytes: s.vec_bytes * 2,
+            }],
         );
     }
     // Reduce node.
@@ -83,7 +92,10 @@ pub fn graph_from_shape(s: &CgShape, p: usize) -> TaskGraph {
         gb.add_node(
             s.vec_bytes / 2,
             own(b),
-            vec![NodeAccess { owner: own(b), bytes: s.vec_bytes * 3 }],
+            vec![NodeAccess {
+                owner: own(b),
+                bytes: s.vec_bytes * 3,
+            }],
         );
     }
     let mv = |b: usize| b as NodeId;
@@ -110,13 +122,18 @@ pub fn loops(scale_div: usize, p: usize) -> LoopNest {
         iters: (0..s.blocks)
             .map(|b| IterDesc {
                 work: work_of(b),
-                accesses: vec![NodeAccess { owner: own(b), bytes: bytes_of(b) }],
+                accesses: vec![NodeAccess {
+                    owner: own(b),
+                    bytes: bytes_of(b),
+                }],
             })
             .collect(),
     };
     LoopNest {
         phases: vec![
-            mk(&|_| s.nnz_per_block * 2, &|_| s.nnz_per_block * 12 + s.vec_bytes),
+            mk(&|_| s.nnz_per_block * 2, &|_| {
+                s.nnz_per_block * 12 + s.vec_bytes
+            }),
             mk(&|_| s.vec_bytes / 4, &|_| s.vec_bytes * 2),
             mk(&|_| s.vec_bytes / 2, &|_| s.vec_bytes * 3),
         ],

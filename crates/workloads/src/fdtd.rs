@@ -55,7 +55,11 @@ fn accesses(shape: &FdtdShape, b: usize, p: usize, halo_left: bool) -> Vec<NodeA
         owner: own,
         bytes: shape.block_bytes,
     }];
-    let nb = if halo_left { b.checked_sub(1) } else { (b + 1 < shape.blocks).then_some(b + 1) };
+    let nb = if halo_left {
+        b.checked_sub(1)
+    } else {
+        (b + 1 < shape.blocks).then_some(b + 1)
+    };
     if let Some(nb) = nb {
         a.push(NodeAccess {
             owner: Color::from(block_owner(nb, shape.blocks, p)),
@@ -221,8 +225,12 @@ impl FdtdProblem {
             }),
         );
 
-        let e = Arc::try_unwrap(e).unwrap_or_else(|_| panic!("e shared")).into_vec();
-        let h = Arc::try_unwrap(h).unwrap_or_else(|_| panic!("h shared")).into_vec();
+        let e = Arc::try_unwrap(e)
+            .unwrap_or_else(|_| panic!("e shared"))
+            .into_vec();
+        let h = Arc::try_unwrap(h)
+            .unwrap_or_else(|_| panic!("h shared"))
+            .into_vec();
         (e, h)
     }
 }
@@ -254,8 +262,18 @@ mod tests {
         let exec = StaticExecutor::new(pool);
         let (ep, hp) = p.run_taskgraph(&exec);
         for i in 0..p.n {
-            assert!((es[i] - ep[i]).abs() < 1e-12, "e[{i}]: {} vs {}", es[i], ep[i]);
-            assert!((hs[i] - hp[i]).abs() < 1e-12, "h[{i}]: {} vs {}", hs[i], hp[i]);
+            assert!(
+                (es[i] - ep[i]).abs() < 1e-12,
+                "e[{i}]: {} vs {}",
+                es[i],
+                ep[i]
+            );
+            assert!(
+                (hs[i] - hp[i]).abs() < 1e-12,
+                "h[{i}]: {} vs {}",
+                hs[i],
+                hp[i]
+            );
         }
     }
 

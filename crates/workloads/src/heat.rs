@@ -104,7 +104,8 @@ impl HeatProblem {
                 read_at(rr * cols + cc)
             };
             let (ri, ci) = (r as isize, c as isize);
-            dst[(r - row0) * cols + c] = 0.25 * (at(ri - 1, ci) + at(ri + 1, ci) + at(ri, ci - 1) + at(ri, ci + 1));
+            dst[(r - row0) * cols + c] =
+                0.25 * (at(ri - 1, ci) + at(ri + 1, ci) + at(ri, ci - 1) + at(ri, ci + 1));
         }
     }
 
@@ -204,7 +205,10 @@ mod tests {
         let par = p.run_taskgraph(&exec);
         assert_eq!(serial.len(), par.len());
         for (i, (s, q)) in serial.iter().zip(par.iter()).enumerate() {
-            assert!((s - q).abs() < 1e-12, "cell {i}: serial {s} vs parallel {q}");
+            assert!(
+                (s - q).abs() < 1e-12,
+                "cell {i}: serial {s} vs parallel {q}"
+            );
         }
     }
 

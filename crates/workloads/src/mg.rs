@@ -52,7 +52,10 @@ pub fn plan(n0: usize, levels: usize, blocks0: usize) -> MgPlan {
     // point (fine index 2j+1) aligns with the Dirichlet boundaries at
     // virtual indices -1 and n.
     assert!((n0 + 1).is_power_of_two(), "n0 must be 2^m - 1");
-    assert!(levels >= 1 && (n0 + 1) >> (levels - 1) >= 8, "grid too coarse");
+    assert!(
+        levels >= 1 && (n0 + 1) >> (levels - 1) >= 8,
+        "grid too coarse"
+    );
     let blocks = |l: usize| (blocks0 >> l).max(1);
     let mut phases = Vec::new();
     for l in 0..levels - 1 {
@@ -93,7 +96,10 @@ impl MgPlan {
 
     fn level_of(&self, phase: MgPhase) -> usize {
         match phase {
-            MgPhase::Smooth(l) | MgPhase::CopyBack(l) | MgPhase::Restrict(l) | MgPhase::Prolong(l) => l,
+            MgPhase::Smooth(l)
+            | MgPhase::CopyBack(l)
+            | MgPhase::Restrict(l)
+            | MgPhase::Prolong(l) => l,
         }
     }
 
@@ -393,7 +399,10 @@ mod tests {
         let u = p.run_serial();
         let r0 = p.residual_norm(&vec![0.0; p.plan.n0]);
         let r1 = p.residual_norm(&u);
-        assert!(r1 < r0 * 0.6, "V-cycle should reduce residual: {r1} vs {r0}");
+        assert!(
+            r1 < r0 * 0.6,
+            "V-cycle should reduce residual: {r1} vs {r0}"
+        );
     }
 
     #[test]

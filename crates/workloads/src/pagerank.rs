@@ -129,7 +129,10 @@ impl PageRank {
                 .into_iter()
                 .map(|m| m.into_iter().collect())
                 .collect(),
-            readers: readers.into_iter().map(|s| s.into_iter().collect()).collect(),
+            readers: readers
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
             verts,
             in_edges,
         }
@@ -171,8 +174,7 @@ impl PageRank {
                 // anti-dependences (previous iteration's readers of this
                 // block must finish before we overwrite it — the WAR
                 // hazard of double buffering), and the block itself.
-                let mut preds: Vec<usize> =
-                    deps.incoming[b].iter().map(|&(sb, _)| sb).collect();
+                let mut preds: Vec<usize> = deps.incoming[b].iter().map(|&(sb, _)| sb).collect();
                 preds.extend(deps.readers[b].iter().copied());
                 preds.push(b);
                 preds.sort_unstable();

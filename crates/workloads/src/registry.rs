@@ -133,6 +133,18 @@ pub fn build(id: BenchId, scale: Scale, p: usize) -> Built {
     Built { id, graph, loops }
 }
 
+/// Builds benchmark `id` with the hand coloring *erased*: every node is
+/// `Color(0)` and its accesses are re-homed there, as if a user handed us
+/// the bare task structure with no data-distribution knowledge. This is
+/// the input the `nabbitc-autocolor` assigners consume; structure, work,
+/// and footprints are identical to [`build`], so hand-vs-auto comparisons
+/// are apples to apples.
+pub fn build_uncolored(id: BenchId, scale: Scale, p: usize) -> Built {
+    let mut built = build(id, scale, p);
+    built.graph.strip_colors();
+    built
+}
+
 /// Builds a PageRank instance for tests/examples (no worker-count floor).
 pub fn build_pagerank(id: BenchId, scale: Scale) -> pagerank::PageRank {
     build_pagerank_for(id, scale, 1)
@@ -220,6 +232,23 @@ mod tests {
                 a.parallelism
             );
         }
+    }
+
+    #[test]
+    fn uncolored_variant_preserves_structure_and_strips_colors() {
+        use nabbitc_color::Color;
+        let hand = build(BenchId::Heat, Scale::Small, 8);
+        let bare = build_uncolored(BenchId::Heat, Scale::Small, 8);
+        assert_eq!(hand.graph.node_count(), bare.graph.node_count());
+        assert_eq!(hand.graph.edge_count(), bare.graph.edge_count());
+        for u in bare.graph.nodes() {
+            assert_eq!(bare.graph.color(u), Color(0));
+            assert_eq!(bare.graph.work(u), hand.graph.work(u));
+            assert_eq!(bare.graph.footprint(u), hand.graph.footprint(u));
+            assert!(bare.graph.accesses(u).iter().all(|a| a.owner == Color(0)));
+        }
+        // The hand-colored build really does use more than one color.
+        assert!(hand.graph.nodes().any(|u| hand.graph.color(u) != Color(0)));
     }
 
     #[test]

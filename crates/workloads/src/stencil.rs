@@ -9,8 +9,8 @@
 use crate::util::block_owner;
 use nabbitc_color::Color;
 use nabbitc_graph::{GraphBuilder, NodeAccess, NodeId, TaskGraph};
-use nabbitc_numasim::{LoopNest, OmpSchedule};
 use nabbitc_numasim::ompsim::{IterDesc, Phase};
+use nabbitc_numasim::{LoopNest, OmpSchedule};
 
 /// Parameters of a stencil-shaped benchmark.
 #[derive(Clone, Copy, Debug)]

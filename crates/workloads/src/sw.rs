@@ -192,7 +192,11 @@ impl SwProblem {
         let mut h = vec![0i32; (self.n + 1) * w];
         for i in 1..=self.n {
             for j in 1..=self.m {
-                let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+                let sub = if a[i - 1] == b[j - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
                 let diag = h[(i - 1) * w + (j - 1)] + sub;
                 let up = h[(i - 1) * w + j] + GAP;
                 let left = h[i * w + (j - 1)] + GAP;
@@ -246,7 +250,11 @@ impl SwProblem {
                 unsafe {
                     for i in ri.start + 1..=ri.end {
                         for j in rj.start + 1..=rj.end {
-                            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+                            let sub = if a[i - 1] == b[j - 1] {
+                                MATCH
+                            } else {
+                                MISMATCH
+                            };
                             let diag = h2.read((i - 1) * w + (j - 1)) + sub;
                             let up = h2.read((i - 1) * w + j) + GAP;
                             let left = h2.read(i * w + (j - 1)) + GAP;

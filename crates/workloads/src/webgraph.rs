@@ -321,7 +321,10 @@ mod tests {
             near as f64 / g.ne() as f64
         };
         let local = generate(&base);
-        let global = generate(&WebGraphParams { locality: 0.1, ..base });
+        let global = generate(&WebGraphParams {
+            locality: 0.1,
+            ..base
+        });
         let w = base.nv / 32;
         assert!(
             near_frac(&local, w) > near_frac(&global, w) + 0.3,

@@ -64,8 +64,18 @@ fn main() {
     );
     println!(
         "steals: {} colored, {} random; remote (logical) {:.1}%",
-        report.stats.workers.iter().map(|w| w.colored_steals).sum::<u64>(),
-        report.stats.workers.iter().map(|w| w.random_steals).sum::<u64>(),
+        report
+            .stats
+            .workers
+            .iter()
+            .map(|w| w.colored_steals)
+            .sum::<u64>(),
+        report
+            .stats
+            .workers
+            .iter()
+            .map(|w| w.random_steals)
+            .sum::<u64>(),
         report.remote.pct_remote()
     );
     assert_eq!(value, binomial_ref(n as u128, k as u128));

@@ -21,7 +21,10 @@ fn main() {
     };
     let serial = problem.run_serial();
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     for (name, cfg) in [
         ("nabbit ", PoolConfig::nabbit(workers)),
         ("nabbitc", PoolConfig::nabbitc(workers)),
@@ -42,7 +45,10 @@ fn main() {
 
     // --- Simulated 80-core NUMA machine (the paper's testbed) ---
     println!("\nsimulated 8x10-core machine, heat at reproduction scale:");
-    println!("{:>5} {:>10} {:>10} {:>10}", "cores", "omp-static", "nabbit", "nabbitc");
+    println!(
+        "{:>5} {:>10} {:>10} {:>10}",
+        "cores", "omp-static", "nabbit", "nabbitc"
+    );
     let scale = 16; // Table I divided by 16
     let cost = CostModel::default();
     let serial_ticks = nabbitc::numasim::serial_ticks(&heat::graph(scale, 1), &cost);

@@ -73,7 +73,10 @@ fn main() {
 
     // OpenMP-style loops on a pinned team.
     let team = Team::new(workers, topo);
-    for (name, sched) in [("omp-static ", Schedule::Static), ("omp-guided ", Schedule::guided())] {
+    for (name, sched) in [
+        ("omp-static ", Schedule::Static),
+        ("omp-guided ", Schedule::guided()),
+    ] {
         let t = Instant::now();
         let run = pagerank_parfor(&pr, &team, sched);
         let dt = t.elapsed();

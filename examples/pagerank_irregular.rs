@@ -35,12 +35,19 @@ fn main() {
     );
 
     let serial = pr.run_serial();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let pool = Arc::new(Pool::new(PoolConfig::nabbitc(workers)));
     let exec = StaticExecutor::new(pool);
     let t = std::time::Instant::now();
     let par = pr.run_taskgraph(&exec);
-    println!("nabbitc ({workers} workers): {:?} for {} power iterations", t.elapsed(), pr.iters);
+    println!(
+        "nabbitc ({workers} workers): {:?} for {} power iterations",
+        t.elapsed(),
+        pr.iters
+    );
     let max_err = serial
         .iter()
         .zip(par.iter())

@@ -30,7 +30,11 @@ fn main() {
 
     // Analyze it: the Theorem 1 quantities.
     let a = nabbitc::graph::analysis::analyze(&graph);
-    println!("task graph: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "task graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     println!(
         "T1 = {}, T_inf = {}, M = {}, max degree = {}, parallelism = {:.1}",
         a.t1, a.t_inf, a.longest_path_nodes, a.max_degree, a.parallelism
@@ -38,9 +42,7 @@ fn main() {
 
     // Execute under NabbitC (colored steals) on a 2-domain machine model.
     let topo = NumaTopology::new(2, 2);
-    let pool = Arc::new(Pool::new(
-        PoolConfig::nabbitc(workers).with_topology(topo),
-    ));
+    let pool = Arc::new(Pool::new(PoolConfig::nabbitc(workers).with_topology(topo)));
     let exec = StaticExecutor::new(pool);
     let executed = Arc::new(AtomicU64::new(0));
     let e2 = executed.clone();
@@ -52,7 +54,11 @@ fn main() {
         }),
     );
 
-    println!("\nexecuted {} nodes in {:?}", executed.load(Ordering::Relaxed), report.elapsed);
+    println!(
+        "\nexecuted {} nodes in {:?}",
+        executed.load(Ordering::Relaxed),
+        report.elapsed
+    );
     println!(
         "remote accesses (paper §V-B metric): {:.1}% ({} of {})",
         report.remote.pct_remote(),
@@ -61,7 +67,17 @@ fn main() {
     );
     println!(
         "steals: {} colored + {} random successful",
-        report.stats.workers.iter().map(|w| w.colored_steals).sum::<u64>(),
-        report.stats.workers.iter().map(|w| w.random_steals).sum::<u64>(),
+        report
+            .stats
+            .workers
+            .iter()
+            .map(|w| w.colored_steals)
+            .sum::<u64>(),
+        report
+            .stats
+            .workers
+            .iter()
+            .map(|w| w.random_steals)
+            .sum::<u64>(),
     );
 }

@@ -24,7 +24,10 @@ fn main() {
         problem.n, problem.m, problem.tiles_n, problem.tiles_m, best
     );
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let pool = Arc::new(Pool::new(PoolConfig::nabbitc(workers)));
     let exec = StaticExecutor::new(pool);
     let t = std::time::Instant::now();
@@ -34,11 +37,13 @@ fn main() {
 
     // --- Simulated comparison: task graph vs diagonal barriers ---
     println!("\nsimulated 8x10-core machine, sw at reproduction scale:");
-    println!("{:>5} {:>14} {:>10} {:>10}", "cores", "omp(wavefront)", "nabbit", "nabbitc");
+    println!(
+        "{:>5} {:>14} {:>10} {:>10}",
+        "cores", "omp(wavefront)", "nabbit", "nabbitc"
+    );
     let shape = sw::shape_sw(4);
     let cost = CostModel::default();
-    let serial_ticks =
-        nabbitc::numasim::serial_ticks(&sw::graph_from_shape(&shape, 1), &cost);
+    let serial_ticks = nabbitc::numasim::serial_ticks(&sw::graph_from_shape(&shape, 1), &cost);
     for p in [10usize, 20, 40, 80] {
         let graph = sw::graph_from_shape(&shape, p);
         let loops = sw::loops_from_shape(&shape, p);

@@ -1,0 +1,217 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the bench binaries link
+//! against this minimal harness instead: same source-level API
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`), measurement by
+//! plain wall-clock sampling — per benchmark it reports mean and min over
+//! `sample_size` samples after a short warm-up. No statistics beyond that,
+//! no HTML reports; output is one line per benchmark on stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` with a parameter suffix, e.g. `batch/1024`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(name: &String) -> Self {
+        BenchmarkId { name: name.clone() }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Durations recorded by [`iter`](Self::iter), one per sample.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a few warm-up calls, then `samples` timed
+    /// calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.name, &b.recorded);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.name, &b.recorded);
+        self
+    }
+
+    /// Ends the group (separator line, mirrors criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&mut self, name: &str, samples: &[Duration]) {
+        let _ = &self.criterion; // group borrows the runner for its lifetime
+        if samples.is_empty() {
+            println!("{}/{name}: no samples recorded", self.group_name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{}/{name}: mean {mean:?}, min {min:?} ({} samples)",
+            self.group_name,
+            samples.len()
+        );
+    }
+}
+
+/// Benchmark runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group_name = name.into();
+        println!("== bench group: {group_name}");
+        BenchmarkGroup {
+            criterion: self,
+            group_name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Prevents the optimizer from deleting a value (criterion re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 2 warm-up + 3 samples.
+        assert_eq!(runs, 5);
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

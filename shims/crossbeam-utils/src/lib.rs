@@ -1,0 +1,150 @@
+//! Workspace-local stand-in for the `crossbeam-utils` crate.
+//!
+//! The build container has no registry access, so the two primitives this
+//! codebase uses are vendored here with identical semantics:
+//!
+//! * [`CachePadded`] — aligns a value to (a conservative multiple of) the
+//!   cache-line size so adjacent hot atomics do not false-share;
+//! * [`Backoff`] — exponential spin/yield back-off for lock-free retry
+//!   loops.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes.
+///
+/// 128 covers the common cases: 64-byte lines with adjacent-line prefetch
+/// on x86, and 128-byte lines on several aarch64 parts — the same value
+/// crossbeam uses on those targets.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value`.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential back-off for retry loops: spin briefly first, then yield the
+/// thread once contention persists.
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// Fresh back-off state.
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Resets to the initial (spinning) state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-spins for `2^step` hints without yielding.
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off, yielding the thread once the spin budget is exhausted.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Whether the caller should switch to blocking (parking) instead.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
+impl fmt::Debug for Backoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backoff")
+            .field("step", &self.step.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let p = CachePadded::new(AtomicU64::new(7));
+        assert_eq!(std::mem::align_of_val(&p), 128);
+        assert_eq!(p.load(std::sync::atomic::Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn backoff_progresses_to_completion() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

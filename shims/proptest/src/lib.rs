@@ -1,0 +1,318 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this crate vendors the
+//! slice of proptest's surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over functions whose arguments are drawn with
+//!   `name in strategy` clauses (strategies: integer ranges, inclusive
+//!   ranges, and [`strategy::Just`]);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * [`ProptestConfig`] with the `cases` knob.
+//!
+//! Draws are seeded from the test's module path + name, so every run of a
+//! given test explores the same cases — failures reproduce without a
+//! persistence file. There is no shrinking: the failing inputs are printed
+//! verbatim instead (the workspace's strategies are small tuples of ints,
+//! where shrinking matters little).
+
+pub use config::ProptestConfig;
+
+/// Test-case failure carried out of a property body by the `prop_assert*`
+/// macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed property with an explanatory message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration.
+pub mod config {
+    /// Subset of proptest's `Config` used by this workspace.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to draw per property.
+        pub cases: u32,
+        /// Unused compatibility knob (no shrinking in the shim).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// Deterministic per-test RNG.
+pub mod rng {
+    use rand::{RngCore, SeedableRng, StdRng};
+
+    /// RNG seeded from a test's fully qualified name.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds from `name` (FNV-1a over the bytes).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Value-drawing strategies.
+pub mod strategy {
+    use super::rng::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that can produce a value per test case.
+    pub trait Strategy {
+        /// The drawn value type.
+        type Value: Debug + Clone;
+
+        /// Draws one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    /// Always produces the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Debug + Clone>(pub T);
+
+    impl<T: Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn pick(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// The glob import test files use.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn` inside becomes a `#[test]` that draws
+/// its arguments `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::rng::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $($arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Property-scope assertion: fails the current case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property-scope equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Property-scope inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respected(a in 3usize..9, b in 0u64..=4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 4, "b was {}", b);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a + 1, a);
+        }
+
+        #[test]
+        fn just_passes_through(v in Just(41u32)) {
+            prop_assert_eq!(v, 41);
+        }
+    }
+
+    #[test]
+    // The nested `#[test]` generated by `proptest!` inside this fn cannot
+    // be collected by the harness — intentional here, we call it directly.
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics_with_inputs() {
+        let r = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+                #[test]
+                fn always_fails(x in 0usize..10) {
+                    prop_assert!(x > 100, "x too small: {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *r
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("x too small"), "{msg}");
+        assert!(msg.contains("inputs"), "{msg}");
+    }
+}

@@ -12,12 +12,13 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`color`] | `nabbitc-color` | [`Color`](color::Color), constant-time [`ColorSet`](color::ColorSet) |
-//! | [`graph`] | `nabbitc-graph` | task graphs, generators, work/span analysis, trace validation |
+//! | [`graph`] | `nabbitc-graph` | task graphs, generators, work/span + edge-cut analysis, trace validation |
+//! | [`autocolor`] | `nabbitc-autocolor` | automatic coloring: [`ColorAssigner`](autocolor::ColorAssigner) strategies from round-robin to recursive bisection, plus online coloring for dynamic specs |
 //! | [`runtime`] | `nabbitc-runtime` | colored Chase–Lev deques, the worker pool, steal policies |
 //! | [`core`] | `nabbitc-core` | Nabbit/NabbitC executors, morphing-continuation spawning, §V-B metrics |
 //! | [`parfor`] | `nabbitc-parfor` | OpenMP-like static/guided/dynamic baselines |
 //! | [`numasim`] | `nabbitc-numasim` | deterministic 8×10-core NUMA simulator (regenerates the paper's figures) |
-//! | [`workloads`] | `nabbitc-workloads` | the Table I benchmark suite, runnable + simulated |
+//! | [`workloads`] | `nabbitc-workloads` | the Table I benchmark suite, runnable + simulated, with uncolored variants for autocolor |
 //!
 //! ## Quickstart
 //!
@@ -48,7 +49,40 @@
 //! }));
 //! assert_eq!(done.load(Ordering::SeqCst), 4);
 //! ```
+//!
+//! ### No colors? Infer them
+//!
+//! When nobody hand-colored the graph, let the autocolor subsystem do it:
+//! `execute_autocolored` partitions the graph for the pool's worker count
+//! (here with [`RecursiveBisection`](autocolor::RecursiveBisection), the
+//! strongest static strategy) and re-homes the data accordingly.
+//!
+//! ```
+//! use nabbitc::autocolor::RecursiveBisection;
+//! use nabbitc::prelude::*;
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // An uncolored 100-node stencil (every node Color(0)).
+//! let graph = Arc::new(nabbitc::graph::generate::iterated_stencil(10, 10, 1, 1));
+//!
+//! let pool = Arc::new(Pool::new(PoolConfig::nabbitc(2)));
+//! let exec = StaticExecutor::new(pool);
+//! let done = Arc::new(AtomicU64::new(0));
+//! let d = done.clone();
+//! let (_report, recolored) = exec.execute_autocolored(
+//!     &graph,
+//!     &RecursiveBisection::default(),
+//!     Arc::new(move |_node, _worker| {
+//!         d.fetch_add(1, Ordering::SeqCst);
+//!     }),
+//! );
+//! assert_eq!(done.load(Ordering::SeqCst), 100);
+//! // Both workers received a share of the inferred coloring.
+//! assert!(recolored.nodes().any(|u| recolored.color(u) != recolored.color(0)));
+//! ```
 
+pub use nabbitc_autocolor as autocolor;
 pub use nabbitc_color as color;
 pub use nabbitc_core as core;
 pub use nabbitc_graph as graph;
@@ -59,9 +93,13 @@ pub use nabbitc_workloads as workloads;
 
 /// The commonly-used surface in one import.
 pub mod prelude {
+    pub use nabbitc_autocolor::{
+        autocolor, BfsLocality, BlockContiguous, ColorAssigner, DynamicAffinity,
+        RecursiveBisection, RoundRobin,
+    };
     pub use nabbitc_color::{Color, ColorSet};
     pub use nabbitc_core::{
-        ColoringMode, DynamicExecutor, ExecOptions, StaticExecutor, TaskSpec,
+        AutoColoredSpec, ColoringMode, DynamicExecutor, ExecOptions, StaticExecutor, TaskSpec,
     };
     pub use nabbitc_graph::{GraphBuilder, NodeAccess, NodeId, TaskGraph};
     pub use nabbitc_numasim::{

@@ -6,8 +6,8 @@ use nabbitc::core::{ExecOptions, StaticExecutor};
 use nabbitc::graph::trace::order_respects_dependences;
 use nabbitc::prelude::*;
 use nabbitc::workloads::{
-    cg::CgProblem, fdtd::FdtdProblem, heat::HeatProblem, life::LifeProblem,
-    pagerank::PageRank, registry, sw::SwProblem, BenchId, Scale,
+    cg::CgProblem, fdtd::FdtdProblem, heat::HeatProblem, life::LifeProblem, pagerank::PageRank,
+    registry, sw::SwProblem, BenchId, Scale,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -55,7 +55,12 @@ fn all_benchmarks_execute_with_valid_traces_nabbitc() {
 
 #[test]
 fn all_benchmarks_execute_with_valid_traces_nabbit() {
-    for id in [BenchId::Heat, BenchId::PageTwitter2010, BenchId::Sw, BenchId::Mg] {
+    for id in [
+        BenchId::Heat,
+        BenchId::PageTwitter2010,
+        BenchId::Sw,
+        BenchId::Mg,
+    ] {
         let built = registry::build(id, Scale::Small, 6);
         let graph = Arc::new(built.graph);
         let exec = traced_executor(6, StealPolicy::nabbit());

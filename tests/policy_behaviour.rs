@@ -49,7 +49,12 @@ fn bad_and_invalid_colorings_still_execute_correctly() {
 #[test]
 fn simulator_remote_ordering_nabbitc_vs_nabbit() {
     // Fig. 7's core claim on the simulator, across several benchmarks.
-    for id in [BenchId::Heat, BenchId::Life, BenchId::Fdtd, BenchId::PageUk2002] {
+    for id in [
+        BenchId::Heat,
+        BenchId::Life,
+        BenchId::Fdtd,
+        BenchId::PageUk2002,
+    ] {
         let p = 40;
         let built = registry::build(id, Scale::Small, p);
         let nc = simulate_ws(&built.graph, &WsConfig::nabbitc(p));
@@ -137,7 +142,10 @@ fn omp_static_dominates_on_regular_simulated() {
     let os = simulate_omp(&built.loops, OmpSchedule::Static, p, &topo, &cost);
     let nc = simulate_ws(&built.graph, &WsConfig::nabbitc(p));
     let nb = simulate_ws(&built.graph, &WsConfig::nabbit(p));
-    assert!(os.makespan <= nc.makespan, "omp-static should win on regular");
+    assert!(
+        os.makespan <= nc.makespan,
+        "omp-static should win on regular"
+    );
     assert!(
         nc.makespan < nb.makespan,
         "NabbitC {} should beat Nabbit {} on regular",
@@ -161,7 +169,11 @@ fn nabbitc_wins_on_irregular_simulated() {
     let avg = |nabbit: bool| -> f64 {
         (0..3)
             .map(|seed| {
-                let mut cfg = if nabbit { WsConfig::nabbit(p) } else { WsConfig::nabbitc(p) };
+                let mut cfg = if nabbit {
+                    WsConfig::nabbit(p)
+                } else {
+                    WsConfig::nabbitc(p)
+                };
                 cfg.seed = 0x11 + seed;
                 simulate_ws(&built.graph, &cfg).makespan as f64
             })

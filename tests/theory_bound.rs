@@ -47,11 +47,10 @@ fn check_bound(graph: &TaskGraph, name: &str) {
             // absorb the simulator's scheduling costs; what matters is
             // that ONE set of constants covers every family, every P, and
             // every seed — i.e. the scaling terms are the right ones.
-            let overheads = per_node_overhead * a.t1 as f64 / p as f64
-                + per_node_overhead * a.t_inf as f64;
+            let overheads =
+                per_node_overhead * a.t1 as f64 / p as f64 + per_node_overhead * a.t_inf as f64;
             let startup = r.cores.iter().map(|c| c.first_work).max().unwrap_or(0) as f64;
-            let bound =
-                theorem1_bound(&a, p, (4.0, 4.0, 50.0, 2000.0), startup) + 8.0 * overheads;
+            let bound = theorem1_bound(&a, p, (4.0, 4.0, 50.0, 2000.0), startup) + 8.0 * overheads;
             assert!(
                 makespan <= bound,
                 "{name}: makespan {makespan} exceeds Theorem 1 bound {bound} (P={p}, seed={seed})"
