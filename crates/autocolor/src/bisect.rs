@@ -17,15 +17,25 @@
 //!    reaches its weight target. BFS growth keeps A connected, which is
 //!    what makes the initial cut a perimeter rather than a shuffle.
 //! 3. **Refine.** Up to [`RecursiveBisection::refine_passes`] boundary
-//!    sweeps move nodes with positive *gain* (external minus internal
-//!    edges — the KL/FM gain function) across the cut, and zero-gain nodes
-//!    when the move improves balance, never letting either side drift more
-//!    than `balance_tolerance` of the subproblem's weight past its target.
+//!    sweeps move nodes with positive *gain* across the cut, and zero-gain
+//!    nodes when the move improves balance, never letting either side
+//!    drift more than `balance_tolerance` of the subproblem's weight past
+//!    its target. The gain function is pluggable
+//!    ([`MoveGain`](crate::refine::MoveGain)): [`ColorAssigner::assign`]
+//!    uses the KL/FM edge-cut gain
+//!    ([`EdgeCutGain`](crate::refine::EdgeCutGain)), and
+//!    [`RecursiveBisection::assign_with_gain`] accepts any *side-local*
+//!    objective (see its docs for the contract). The same [`MoveGain`]
+//!    abstraction drives [`CpLevelAware`](crate::CpLevelAware)'s k-way
+//!    refinement with the makespan-estimate gain
+//!    ([`MakespanGain`](crate::refine::MakespanGain)) — one engine, two
+//!    objectives, no duplicated sweep code.
 //! 4. **Recurse**, then **rebalance**: a final global pass moves nodes off
 //!    any color that exceeds [`balance_limit`](crate::balance_limit),
 //!    choosing the node that hurts the cut least, so the 2× balance bound
 //!    holds unconditionally — even on adversarial weight distributions.
 
+use crate::refine::{EdgeCutGain, MoveGain};
 use crate::{balance_limit, node_weight, ColorAssigner};
 use nabbitc_color::Color;
 use nabbitc_graph::{NodeId, TaskGraph};
@@ -55,6 +65,32 @@ impl ColorAssigner for RecursiveBisection {
     }
 
     fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
+        self.assign_with_gain(graph, workers, &mut EdgeCutGain)
+    }
+}
+
+impl RecursiveBisection {
+    /// [`ColorAssigner::assign`] with an explicit refinement objective:
+    /// every boundary sweep scores candidate moves through `gain` instead
+    /// of the default [`EdgeCutGain`]. The seeding, balance, and
+    /// rebalancing machinery is identical — only what a move is *worth*
+    /// changes.
+    ///
+    /// **Contract:** the recursion evaluates each bisection with
+    /// *side-local* part indices — `from`/`to` are always 0 (side B) or 1
+    /// (side A) of the current subproblem, never final color indices, and
+    /// neighbors outside the subproblem report `None`. The gain must
+    /// therefore be side-local and stateless across subproblems, like
+    /// [`EdgeCutGain`]. Gains that track global per-color state (e.g.
+    /// [`MakespanGain`](crate::refine::MakespanGain), which is built over
+    /// a complete k-way assignment) belong to
+    /// [`refine_kway`](crate::refine::refine_kway), not here.
+    pub fn assign_with_gain(
+        &self,
+        graph: &TaskGraph,
+        workers: usize,
+        gain: &mut dyn MoveGain,
+    ) -> Vec<Color> {
         assert!(workers > 0, "need at least one worker");
         let n = graph.node_count();
         let mut ctx = Ctx {
@@ -68,7 +104,7 @@ impl ColorAssigner for RecursiveBisection {
             side: vec![false; n],
         };
         let all: Vec<NodeId> = graph.nodes().collect();
-        self.subdivide(&mut ctx, all, 0, workers);
+        self.subdivide(&mut ctx, all, 0, workers, gain);
         rebalance(graph, &mut ctx.part, &ctx.weight, workers);
         ctx.part.into_iter().map(Color::from).collect()
     }
@@ -128,7 +164,14 @@ impl Ctx<'_> {
 }
 
 impl RecursiveBisection {
-    fn subdivide(&self, ctx: &mut Ctx<'_>, nodes: Vec<NodeId>, lo: usize, hi: usize) {
+    fn subdivide(
+        &self,
+        ctx: &mut Ctx<'_>,
+        nodes: Vec<NodeId>,
+        lo: usize,
+        hi: usize,
+        gain: &mut dyn MoveGain,
+    ) {
         debug_assert!(lo < hi);
         if hi - lo == 1 {
             for &u in &nodes {
@@ -200,36 +243,39 @@ impl RecursiveBisection {
             }
         }
 
-        // KL/FM-style boundary refinement.
+        // KL/FM-style boundary refinement; the objective is whatever
+        // `gain` scores (sides are parts 0 = B, 1 = A, subset-relative).
         let tol = (total as f64 * self.balance_tolerance).ceil() as u64;
         for _ in 0..self.refine_passes {
             let mut moved = 0usize;
             for &u in &nodes {
                 let w = ctx.weight[u as usize];
                 let on_a = ctx.side[u as usize];
-                let (mut internal, mut external) = (0i64, 0i64);
-                for v in ctx.neighbors(u) {
-                    if ctx.side[v as usize] == on_a {
-                        internal += 1;
-                    } else {
-                        external += 1;
-                    }
+                let (from, to) = (usize::from(on_a), usize::from(!on_a));
+                if !gain.allow(ctx.graph, u, from, to) {
+                    continue;
                 }
-                let gain = external - internal;
-                if gain < 0 {
+                let g = {
+                    let (mark, mark_gen, side) = (&ctx.mark, ctx.mark_gen, &ctx.side);
+                    gain.gain(ctx.graph, u, from, to, &|v| {
+                        (mark[v as usize] == mark_gen).then(|| usize::from(side[v as usize]))
+                    })
+                };
+                if g < 0 {
                     continue;
                 }
                 // Weight of A after moving u to the other side.
                 let new_weight_a = if on_a { weight_a - w } else { weight_a + w };
                 let dist = weight_a.abs_diff(target_a);
                 let new_dist = new_weight_a.abs_diff(target_a);
-                // Cut-improving moves may drift up to `tol` off target;
+                // Gain-improving moves may drift up to `tol` off target;
                 // zero-gain moves must strictly improve balance.
                 let balance_ok = new_dist <= tol || new_dist < dist;
-                let improves = gain > 0 || new_dist < dist;
+                let improves = g > 0 || new_dist < dist;
                 if improves && balance_ok {
                     ctx.side[u as usize] = !on_a;
                     weight_a = new_weight_a;
+                    gain.commit(ctx.graph, u, from, to);
                     moved += 1;
                 }
             }
@@ -256,12 +302,12 @@ impl RecursiveBisection {
                 }
                 acc += ctx.weight[u as usize];
             }
-            self.subdivide(ctx, a, lo, mid);
-            self.subdivide(ctx, b, mid, hi);
+            self.subdivide(ctx, a, lo, mid, gain);
+            self.subdivide(ctx, b, mid, hi, gain);
             return;
         }
-        self.subdivide(ctx, side_a, lo, mid);
-        self.subdivide(ctx, side_b, mid, hi);
+        self.subdivide(ctx, side_a, lo, mid, gain);
+        self.subdivide(ctx, side_b, mid, hi, gain);
     }
 }
 

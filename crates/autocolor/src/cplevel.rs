@@ -1,0 +1,335 @@
+//! Critical-path/level-aware coloring: partition the DAG level by level so
+//! that every wide dependency level is spread across colors and the
+//! simulated makespan — not the edge-cut — is the objective.
+//!
+//! Edge-cut-optimal partitions ([`RecursiveBisection`](crate::RecursiveBisection))
+//! lose on wavefront shapes: the cut-minimal split of a 2-D wavefront is
+//! spatially compact, which places whole anti-diagonals — the graph's
+//! *only* source of parallelism — on one color, serializing the pipeline.
+//! Hand row-blocking cuts *more* edges yet wins makespan because every
+//! diagonal keeps all colors busy (see `results/autocolor_vs_hand.md`).
+//!
+//! [`CpLevelAware`] schedules instead of cutting:
+//!
+//! 1. **Profile levels.** Nodes are grouped by earliest start time
+//!    ([`level_profile`]); a level's width is the parallelism available
+//!    at that point of an ideal schedule.
+//! 2. **Sweep level by level** down the DAG, assigning each node the
+//!    color that finishes it earliest under a running list-schedule
+//!    estimate (the offline analogue of HEFT): a color is ready when the
+//!    node's predecessors have finished — plus
+//!    [`CpLevelAware::cross_penalty_frac`] of a mean node's weight per
+//!    cross-color dependence — and when the color's previous work is
+//!    done. Chains therefore inherit their predecessor's color (crossing
+//!    costs a penalty), while a color that is busy — because a level is
+//!    piling onto it — loses to an idle one, which is what spreads the
+//!    wavefront ramp that pure majority-inheritance serializes. Finish
+//!    ties break toward the weighted majority predecessor color.
+//! 3. **Quotas and caps (hard constraints).** In a *wide* level (width ≥
+//!    workers) each color may take at most [`CpLevelAware::level_slack`]
+//!    × its even share of the level's weight, clamped to strictly less
+//!    than the whole level — so no wide level can ever serialize. A
+//!    global cap at [`balance_limit`](crate::balance_limit) keeps the 2×
+//!    greedy bound unconditionally.
+//! 4. **Refine** with the makespan-estimate gain
+//!    ([`MakespanGain`](crate::refine::MakespanGain)) through the same
+//!    pluggable KL machinery the bisection uses — moves that improve
+//!    locality are taken only when they do not re-concentrate a level
+//!    (wide-level quotas are enforced as a veto).
+
+use crate::refine::{refine_kway, MakespanGain};
+use crate::{balance_limit, node_weight, ColorAssigner};
+use nabbitc_color::Color;
+use nabbitc_graph::analysis::level_profile;
+use nabbitc_graph::{NodeId, TaskGraph};
+
+/// Level-by-level critical-path-aware partitioner (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct CpLevelAware {
+    /// Per-color share of a wide level's weight, as a multiple of the even
+    /// share `level_weight / workers`. Clamped below at 1.0; higher trades
+    /// level spread for locality.
+    pub level_slack: f64,
+    /// Cost of one cross-color dependence edge in the internal
+    /// list-schedule estimate, as a fraction of the mean node weight.
+    /// Higher values favor inheritance (longer same-color chains), lower
+    /// values favor spreading.
+    pub cross_penalty_frac: f64,
+    /// Makespan-gain refinement sweeps after the level sweep (0 disables).
+    pub refine_passes: usize,
+}
+
+impl Default for CpLevelAware {
+    fn default() -> Self {
+        CpLevelAware {
+            level_slack: 1.1,
+            cross_penalty_frac: 2.0,
+            refine_passes: 2,
+        }
+    }
+}
+
+impl ColorAssigner for CpLevelAware {
+    fn name(&self) -> &'static str {
+        "cp-level-aware"
+    }
+
+    fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
+        assert!(workers > 0, "need at least one worker");
+        let n = graph.node_count();
+        if workers == 1 {
+            return vec![Color(0); n];
+        }
+        let profile = level_profile(graph);
+        let weight: Vec<u64> = graph.nodes().map(|u| node_weight(graph, u)).collect();
+        let total: u64 = weight.iter().sum();
+        let limit = balance_limit(graph, workers);
+        let slack = self.level_slack.max(1.0);
+        let penalty = ((total as f64 / n as f64) * self.cross_penalty_frac.max(0.0)).ceil() as u64;
+
+        // Per-level totals in *node-weight* units (profile.weights counts
+        // work only; the sweep's loads, caps, and quotas all use
+        // node_weight so they compose with `balance_limit`).
+        let mut lweights = vec![0u64; profile.level_count()];
+        for u in graph.nodes() {
+            lweights[profile.level_of[u as usize] as usize] += weight[u as usize];
+        }
+
+        // Wide-level quotas: a color may hold at most `slack × even share`
+        // of a wide level's weight (0 marks a narrow, quota-free level).
+        // The quota is clamped to `weight − 1` so that no wide level can
+        // *ever* end fully on one color — the invariant the property
+        // tests pin (quota-respecting assignments cannot complete a level).
+        let quota: Vec<u64> = (0..profile.level_count())
+            .map(|l| {
+                if profile.widths[l] >= workers {
+                    let even = ((lweights[l] as f64 / workers as f64) * slack).ceil() as u64;
+                    even.min(lweights[l].saturating_sub(1)).max(1)
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        // Nodes grouped by level, in topological order within each level
+        // (zero-work nodes can share a level with their predecessors).
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); profile.level_count()];
+        for &u in graph.topo_order() {
+            buckets[profile.level_of[u as usize] as usize].push(u);
+        }
+
+        let mut part = vec![0usize; n];
+        let mut loads = vec![0u64; workers]; // global, node-weight
+        let mut level_loads = vec![0u64; workers]; // reset per level
+        let mut votes = vec![0u64; workers]; // scratch, reset per node
+        let mut free = vec![0u64; workers]; // list-schedule worker clocks
+        let mut finish = vec![0u64; n];
+        for (l, bucket) in buckets.iter().enumerate() {
+            let q = quota[l];
+            level_loads.fill(0);
+            for &u in bucket {
+                let w = weight[u as usize];
+                let preds = graph.predecessors(u);
+
+                // Weighted predecessor-majority vote — the finish-time
+                // tiebreak (heavy parents pull harder: their data is
+                // bigger).
+                let mut majority: Option<usize> = None;
+                for &p in preds {
+                    let c = part[p as usize];
+                    votes[c] += weight[p as usize];
+                    if majority.map(|b| votes[c] > votes[b]).unwrap_or(true) {
+                        majority = Some(c);
+                    }
+                }
+                for &p in preds {
+                    votes[part[p as usize]] = 0;
+                }
+
+                // Earliest finish time over the admissible colors. The
+                // candidate set is nonempty: the globally least-loaded
+                // color always satisfies `load + w ≤ total/workers + wmax
+                // ≤ limit` (the greedy bound), and a wide level's quota
+                // admits at least one color whenever its dominant color is
+                // excluded (the level cannot be fully held by all colors
+                // at once).
+                let mut chosen: Option<(u64, usize)> = None; // (finish, color)
+                let mut any_quota_ok = false;
+                for c in 0..workers {
+                    if loads[c] + w > limit {
+                        continue;
+                    }
+                    // Hard serialization veto: even when the quota must be
+                    // overridden (a node heavier than the quota), no
+                    // assignment may place a wide level entirely on one
+                    // color. Safe to enforce: two distinct colors can
+                    // never both hold "everything assigned so far" of a
+                    // ≥ 2-node level, so an admissible color remains.
+                    if q != 0 && level_loads[c] + w >= lweights[l] {
+                        continue;
+                    }
+                    let quota_ok = q == 0 || level_loads[c] + w <= q;
+                    if quota_ok && !any_quota_ok {
+                        // Quota-respecting candidates strictly outrank
+                        // quota-violating ones (which are only a fallback
+                        // for nodes heavier than the quota itself).
+                        any_quota_ok = true;
+                        chosen = None;
+                    }
+                    if quota_ok != any_quota_ok {
+                        continue;
+                    }
+                    let mut ready = 0u64;
+                    for &p in preds {
+                        let mut t = finish[p as usize];
+                        if part[p as usize] != c {
+                            t += penalty;
+                        }
+                        ready = ready.max(t);
+                    }
+                    let fin = ready.max(free[c]) + w;
+                    let better = match chosen {
+                        None => true,
+                        Some((best_fin, best_c)) => {
+                            fin < best_fin
+                                || (fin == best_fin
+                                    && (Some(c) == majority && Some(best_c) != majority))
+                        }
+                    };
+                    if better {
+                        chosen = Some((fin, c));
+                    }
+                }
+                let (fin, c) = chosen.expect("globally least-loaded color always fits");
+                part[u as usize] = c;
+                finish[u as usize] = fin;
+                free[c] = fin;
+                level_loads[c] += w;
+                loads[c] += w;
+            }
+        }
+
+        // Makespan-gain refinement: improve locality where it does not
+        // re-concentrate a level (the quota veto keeps every wide level
+        // spread, the load cap keeps the balance bound).
+        if self.refine_passes > 0 {
+            let mut gain =
+                MakespanGain::new(graph, &profile, &part, &weight, workers).with_level_quota(quota);
+            refine_kway(
+                graph,
+                &mut part,
+                &weight,
+                &mut loads,
+                limit,
+                self.refine_passes,
+                &mut gain,
+            );
+        }
+
+        part.into_iter().map(Color::from).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assignment_is_valid, assignment_loads, RecursiveBisection};
+    use nabbitc_graph::analysis::{estimate_makespan_colored, level_profile, level_serialization};
+    use nabbitc_graph::generate;
+
+    #[test]
+    fn valid_and_balanced_on_benchmark_shapes() {
+        for g in [
+            generate::iterated_stencil(12, 48, 3, 1),
+            generate::wavefront(24, 24, 2, 1),
+            generate::layered_random(10, 16, 3, (1, 300), 1, 7),
+        ] {
+            for p in [1usize, 2, 4, 7, 16] {
+                let colors = CpLevelAware::default().assign(&g, p);
+                assert!(assignment_is_valid(&colors, p), "p={p}");
+                let max = *assignment_loads(&g, &colors, p).iter().max().unwrap();
+                assert!(max <= balance_limit(&g, p), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_levels_never_serialized_on_wavefront() {
+        let g = generate::wavefront(20, 20, 2, 1);
+        for p in [2usize, 4, 8] {
+            let colors = CpLevelAware::default().assign(&g, p);
+            let mut g2 = g.clone();
+            g2.recolor(|u, _| colors[u as usize]);
+            let profile = level_profile(&g2);
+            let ser = level_serialization(&g2, &profile);
+            for l in 0..profile.level_count() {
+                if profile.widths[l] >= p {
+                    assert!(
+                        ser.per_level[l] < 1.0,
+                        "p={p}: level {l} (width {}) fully serialized",
+                        profile.widths[l]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beats_bisection_makespan_estimate_on_wavefront() {
+        // The tentpole claim: on the wavefront shape, the level-aware
+        // coloring wins the schedule even though bisection wins the cut.
+        let g = generate::wavefront(32, 32, 8, 1);
+        for p in [4usize, 8] {
+            let cp = CpLevelAware::default().assign(&g, p);
+            let rb = RecursiveBisection::default().assign(&g, p);
+            let penalty = 4;
+            let m_cp = estimate_makespan_colored(&g, &cp, p, penalty);
+            let m_rb = estimate_makespan_colored(&g, &rb, p, penalty);
+            assert!(
+                m_cp < m_rb,
+                "p={p}: cp-level-aware {m_cp} not below bisection {m_rb}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_chain_inherits_one_color() {
+        // A pure chain has only narrow levels: everything inherits.
+        let g = generate::chain(50, 3, 1);
+        let colors = CpLevelAware::default().assign(&g, 4);
+        let changes = colors.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes <= 4, "chain split {changes} times");
+    }
+
+    #[test]
+    fn single_worker_single_color() {
+        let g = generate::wavefront(6, 6, 1, 1);
+        let colors = CpLevelAware::default().assign(&g, 1);
+        assert!(colors.iter().all(|&c| c == Color(0)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generate::layered_random(8, 12, 3, (1, 100), 1, 3);
+        let a = CpLevelAware::default().assign(&g, 5);
+        let b = CpLevelAware::default().assign(&g, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_weights_respect_balance() {
+        use nabbitc_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(10_000, Color(0), 0);
+        for i in 1..64u32 {
+            b.add_simple_node(1, Color(0), 0);
+            b.add_edge(0, i);
+        }
+        let g = b.build().unwrap();
+        for p in [2usize, 4, 8] {
+            let colors = CpLevelAware::default().assign(&g, p);
+            let max = *assignment_loads(&g, &colors, p).iter().max().unwrap();
+            assert!(max <= balance_limit(&g, p), "p={p}");
+        }
+    }
+}

@@ -21,9 +21,26 @@
 //! * [`RecursiveBisection`] — balanced graph partitioning into `workers`
 //!   parts with greedy Kernighan–Lin-style boundary refinement, trading
 //!   cross-color edge-cut against load balance;
+//! * [`CpLevelAware`] — critical-path-aware partitioning: sweeps the DAG
+//!   level by level (levels = earliest-start-time classes), spreading
+//!   every *wide* level across colors under a per-level quota while
+//!   narrow levels inherit their majority predecessor color. Its
+//!   objective is simulated makespan, not edge-cut: on wavefront shapes,
+//!   where cut-optimal partitions serialize whole dependency levels onto
+//!   one color ([`RecursiveBisection`]'s failure mode), it keeps every
+//!   anti-diagonal feeding all workers and wins the schedule despite
+//!   cutting more edges;
 //! * [`DynamicAffinity`] — predecessor-majority voting with a load cap;
 //!   usable offline through [`ColorAssigner`] and online through
 //!   [`OnlineAssigner`] for the on-demand executor.
+//!
+//! The partitioners share one KL/FM refinement engine with a *pluggable
+//! gain* ([`refine::MoveGain`]): [`RecursiveBisection`] refines with the
+//! classic edge-cut gain ([`refine::EdgeCutGain`]), [`CpLevelAware`] with
+//! the makespan-estimate gain ([`refine::MakespanGain`] — cross-edge
+//! penalty plus per-level concentration), and
+//! [`RecursiveBisection::assign_with_gain`] accepts any side-local
+//! objective (see its contract).
 //!
 //! A coloring is *scheduling metadata only* until it is applied:
 //! [`apply_assignment`] recolors the graph **and** re-homes every node's
@@ -38,19 +55,27 @@
 //!    (never [`Color::INVALID`], which Table III shows degenerates
 //!    NabbitC);
 //! 2. **balance** (the weight-aware strategies: [`BfsLocality`],
-//!    [`RecursiveBisection`], [`DynamicAffinity`]) — max per-color load
-//!    ≤ 2 × `max(total/workers, wmax)`, the greedy-scheduling bound (see
-//!    [`balance_limit`]). The id-based baselines ignore weights by design
-//!    and meet the bound only on uniform graphs.
+//!    [`RecursiveBisection`], [`CpLevelAware`], [`DynamicAffinity`]) —
+//!    max per-color load ≤ 2 × `max(total/workers, wmax)`, the
+//!    greedy-scheduling bound (see [`balance_limit`]). The id-based
+//!    baselines ignore weights by design and meet the bound only on
+//!    uniform graphs.
+//!
+//! [`CpLevelAware`] adds a third, the one the makespan tests pin: no
+//! dependency level of width ≥ `workers` is ever fully serialized onto
+//! one color.
 
 pub mod baseline;
 pub mod bfs;
 pub mod bisect;
+pub mod cplevel;
 pub mod online;
+pub mod refine;
 
 pub use baseline::{BlockContiguous, RoundRobin};
 pub use bfs::BfsLocality;
 pub use bisect::RecursiveBisection;
+pub use cplevel::CpLevelAware;
 pub use online::{DynamicAffinity, OnlineAssigner};
 
 use nabbitc_color::Color;
@@ -136,6 +161,7 @@ pub fn all_strategies() -> Vec<Box<dyn ColorAssigner>> {
         Box::new(BlockContiguous),
         Box::new(BfsLocality::default()),
         Box::new(RecursiveBisection::default()),
+        Box::new(CpLevelAware::default()),
         Box::new(DynamicAffinity::default()),
     ]
 }

@@ -1,0 +1,391 @@
+//! Pluggable KL/FM-style boundary refinement, shared by the partitioning
+//! assigners.
+//!
+//! [`RecursiveBisection`](crate::RecursiveBisection) and
+//! [`CpLevelAware`](crate::CpLevelAware) both polish an initial partition
+//! with greedy move sweeps; what differs is only the *gain function* —
+//! what a move is worth. [`MoveGain`] abstracts that, so the two
+//! objectives live side by side instead of being duplicated sweep loops:
+//!
+//! * [`EdgeCutGain`] — the classic KL/FM gain (edges made internal minus
+//!   edges made external). Optimal for remote-access volume, blind to the
+//!   level structure; on wavefront shapes it happily serializes whole
+//!   dependency levels onto one color.
+//! * [`MakespanGain`] — the differential of the makespan estimator's two
+//!   cost terms (see
+//!   [`estimate_makespan_colored`](nabbitc_graph::analysis::estimate_makespan_colored)):
+//!   the cross-color edge term, scaled into weight units, plus a
+//!   per-level concentration term (the exact delta of the smooth
+//!   sum-of-squares surrogate for each level's max-per-color completion
+//!   time). A move gains by cutting fewer edges *or* by spreading a
+//!   dependency level across colors — never by piling a level up.
+
+use nabbitc_graph::analysis::LevelProfile;
+use nabbitc_graph::{NodeId, TaskGraph};
+
+/// The gain function of a refinement move: what moving node `u` from part
+/// `from` to part `to` is worth (higher is better; only positive-gain
+/// moves are taken).
+pub trait MoveGain {
+    /// Gain of moving `u` from `from` to `to`. `part_of(v)` is a
+    /// neighbor's current part, or `None` when `v` is outside the
+    /// refinement's scope (e.g. other subsets of the bisection recursion);
+    /// out-of-scope neighbors must be ignored.
+    fn gain(
+        &self,
+        graph: &TaskGraph,
+        u: NodeId,
+        from: usize,
+        to: usize,
+        part_of: &dyn Fn(NodeId) -> Option<usize>,
+    ) -> i64;
+
+    /// Whether the move is admissible at all, independent of its gain —
+    /// objectives with hard constraints (e.g. wide-level quotas) veto
+    /// here. Defaults to "every move is allowed".
+    fn allow(&self, _graph: &TaskGraph, _u: NodeId, _from: usize, _to: usize) -> bool {
+        true
+    }
+
+    /// Invoked after a move commits, for gains that maintain state.
+    fn commit(&mut self, _graph: &TaskGraph, _u: NodeId, _from: usize, _to: usize) {}
+}
+
+/// Classic KL/FM edge-cut gain: neighbors already in `to` become internal
+/// (+1 each), neighbors left behind in `from` become cut (−1 each); edges
+/// to any other part are cut before and after, so they cancel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeCutGain;
+
+impl MoveGain for EdgeCutGain {
+    fn gain(
+        &self,
+        graph: &TaskGraph,
+        u: NodeId,
+        from: usize,
+        to: usize,
+        part_of: &dyn Fn(NodeId) -> Option<usize>,
+    ) -> i64 {
+        let mut gain = 0i64;
+        for &v in graph
+            .predecessors(u)
+            .iter()
+            .chain(graph.successors(u).iter())
+        {
+            match part_of(v) {
+                Some(p) if p == to => gain += 1,
+                Some(p) if p == from => gain -= 1,
+                _ => {}
+            }
+        }
+        gain
+    }
+}
+
+/// Makespan-estimate gain: cross-color edge delta (scaled to weight
+/// units) plus the per-level concentration delta.
+///
+/// The list-schedule estimator charges (a) `cross_penalty` per cut edge
+/// and (b) per dependency level, roughly the *max* single-color weight of
+/// the level (the workers not holding the max finish earlier and wait).
+/// Term (a)'s differential is [`EdgeCutGain`] times the penalty; term
+/// (b)'s is approximated through the smooth sum-of-squares surrogate
+/// `Σ_c m_{l,c}²` whose exact move delta is `2w·(w + m_to − m_from)` —
+/// negative (an improvement) exactly when the move takes weight from a
+/// more-loaded color of the level to a less-loaded one.
+pub struct MakespanGain {
+    level_of: Vec<u32>,
+    /// `m[level * workers + color]`: node-weight per (level, color).
+    level_loads: Vec<u64>,
+    weight: Vec<u64>,
+    workers: usize,
+    /// What one cut edge costs, in weight units.
+    edge_scale: i64,
+    /// Optional hard cap on any color's share of a level's weight
+    /// (0 = uncapped level); enforced via [`MoveGain::allow`].
+    level_quota: Vec<u64>,
+}
+
+impl MakespanGain {
+    /// Builds the gain state for `graph` under the initial assignment
+    /// `part` (values `< workers`), with node weights `weight`. The edge
+    /// term is scaled by the mean node weight, so "one edge" and "one
+    /// average node of pipeline slack" trade at par.
+    pub fn new(
+        graph: &TaskGraph,
+        profile: &LevelProfile,
+        part: &[usize],
+        weight: &[u64],
+        workers: usize,
+    ) -> Self {
+        let mut level_loads = vec![0u64; profile.level_count() * workers];
+        for u in graph.nodes() {
+            let l = profile.level_of[u as usize] as usize;
+            level_loads[l * workers + part[u as usize]] += weight[u as usize];
+        }
+        let total: u64 = weight.iter().sum();
+        let edge_scale = (total / weight.len().max(1) as u64).max(1) as i64;
+        MakespanGain {
+            level_of: profile.level_of.clone(),
+            level_loads,
+            weight: weight.to_vec(),
+            workers,
+            edge_scale,
+            level_quota: Vec::new(),
+        }
+    }
+
+    /// Adds a hard per-level quota: no move may push a color's share of
+    /// level `l`'s weight above `quota[l]` (0 leaves the level uncapped).
+    /// This is how [`CpLevelAware`](crate::CpLevelAware) guarantees its
+    /// level sweep's spread survives refinement.
+    pub fn with_level_quota(mut self, quota: Vec<u64>) -> Self {
+        self.level_quota = quota;
+        self
+    }
+
+    /// Node-weight of color `c` within node `u`'s level.
+    pub fn level_load(&self, u: NodeId, c: usize) -> u64 {
+        self.level_loads[self.level_of[u as usize] as usize * self.workers + c]
+    }
+}
+
+impl MoveGain for MakespanGain {
+    fn gain(
+        &self,
+        graph: &TaskGraph,
+        u: NodeId,
+        from: usize,
+        to: usize,
+        part_of: &dyn Fn(NodeId) -> Option<usize>,
+    ) -> i64 {
+        let edge = EdgeCutGain.gain(graph, u, from, to, part_of);
+        let w = self.weight[u as usize] as i64;
+        // Exact delta of the level's sum-of-squares concentration,
+        // divided by 2w (positive = improvement): m_from − m_to − w.
+        let spread = self.level_load(u, from) as i64 - self.level_load(u, to) as i64 - w;
+        edge * self.edge_scale + spread
+    }
+
+    fn allow(&self, _graph: &TaskGraph, u: NodeId, _from: usize, to: usize) -> bool {
+        if self.level_quota.is_empty() {
+            return true;
+        }
+        let q = self.level_quota[self.level_of[u as usize] as usize];
+        q == 0 || self.level_load(u, to) + self.weight[u as usize] <= q
+    }
+
+    fn commit(&mut self, _graph: &TaskGraph, u: NodeId, from: usize, to: usize) {
+        let l = self.level_of[u as usize] as usize * self.workers;
+        self.level_loads[l + from] -= self.weight[u as usize];
+        self.level_loads[l + to] += self.weight[u as usize];
+    }
+}
+
+/// Greedy k-way refinement: up to `passes` sweeps over all nodes; each
+/// node considers moving to each distinct part among its neighbors and
+/// takes the best strictly-positive-gain move that the gain's
+/// [`MoveGain::allow`] admits and that keeps the destination's load
+/// within `max_load`. `loads` is kept in sync. Returns the number of
+/// moves made.
+pub fn refine_kway(
+    graph: &TaskGraph,
+    part: &mut [usize],
+    weight: &[u64],
+    loads: &mut [u64],
+    max_load: u64,
+    passes: usize,
+    gain: &mut dyn MoveGain,
+) -> usize {
+    let mut total_moves = 0usize;
+    let mut cands: Vec<usize> = Vec::new();
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for u in graph.nodes() {
+            let from = part[u as usize];
+            let w = weight[u as usize];
+            cands.clear();
+            for &v in graph
+                .predecessors(u)
+                .iter()
+                .chain(graph.successors(u).iter())
+            {
+                let p = part[v as usize];
+                if p != from && !cands.contains(&p) {
+                    cands.push(p);
+                }
+            }
+            let mut best: Option<(usize, i64)> = None;
+            for &to in &cands {
+                if loads[to] + w > max_load || !gain.allow(graph, u, from, to) {
+                    continue;
+                }
+                let part_ref: &[usize] = part;
+                let g = gain.gain(graph, u, from, to, &|v| Some(part_ref[v as usize]));
+                if g > 0 && best.map(|(_, b)| g > b).unwrap_or(true) {
+                    best = Some((to, g));
+                }
+            }
+            if let Some((to, _)) = best {
+                part[u as usize] = to;
+                loads[from] -= w;
+                loads[to] += w;
+                gain.commit(graph, u, from, to);
+                moved += 1;
+            }
+        }
+        total_moves += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nabbitc_color::Color;
+    use nabbitc_graph::analysis::{edge_cut, level_profile};
+    use nabbitc_graph::{generate, TaskGraph};
+
+    fn apply(g: &TaskGraph, part: &[usize]) -> TaskGraph {
+        let mut g2 = g.clone();
+        g2.recolor(|u, _| Color::from(part[u as usize]));
+        g2
+    }
+
+    #[test]
+    fn edge_cut_gain_counts_neighbor_sides() {
+        // Chain 0-1-2, parts 0,1,1: moving node 0 to part 1 gains 1.
+        let g = generate::chain(3, 1, 1);
+        let part = [0usize, 1, 1];
+        let gain = EdgeCutGain.gain(&g, 0, 0, 1, &|v| Some(part[v as usize]));
+        assert_eq!(gain, 1);
+        // Moving the middle node back to 0 gains 1 - 1 = 0.
+        let gain = EdgeCutGain.gain(&g, 1, 1, 0, &|v| Some(part[v as usize]));
+        assert_eq!(gain, 0);
+        // Out-of-scope neighbors are ignored.
+        let gain = EdgeCutGain.gain(&g, 0, 0, 1, &|_| None);
+        assert_eq!(gain, 0);
+    }
+
+    #[test]
+    fn refine_kway_reduces_cut_on_scrambled_chain() {
+        let g = generate::chain(64, 4, 1);
+        let mut part: Vec<usize> = (0..64).map(|u| u % 2).collect(); // worst case
+        let weight: Vec<u64> = g.nodes().map(|u| g.work(u)).collect();
+        let mut loads = [0u64; 2];
+        for u in g.nodes() {
+            loads[part[u as usize]] += weight[u as usize];
+        }
+        let before = edge_cut(&apply(&g, &part));
+        let moves = refine_kway(
+            &g,
+            &mut part,
+            &weight,
+            &mut loads,
+            u64::MAX,
+            8,
+            &mut EdgeCutGain,
+        );
+        let after = edge_cut(&apply(&g, &part));
+        assert!(moves > 0);
+        assert!(after < before, "cut {after} !< {before}");
+        // Loads stayed consistent.
+        let mut check = [0u64; 2];
+        for u in g.nodes() {
+            check[part[u as usize]] += weight[u as usize];
+        }
+        assert_eq!(check, loads);
+    }
+
+    #[test]
+    fn refine_kway_respects_load_cap_and_veto() {
+        let g = generate::chain(10, 1, 1);
+        let weight: Vec<u64> = g.nodes().map(|_| 1).collect();
+
+        // Cap: part 1 is already at the cap, so nothing may move into it.
+        let mut part: Vec<usize> = (0..10).map(|u| usize::from(u >= 5)).collect();
+        let mut loads = [5u64, 5];
+        let moves = refine_kway(&g, &mut part, &weight, &mut loads, 5, 4, &mut EdgeCutGain);
+        assert_eq!(moves, 0, "cap must block every move");
+
+        // Veto: same setup with room, but the gain's allow() rejects all.
+        struct VetoAll;
+        impl MoveGain for VetoAll {
+            fn gain(
+                &self,
+                graph: &TaskGraph,
+                u: NodeId,
+                from: usize,
+                to: usize,
+                part_of: &dyn Fn(NodeId) -> Option<usize>,
+            ) -> i64 {
+                EdgeCutGain.gain(graph, u, from, to, part_of)
+            }
+            fn allow(&self, _: &TaskGraph, _: NodeId, _: usize, _: usize) -> bool {
+                false
+            }
+        }
+        let mut part: Vec<usize> = (0..10).map(|u| u % 2).collect();
+        let mut loads = [5u64, 5];
+        let moves = refine_kway(
+            &g,
+            &mut part,
+            &weight,
+            &mut loads,
+            u64::MAX,
+            4,
+            &mut VetoAll,
+        );
+        assert_eq!(moves, 0, "veto must block every move");
+    }
+
+    #[test]
+    fn makespan_gain_quota_vetoes_reconcentration() {
+        // Two independent nodes + sink; both nodes on color 0, quota =
+        // half the level weight: moving anything more onto color 0 is
+        // vetoed, spreading to color 1 is allowed.
+        let g = generate::independent(2, 10, 1);
+        let profile = level_profile(&g);
+        let part = vec![0usize, 0, 0];
+        let weight: Vec<u64> = g.nodes().map(|u| g.work(u).max(1)).collect();
+        let quota = vec![10u64, 0];
+        let mg = MakespanGain::new(&g, &profile, &part, &weight, 2).with_level_quota(quota);
+        assert!(!mg.allow(&g, 0, 1, 0), "color 0 is past the level quota");
+        assert!(mg.allow(&g, 0, 0, 1), "color 1 has quota headroom");
+    }
+
+    #[test]
+    fn makespan_gain_prefers_spreading_a_level() {
+        // Two independent equal nodes in one level funneled to a sink,
+        // both on color 0: moving one to color 1 has zero edge-cut gain
+        // but positive spread gain.
+        let g = generate::independent(2, 10, 1);
+        let profile = level_profile(&g);
+        let part = vec![0usize, 0, 0];
+        let weight: Vec<u64> = g.nodes().map(|u| g.work(u).max(1)).collect();
+        let mg = MakespanGain::new(&g, &profile, &part, &weight, 2);
+        let gain = mg.gain(&g, 0, 0, 1, &|v| Some(part[v as usize]));
+        // Spread term: m_from(20) - m_to(0) - w(10) = +10; edge term:
+        // the funnel edge 0->sink becomes cut, -1 × edge_scale.
+        assert!(gain > 0, "spreading an over-concentrated level must gain");
+        // Moving the sink off its predecessors' color is a pure loss.
+        let gain_sink = mg.gain(&g, 2, 0, 1, &|v| Some(part[v as usize]));
+        assert!(gain_sink < 0);
+    }
+
+    #[test]
+    fn makespan_gain_commit_tracks_level_loads() {
+        let g = generate::independent(2, 10, 1);
+        let profile = level_profile(&g);
+        let part = vec![0usize, 0, 0];
+        let weight: Vec<u64> = g.nodes().map(|u| g.work(u).max(1)).collect();
+        let mut mg = MakespanGain::new(&g, &profile, &part, &weight, 2);
+        assert_eq!(mg.level_load(0, 0), 20);
+        mg.commit(&g, 1, 0, 1);
+        assert_eq!(mg.level_load(0, 0), 10);
+        assert_eq!(mg.level_load(0, 1), 10);
+    }
+}

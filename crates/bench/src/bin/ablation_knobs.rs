@@ -88,5 +88,5 @@ fn main() {
             format!("{:.2}x", nc / nb),
         ]);
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

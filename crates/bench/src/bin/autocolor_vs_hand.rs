@@ -12,16 +12,21 @@
 //! Read the makespan column with care: edge-cut is necessary but not
 //! sufficient. On wavefront shapes (sw) a spatially compact partition can
 //! *serialize* the pipeline — the hand row-blocking cuts more edges yet
-//! finishes earlier because every diagonal keeps all colors busy. On
-//! stencils and block dataflow, lower cut tracks lower remote% and equal
-//! or better makespan.
+//! finishes earlier because every diagonal keeps all colors busy. The
+//! `lvl-ser` column makes that failure mode visible (weighted-mean max
+//! single-color share per dependency level; 1/P is ideal, 1.0 means the
+//! levels are serialized), and the `cp-level-aware` strategy optimizes
+//! for it. On stencils and block dataflow, lower cut tracks lower remote%
+//! and equal or better makespan.
 //!
 //! `cargo run -p nabbitc-bench --bin autocolor_vs_hand --release`
 
 use nabbitc_autocolor::all_strategies;
 use nabbitc_bench::{f1, f2, scale_from_env, Report};
 use nabbitc_color::Color;
-use nabbitc_graph::analysis::{color_balance, edge_cut, edge_cut_fraction};
+use nabbitc_graph::analysis::{
+    color_balance, edge_cut, edge_cut_fraction, level_profile, level_serialization, LevelProfile,
+};
 use nabbitc_graph::TaskGraph;
 use nabbitc_numasim::{simulate_ws, simulate_ws_recolored, WsConfig};
 use nabbitc_workloads::{registry, BenchId};
@@ -34,12 +39,14 @@ const BENCHES: [BenchId; 3] = [BenchId::Heat, BenchId::Sw, BenchId::PageUk2002];
 /// Core counts: one single-domain and one multi-domain point.
 const CORES: [usize; 2] = [20, 40];
 
+#[allow(clippy::too_many_arguments)]
 fn row_for(
     rep: &mut Report,
     bench: BenchId,
     p: usize,
     name: &str,
     graph: &TaskGraph,
+    profile: &LevelProfile,
     colors: &[Color],
     hand_makespan: u64,
 ) {
@@ -51,6 +58,7 @@ fn row_for(
     let cut = edge_cut(&colored);
     let cut_pct = 100.0 * edge_cut_fraction(&colored);
     let balance = color_balance(&colored, p).imbalance();
+    let lvl_ser = level_serialization(&colored, profile).weighted_mean;
     colored.localize_accesses();
     let r = simulate_ws(&colored, &WsConfig::nabbitc(p));
     rep.row(&[
@@ -60,6 +68,7 @@ fn row_for(
         cut.to_string(),
         f1(cut_pct),
         f2(balance),
+        f2(lvl_ser),
         f1(r.remote.pct()),
         f2(hand_makespan as f64 / r.makespan as f64),
     ]);
@@ -73,7 +82,9 @@ fn main() {
     );
     rep.line(
         "speedup-vs-hand > 1: the automatic coloring beats the hand coloring; \
-         cut% is the fraction of dependence edges crossing colors.\n",
+         cut% is the fraction of dependence edges crossing colors; lvl-ser is \
+         the weighted-mean max single-color share per dependency level (1/P \
+         ideal, 1.0 = levels serialized).\n",
     );
     rep.header(&[
         "bench",
@@ -82,6 +93,7 @@ fn main() {
         "edge-cut",
         "cut%",
         "imbalance",
+        "lvl-ser",
         "remote%",
         "speedup-vs-hand",
     ]);
@@ -92,6 +104,8 @@ fn main() {
             let hand_colors: Vec<Color> = hand.graph.nodes().map(|u| hand.graph.color(u)).collect();
             let hand_result =
                 simulate_ws_recolored(&hand.graph, &hand_colors, &WsConfig::nabbitc(p));
+            // Levels depend only on structure, which hand and bare share.
+            let profile = level_profile(&hand.graph);
 
             row_for(
                 &mut rep,
@@ -99,6 +113,7 @@ fn main() {
                 p,
                 "hand",
                 &hand.graph,
+                &profile,
                 &hand_colors,
                 hand_result.makespan,
             );
@@ -112,6 +127,7 @@ fn main() {
                     p,
                     strategy.name(),
                     &bare.graph,
+                    &profile,
                     &colors,
                     hand_result.makespan,
                 );
@@ -119,5 +135,5 @@ fn main() {
             eprintln!("autocolor_vs_hand: {} P={p} done", id.name());
         }
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

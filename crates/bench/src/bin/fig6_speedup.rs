@@ -41,5 +41,5 @@ fn main() {
         }
         eprintln!("fig6: {} done", id.name());
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

@@ -30,5 +30,5 @@ fn main() {
         }
         eprintln!("fig8: {} done", id.name());
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

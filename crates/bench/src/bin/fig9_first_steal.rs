@@ -30,5 +30,5 @@ fn main() {
             f2(100.0 * r.avg_first_work() / r.makespan as f64),
         ]);
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

@@ -52,5 +52,5 @@ fn main() {
             pnodes.to_string(),
         ]);
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

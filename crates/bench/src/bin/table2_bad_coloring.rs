@@ -47,5 +47,5 @@ fn main() {
         rep.row(&cells);
         eprintln!("table2: P={p} done");
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

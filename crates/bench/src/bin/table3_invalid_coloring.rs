@@ -53,5 +53,5 @@ fn main() {
         rep.row(&cells);
         eprintln!("table3: P={p} done");
     }
-    rep.finish();
+    rep.finish().expect("failed to write results");
 }

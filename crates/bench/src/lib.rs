@@ -159,20 +159,30 @@ impl Report {
     }
 
     /// Prints markdown to stdout and writes `results/<name>.csv` +
-    /// `results/<name>.md`.
-    pub fn finish(self) {
+    /// `results/<name>.md`. Errors are propagated: a failed results write
+    /// must not masquerade as success (the harness scripts diff the
+    /// committed files, so a silently missing write corrupts comparisons).
+    pub fn finish(self) -> std::io::Result<()> {
+        self.finish_to(std::path::Path::new("results"))
+    }
+
+    /// As [`finish`](Self::finish), into an explicit directory.
+    pub fn finish_to(self, dir: &std::path::Path) -> std::io::Result<()> {
         println!("{}", self.md);
-        let dir = std::path::Path::new("results");
-        let _ = std::fs::create_dir_all(dir);
-        let write = |ext: &str, content: &str| {
+        std::fs::create_dir_all(dir)?;
+        let write = |ext: &str, content: &str| -> std::io::Result<()> {
             let path = dir.join(format!("{}.{ext}", self.name));
-            if let Ok(mut f) = std::fs::File::create(&path) {
-                let _ = f.write_all(content.as_bytes());
-            }
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(content.as_bytes())
         };
-        write("md", &self.md);
-        write("csv", &self.csv);
-        eprintln!("(wrote results/{0}.md and results/{0}.csv)", self.name);
+        write("md", &self.md)?;
+        write("csv", &self.csv)?;
+        eprintln!(
+            "(wrote {0}/{1}.md and {0}/{1}.csv)",
+            dir.display(),
+            self.name
+        );
+        Ok(())
     }
 }
 
@@ -184,4 +194,46 @@ pub fn f1(v: f64) -> String {
 /// Formats a float with two decimals.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_finish_propagates_write_errors() {
+        // A directory path that cannot exist: a component of it is a file.
+        let blocker = std::env::temp_dir().join("nabbitc_report_finish_blocker");
+        std::fs::write(&blocker, b"not a directory").expect("create blocker file");
+        let dir = blocker.join("results");
+
+        let mut rep = Report::new("finish_error_test", "Finish error test");
+        rep.header(&["a"]);
+        rep.row(&["1".to_string()]);
+        let err = rep
+            .finish_to(&dir)
+            .expect_err("writing under a file must fail");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::NotADirectory | std::io::ErrorKind::AlreadyExists
+            ) || err.raw_os_error().is_some(),
+            "unexpected error kind: {err:?}"
+        );
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn report_finish_writes_both_files() {
+        let dir = std::env::temp_dir().join("nabbitc_report_finish_ok");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rep = Report::new("finish_ok_test", "Finish ok test");
+        rep.header(&["a", "b"]);
+        rep.row(&["1".to_string(), "2".to_string()]);
+        rep.finish_to(&dir).expect("write must succeed");
+        let md = std::fs::read_to_string(dir.join("finish_ok_test.md")).unwrap();
+        let csv = std::fs::read_to_string(dir.join("finish_ok_test.csv")).unwrap();
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(csv.contains("a,b"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -6,7 +6,11 @@
 //!   [`TaskGraph`] under an inferred coloring, ignoring whatever colors
 //!   the graph was built with (pass
 //!   [`RecursiveBisection`](nabbitc_autocolor::RecursiveBisection) for the
-//!   highest-quality static assignment);
+//!   lowest edge-cut, or
+//!   [`CpLevelAware`](nabbitc_autocolor::CpLevelAware) for
+//!   level-structured shapes like wavefronts, where cut-optimal
+//!   partitions serialize the pipeline and the level-aware objective wins
+//!   the makespan);
 //! * [`AutoColoredSpec`] — wrap any [`TaskSpec`] so its `color()` is
 //!   answered by an [`OnlineAssigner`] (predecessor-majority vote with
 //!   discovery hints and a load cap — hints carry affinity down the
@@ -144,6 +148,35 @@ mod tests {
         used.dedup();
         assert!(used.len() > 1, "expected multiple colors, got {used:?}");
         assert!(used.iter().all(|c| c.is_valid() && c.index() < 4));
+    }
+
+    #[test]
+    fn static_autocolored_cp_level_aware_spreads_every_wide_level() {
+        use nabbitc_autocolor::CpLevelAware;
+        use nabbitc_graph::analysis::{level_profile, level_serialization};
+        let workers = 4;
+        let graph = Arc::new(generate::wavefront(16, 16, 2, 1)); // monochrome input
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(workers)));
+        let exec = StaticExecutor::new(pool);
+        let counts: Arc<Vec<AtomicU32>> =
+            Arc::new((0..graph.node_count()).map(|_| AtomicU32::new(0)).collect());
+        let c2 = counts.clone();
+        let (_report, recolored) = exec.execute_autocolored(
+            &graph,
+            &CpLevelAware::default(),
+            Arc::new(move |u: NodeId, _w: usize| {
+                c2[u as usize].fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        // Every wide anti-diagonal keeps more than one worker busy.
+        let profile = level_profile(&recolored);
+        let ser = level_serialization(&recolored, &profile);
+        for l in 0..profile.level_count() {
+            if profile.widths[l] >= workers {
+                assert!(ser.per_level[l] < 1.0, "level {l} serialized");
+            }
+        }
     }
 
     #[test]

@@ -384,7 +384,7 @@ mod tests {
             generate::independent(5000, 1, 8),
             Pool::new(PoolConfig::nabbitc(8)),
         );
-        assert_eq!(report.stats.total_tasks() > 0, true);
+        assert!(report.stats.total_tasks() > 0);
         assert_eq!(
             report.stats.workers.len(),
             8,

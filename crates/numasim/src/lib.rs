@@ -97,6 +97,39 @@ mod recolor_tests {
     }
 
     #[test]
+    fn makespan_estimator_ranks_colorings_like_the_simulator() {
+        // The cheap list-schedule estimator in nabbitc-graph::analysis is
+        // the objective the CpLevelAware assigner optimizes; it is only
+        // trustworthy if it orders colorings the same way this simulator
+        // does. Row-blocking vs level-blocking on a wavefront is the
+        // starkest case: level-blocking serializes the pipeline.
+        use nabbitc_graph::analysis::estimate_makespan_colored;
+        let g = generate::wavefront(24, 24, 60, 1);
+        let p = 8;
+        let by_row: Vec<Color> = g
+            .nodes()
+            .map(|u| Color::from((u as usize / 24) * p / 24))
+            .collect();
+        let by_level: Vec<Color> = g
+            .nodes()
+            .map(|u| Color::from(((u as usize / 24 + u as usize % 24) / 6) % p))
+            .collect();
+        let cfg = WsConfig::nabbitc(p);
+        let sim_row = simulate_ws_recolored(&g, &by_row, &cfg).makespan;
+        let sim_level = simulate_ws_recolored(&g, &by_level, &cfg).makespan;
+        let est_row = estimate_makespan_colored(&g, &by_row, p, cfg.cost.steal_transfer);
+        let est_level = estimate_makespan_colored(&g, &by_level, p, cfg.cost.steal_transfer);
+        assert!(
+            sim_row < sim_level,
+            "simulator: row {sim_row} !< level {sim_level}"
+        );
+        assert!(
+            est_row < est_level,
+            "estimator: row {est_row} !< level {est_level}"
+        );
+    }
+
+    #[test]
     fn recoloring_changes_remote_rate() {
         // Same graph, hand colors (block-aligned) vs a scrambled coloring:
         // the scrambled placement must look worse (or equal) to the

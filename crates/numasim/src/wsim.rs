@@ -151,7 +151,7 @@ pub fn simulate_ws(graph: &TaskGraph, cfg: &WsConfig) -> SimResult {
         let Reverse((t, _, c)) = sim.heap.pop().expect("work remains but no events pending");
         sim.step(c, t);
         events += 1;
-        if events % (1 << 26) == 0 {
+        if events.is_multiple_of(1 << 26) {
             // Safety net: a healthy simulation needs a few events per node
             // plus steal retries; hundreds of millions means livelock.
             assert!(

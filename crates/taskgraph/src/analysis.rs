@@ -244,6 +244,188 @@ pub fn earliest_start_times(g: &TaskGraph) -> Vec<u64> {
     est
 }
 
+/// Dependency levels of a graph: two nodes share a level iff they have the
+/// same [`earliest_start_times`] value under infinite processors. Levels
+/// are indexed in increasing start-time order, so level 0 holds the
+/// sources and the last level ends the critical path.
+///
+/// The *width* of a level is how many nodes can run simultaneously at that
+/// point of an ideal schedule — the graph's available parallelism over
+/// time. A coloring that piles a whole level onto one color forfeits that
+/// parallelism no matter how few edges it cuts, which is exactly the
+/// wavefront failure mode the `CpLevelAware` assigner exists to avoid
+/// (see [`level_serialization`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelProfile {
+    /// Level index per node (indexed by `NodeId`).
+    pub level_of: Vec<u32>,
+    /// Earliest start time of each level.
+    pub starts: Vec<u64>,
+    /// Node count per level.
+    pub widths: Vec<usize>,
+    /// Total node work per level (each node counted as `work.max(1)` so
+    /// zero-work nodes still occupy schedule slots).
+    pub weights: Vec<u64>,
+}
+
+impl LevelProfile {
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Widest level — the graph's peak available parallelism.
+    pub fn max_width(&self) -> usize {
+        self.widths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the [`LevelProfile`] from [`earliest_start_times`].
+pub fn level_profile(g: &TaskGraph) -> LevelProfile {
+    let est = earliest_start_times(g);
+    let mut starts: Vec<u64> = est.clone();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut widths = vec![0usize; starts.len()];
+    let mut weights = vec![0u64; starts.len()];
+    let level_of: Vec<u32> = g
+        .nodes()
+        .map(|u| {
+            let l = starts
+                .binary_search(&est[u as usize])
+                .expect("every est value is a level start");
+            widths[l] += 1;
+            weights[l] += g.work(u).max(1);
+            l as u32
+        })
+        .collect();
+    LevelProfile {
+        level_of,
+        starts,
+        widths,
+        weights,
+    }
+}
+
+/// How much of each dependency level's work a coloring concentrates on a
+/// single color.
+///
+/// `per_level[l]` is the maximum fraction of level `l`'s weight assigned
+/// to any one color: 1.0 means the level is fully serialized (one worker
+/// must execute all of it), `1/workers` is the best possible spread. A
+/// low edge-cut coloring can still score 1.0 here — that is the wavefront
+/// trap where cut-optimal partitions lose the makespan race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSerialization {
+    /// Max single-color weight fraction per level.
+    pub per_level: Vec<f64>,
+    /// Worst level (1.0 = some level fully serialized).
+    pub max: f64,
+    /// Mean over levels, weighted by level weight — the scalar to compare
+    /// colorings by (levels with more work matter more).
+    pub weighted_mean: f64,
+}
+
+/// Computes [`LevelSerialization`] for a colored graph over a
+/// pre-computed [`LevelProfile`]. All invalid colors are treated as one
+/// overflow color (they serialize together, like
+/// [`color_balance`]'s overflow bucket).
+pub fn level_serialization(g: &TaskGraph, profile: &LevelProfile) -> LevelSerialization {
+    let levels = profile.level_count();
+    let mut by_color: Vec<HashMap<Color, u64>> = vec![HashMap::new(); levels];
+    for u in g.nodes() {
+        let c = if g.color(u).is_valid() {
+            g.color(u)
+        } else {
+            Color::INVALID
+        };
+        *by_color[profile.level_of[u as usize] as usize]
+            .entry(c)
+            .or_insert(0) += g.work(u).max(1);
+    }
+    let per_level: Vec<f64> = (0..levels)
+        .map(|l| {
+            let max = by_color[l].values().copied().max().unwrap_or(0);
+            max as f64 / profile.weights[l].max(1) as f64
+        })
+        .collect();
+    let max = per_level.iter().copied().fold(0.0, f64::max);
+    let total: u64 = profile.weights.iter().sum();
+    let weighted_mean = if total == 0 {
+        0.0
+    } else {
+        per_level
+            .iter()
+            .zip(profile.weights.iter())
+            .map(|(&s, &w)| s * w as f64)
+            .sum::<f64>()
+            / total as f64
+    };
+    LevelSerialization {
+        per_level,
+        max,
+        weighted_mean,
+    }
+}
+
+/// Cheap list-schedule makespan estimate of a coloring: node `u` executes
+/// on the worker its color names (invalid or out-of-range colors share one
+/// overflow worker), nodes are issued in topological order, and every
+/// cross-color dependence edge charges `cross_penalty` ticks on top of the
+/// predecessor's finish time — the communication term that makes the
+/// estimate see both load balance *and* pipeline serialization.
+///
+/// This is the objective the makespan-aware refinement gain optimizes: it
+/// is O(V + E), deterministic, and ranks colorings the same way the full
+/// work-stealing simulator does on the shapes that matter (the simulator's
+/// steal protocol adds noise but not systematic reordering; see the
+/// cross-check tests in `nabbitc-numasim`).
+pub fn estimate_makespan_colored(
+    g: &TaskGraph,
+    colors: &[Color],
+    workers: usize,
+    cross_penalty: u64,
+) -> u64 {
+    assert!(workers > 0, "need at least one worker");
+    assert_eq!(colors.len(), g.node_count(), "one color per node");
+    let worker_of = |c: Color| -> usize {
+        if c.is_valid() && c.index() < workers {
+            c.index()
+        } else {
+            workers // overflow worker
+        }
+    };
+    let mut free = vec![0u64; workers + 1];
+    let mut finish = vec![0u64; g.node_count()];
+    let mut makespan = 0u64;
+    for &u in g.topo_order() {
+        let w = worker_of(colors[u as usize]);
+        let mut ready = 0u64;
+        for &p in g.predecessors(u) {
+            let mut t = finish[p as usize];
+            // Penalize by executing *worker*, not raw color: two distinct
+            // out-of-range colors share the overflow worker, so no
+            // transfer occurs between them.
+            if worker_of(colors[p as usize]) != w {
+                t += cross_penalty;
+            }
+            ready = ready.max(t);
+        }
+        let start = ready.max(free[w]);
+        let end = start + g.work(u).max(1);
+        finish[u as usize] = end;
+        free[w] = end;
+        makespan = makespan.max(end);
+    }
+    makespan
+}
+
+/// [`estimate_makespan_colored`] over the graph's own colors.
+pub fn estimate_makespan(g: &TaskGraph, workers: usize, cross_penalty: u64) -> u64 {
+    let colors: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
+    estimate_makespan_colored(g, &colors, workers, cross_penalty)
+}
+
 /// Checks whether the sink is reachable from every node and every node is
 /// reachable from some source — i.e., the graph has no dead work when driven
 /// from its sinks (Nabbit executes on demand from the sink).
@@ -401,6 +583,126 @@ mod tests {
     fn reachability_check() {
         let g = chain(&[1, 1]);
         assert!(all_work_reaches_sinks(&g));
+    }
+
+    #[test]
+    fn level_profile_on_chain_and_wavefront() {
+        let g = chain(&[5, 7, 3]);
+        let p = level_profile(&g);
+        assert_eq!(p.level_count(), 3);
+        assert_eq!(p.starts, vec![0, 5, 12]);
+        assert_eq!(p.widths, vec![1, 1, 1]);
+        assert_eq!(p.weights, vec![5, 7, 3]);
+        assert_eq!(p.max_width(), 1);
+
+        // 4x4 uniform wavefront: levels are the anti-diagonals, widths
+        // 1,2,3,4,3,2,1.
+        let g = crate::generate::wavefront(4, 4, 2, 1);
+        let p = level_profile(&g);
+        assert_eq!(p.level_count(), 7);
+        assert_eq!(p.widths, vec![1, 2, 3, 4, 3, 2, 1]);
+        assert_eq!(p.max_width(), 4);
+        for u in g.nodes() {
+            let (i, j) = (u as usize / 4, u as usize % 4);
+            assert_eq!(p.level_of[u as usize] as usize, i + j);
+        }
+    }
+
+    #[test]
+    fn level_serialization_detects_the_wavefront_trap() {
+        // Row-blocked coloring on a wavefront spreads every wide level;
+        // level-blocked coloring (color = level) fully serializes each.
+        let mut by_row = crate::generate::wavefront(6, 6, 1, 1);
+        by_row.recolor(|u, _| Color::from(u as usize / 18)); // rows 0-2 vs 3-5
+        let profile = level_profile(&by_row);
+        let s_row = level_serialization(&by_row, &profile);
+        // The widest level (the main anti-diagonal) spans both row blocks.
+        let widest = (0..profile.level_count())
+            .max_by_key(|&l| profile.widths[l])
+            .unwrap();
+        assert!(
+            s_row.per_level[widest] < 1.0,
+            "row blocking must spread the widest level"
+        );
+
+        let mut by_level = crate::generate::wavefront(6, 6, 1, 1);
+        let lv = profile.level_of.clone();
+        by_level.recolor(|u, _| Color::from(lv[u as usize] as usize % 2));
+        let s_level = level_serialization(&by_level, &level_profile(&by_level));
+        assert_eq!(s_level.max, 1.0, "level blocking serializes every level");
+        assert!(s_level.weighted_mean > s_row.weighted_mean);
+    }
+
+    #[test]
+    fn level_serialization_monochrome_is_one() {
+        let g = chain(&[1, 1, 1]);
+        let s = level_serialization(&g, &level_profile(&g));
+        assert_eq!(s.per_level, vec![1.0, 1.0, 1.0]);
+        assert_eq!(s.max, 1.0);
+        assert!((s.weighted_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_estimate_chain_is_serial() {
+        let g = chain(&[5, 7, 3]);
+        // Monochrome chain: no cross edges, one worker does everything.
+        assert_eq!(estimate_makespan(&g, 4, 100), 15);
+    }
+
+    #[test]
+    fn makespan_estimate_sees_parallelism_and_penalty() {
+        // 0 -> {1,2} -> 3; colors 0,0,1,0; works 1,10,10,1.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_simple_node(10, Color(0), 0);
+        b.add_simple_node(10, Color(1), 0);
+        b.add_simple_node(1, Color(0), 0);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        // Penalty 0: 1 + max(10, 10) + 1 = 12 (branches overlap).
+        assert_eq!(estimate_makespan(&g, 2, 0), 12);
+        // Penalty 5: node 2 starts at 1+5, node 3 waits for 2's finish +5.
+        assert_eq!(estimate_makespan(&g, 2, 5), 1 + 5 + 10 + 5 + 1);
+        // One worker (monochrome): branches serialize.
+        let mut mono = g.clone();
+        mono.recolor(|_, _| Color(0));
+        assert_eq!(estimate_makespan(&mono, 1, 0), 22);
+    }
+
+    #[test]
+    fn makespan_estimate_serialized_level_costs_more() {
+        // The tentpole's core claim in miniature: on a wavefront, coloring
+        // by row beats coloring by level under the estimator, even though
+        // coloring by level cuts *fewer* edges per node pair in other
+        // shapes. Both colorings use both workers.
+        let mut by_row = crate::generate::wavefront(8, 8, 10, 1);
+        by_row.recolor(|u, _| Color::from(u as usize / 32));
+        let profile = level_profile(&by_row);
+        let mut by_level = crate::generate::wavefront(8, 8, 10, 1);
+        let lv = profile.level_of.clone();
+        by_level.recolor(|u, _| Color::from((lv[u as usize] as usize / 8) % 2));
+        let penalty = 3;
+        assert!(
+            estimate_makespan(&by_row, 2, penalty) < estimate_makespan(&by_level, 2, penalty),
+            "row blocking must beat level blocking"
+        );
+    }
+
+    #[test]
+    fn makespan_estimate_invalid_colors_serialize_on_overflow_worker() {
+        let mut g = chain(&[1, 1]);
+        g.recolor(|_, _| Color::INVALID);
+        // Both nodes share the overflow worker; same-color edges (both
+        // invalid) carry no penalty.
+        assert_eq!(estimate_makespan(&g, 4, 100), 2);
+        // Two *distinct* out-of-range colors still alias to the one
+        // overflow worker: serialized, but no transfer penalty either.
+        let mut g = chain(&[1, 1]);
+        g.recolor(|u, _| if u == 0 { Color(5) } else { Color(6) });
+        assert_eq!(estimate_makespan(&g, 4, 100), 2);
     }
 
     #[test]

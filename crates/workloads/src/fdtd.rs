@@ -205,7 +205,7 @@ impl FdtdProblem {
                 // written in the previous layer (ordered by edges);
                 // symmetrically for H nodes.
                 unsafe {
-                    if layer % 2 == 0 {
+                    if layer.is_multiple_of(2) {
                         // E update over [max(1,lo), hi); halo reads of h go
                         // through raw pointers (writers ordered by edges).
                         let lo = range.start.max(1);

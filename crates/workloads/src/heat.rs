@@ -164,7 +164,11 @@ impl HeatProblem {
                 let blk = u as usize % blocks;
                 let range = block_range(rows, blocks, blk);
                 // Even steps read A write B; odd read B write A.
-                let (src, dst) = if t % 2 == 0 { (&a, &b) } else { (&b, &a) };
+                let (src, dst) = if t.is_multiple_of(2) {
+                    (&a, &b)
+                } else {
+                    (&b, &a)
+                };
                 // SAFETY: the task graph orders all writers of the halo
                 // rows before this node; reads go through raw pointers (no
                 // shared slice over regions other nodes may be writing) and

@@ -169,7 +169,11 @@ impl LifeProblem {
                 let t = u as usize / blocks;
                 let blk = u as usize % blocks;
                 let range = block_range(rows, blocks, blk);
-                let (src, dst) = if t % 2 == 0 { (&a, &b) } else { (&b, &a) };
+                let (src, dst) = if t.is_multiple_of(2) {
+                    (&a, &b)
+                } else {
+                    (&b, &a)
+                };
                 // SAFETY: disjoint row-block writes; wrap-neighbor reads
                 // go through raw pointers and are ordered by the extra
                 // torus edges in `task_graph`.

@@ -258,7 +258,11 @@ impl PageRank {
                 let t = u as usize / blocks;
                 let b = u as usize % blocks;
                 let range = block_range(nv, blocks, b);
-                let (src, dst) = if t % 2 == 0 { (&r2, &n2) } else { (&n2, &r2) };
+                let (src, dst) = if t.is_multiple_of(2) {
+                    (&r2, &n2)
+                } else {
+                    (&n2, &r2)
+                };
                 // SAFETY: block-disjoint writes; reads of the previous
                 // buffer ordered by the block dependence edges.
                 unsafe {

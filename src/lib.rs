@@ -94,7 +94,7 @@ pub use nabbitc_workloads as workloads;
 /// The commonly-used surface in one import.
 pub mod prelude {
     pub use nabbitc_autocolor::{
-        autocolor, BfsLocality, BlockContiguous, ColorAssigner, DynamicAffinity,
+        autocolor, BfsLocality, BlockContiguous, ColorAssigner, CpLevelAware, DynamicAffinity,
         RecursiveBisection, RoundRobin,
     };
     pub use nabbitc_color::{Color, ColorSet};

@@ -1,0 +1,73 @@
+//! Makespan regression gate for the critical-path-aware assigner.
+//!
+//! The whole point of `CpLevelAware` is the `sw` wavefront: edge-cut
+//! optimization (`RecursiveBisection`) serializes the anti-diagonal
+//! pipeline there, while the level-aware objective keeps every diagonal
+//! feeding all workers. These tests measure what actually matters —
+//! simulated makespan through the same `simulate_ws_recolored` pipeline
+//! the benchmark harness uses — and pin the current numbers so a future
+//! change to the assigner, the simulator, or the workload cannot silently
+//! regress the win (`results/autocolor_vs_hand.md` holds the full table).
+//!
+//! Everything here is deterministic: same graph + same config ⇒ identical
+//! makespan, so the pins are exact ceilings with a small headroom for
+//! intentional re-tuning.
+
+use nabbitc::autocolor::{ColorAssigner, CpLevelAware, RecursiveBisection};
+use nabbitc::numasim::{simulate_ws_recolored, WsConfig};
+use nabbitc::prelude::*;
+use nabbitc::workloads::registry;
+use nabbitc::workloads::{BenchId, Scale};
+
+fn sw_makespans(p: usize) -> (u64, u64, u64) {
+    let hand = registry::build(BenchId::Sw, Scale::Small, p);
+    let hand_colors: Vec<Color> = hand.graph.nodes().map(|u| hand.graph.color(u)).collect();
+    let hand_m = simulate_ws_recolored(&hand.graph, &hand_colors, &WsConfig::nabbitc(p)).makespan;
+
+    let bare = registry::build_uncolored(BenchId::Sw, Scale::Small, p);
+    let cp = CpLevelAware::default().assign(&bare.graph, p);
+    let cp_m = simulate_ws_recolored(&bare.graph, &cp, &WsConfig::nabbitc(p)).makespan;
+    let rb = RecursiveBisection::default().assign(&bare.graph, p);
+    let rb_m = simulate_ws_recolored(&bare.graph, &rb, &WsConfig::nabbitc(p)).makespan;
+    (hand_m, cp_m, rb_m)
+}
+
+#[test]
+fn cp_level_aware_beats_bisection_and_tracks_hand_on_sw() {
+    for p in [20usize, 40] {
+        let (hand_m, cp_m, rb_m) = sw_makespans(p);
+        println!("sw P={p}: hand={hand_m} cp={cp_m} rb={rb_m}");
+        assert!(
+            cp_m < rb_m,
+            "P={p}: cp-level-aware {cp_m} not below recursive-bisection {rb_m}"
+        );
+        assert!(
+            cp_m as f64 <= 1.25 * hand_m as f64,
+            "P={p}: cp-level-aware {cp_m} above 1.25x hand {hand_m}"
+        );
+    }
+}
+
+#[test]
+fn sw_makespans_pinned() {
+    // Current numbers (sw, Scale::Small, default WsConfig seed), recorded
+    // when CpLevelAware landed. The assertions allow 10% headroom above
+    // the recorded value — re-pin deliberately if an intentional change
+    // shifts them, never by loosening the factor.
+    const PINS: [(usize, u64, u64); 2] = [
+        (20, 16_289_044, 24_093_732), // (P, cp, hand)
+        (40, 9_929_644, 13_454_882),
+    ];
+    for (p, cp_pin, hand_pin) in PINS {
+        let (hand_m, cp_m, _) = sw_makespans(p);
+        println!("sw P={p}: hand={hand_m} cp={cp_m}");
+        assert!(
+            cp_m <= cp_pin + cp_pin / 10,
+            "P={p}: cp-level-aware makespan {cp_m} regressed past pin {cp_pin}"
+        );
+        assert!(
+            hand_m <= hand_pin + hand_pin / 10,
+            "P={p}: hand makespan {hand_m} drifted past pin {hand_pin}"
+        );
+    }
+}
