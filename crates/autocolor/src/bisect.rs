@@ -21,9 +21,9 @@
 //!    nodes when the move improves balance, never letting either side
 //!    drift more than `balance_tolerance` of the subproblem's weight past
 //!    its target. The gain function is pluggable
-//!    ([`MoveGain`](crate::refine::MoveGain)): [`ColorAssigner::assign`]
+//!    ([`MoveGain`]): [`ColorAssigner::assign`]
 //!    uses the KL/FM edge-cut gain
-//!    ([`EdgeCutGain`](crate::refine::EdgeCutGain)), and
+//!    ([`EdgeCutGain`]), and
 //!    [`RecursiveBisection::assign_with_gain`] accepts any *side-local*
 //!    objective (see its docs for the contract). The same [`MoveGain`]
 //!    abstraction drives [`CpLevelAware`](crate::CpLevelAware)'s k-way
@@ -31,7 +31,7 @@
 //!    ([`MakespanGain`](crate::refine::MakespanGain)) — one engine, two
 //!    objectives, no duplicated sweep code.
 //! 4. **Recurse**, then **rebalance**: a final global pass moves nodes off
-//!    any color that exceeds [`balance_limit`](crate::balance_limit),
+//!    any color that exceeds [`balance_limit`],
 //!    choosing the node that hurts the cut least, so the 2× balance bound
 //!    holds unconditionally — even on adversarial weight distributions.
 

@@ -29,10 +29,10 @@
 //!    workers) each color may take at most [`CpLevelAware::level_slack`]
 //!    × its even share of the level's weight, clamped to strictly less
 //!    than the whole level — so no wide level can ever serialize. A
-//!    global cap at [`balance_limit`](crate::balance_limit) keeps the 2×
+//!    global cap at [`balance_limit`] keeps the 2×
 //!    greedy bound unconditionally.
 //! 4. **Refine** with the makespan-estimate gain
-//!    ([`MakespanGain`](crate::refine::MakespanGain)) through the same
+//!    ([`MakespanGain`]) through the same
 //!    pluggable KL machinery the bisection uses — moves that improve
 //!    locality are taken only when they do not re-concentrate a level
 //!    (wide-level quotas are enforced as a veto).

@@ -32,7 +32,14 @@
 //!   cutting more edges;
 //! * [`DynamicAffinity`] — predecessor-majority voting with a load cap;
 //!   usable offline through [`ColorAssigner`] and online through
-//!   [`OnlineAssigner`] for the on-demand executor.
+//!   [`OnlineAssigner`] for the on-demand executor;
+//! * [`AutoSelect`] — the meta-assigner and **default static path**: runs
+//!   a portfolio of the above in parallel, scores every candidate
+//!   assignment with the strict makespan estimator at the target worker
+//!   count, and returns the argmin — so callers get the per-graph winner
+//!   (bisection on stencils, level-aware on wavefronts) without choosing
+//!   a strategy themselves. See [`select`] for the shape pre-filter and
+//!   the [`SelectionReport`] benches print.
 //!
 //! The partitioners share one KL/FM refinement engine with a *pluggable
 //! gain* ([`refine::MoveGain`]): [`RecursiveBisection`] refines with the
@@ -71,12 +78,14 @@ pub mod bisect;
 pub mod cplevel;
 pub mod online;
 pub mod refine;
+pub mod select;
 
 pub use baseline::{BlockContiguous, RoundRobin};
 pub use bfs::BfsLocality;
 pub use bisect::RecursiveBisection;
 pub use cplevel::CpLevelAware;
 pub use online::{DynamicAffinity, OnlineAssigner};
+pub use select::{AutoSelect, CandidateOutcome, GraphShape, SelectionReport};
 
 use nabbitc_color::Color;
 use nabbitc_graph::{NodeId, TaskGraph};
@@ -153,8 +162,9 @@ pub fn autocolor(graph: &TaskGraph, assigner: &dyn ColorAssigner, workers: usize
     out
 }
 
-/// Every static strategy (including [`DynamicAffinity`]'s offline
-/// replay), boxed, for sweeps in benches and tests.
+/// Every static strategy (including [`DynamicAffinity`]'s offline replay
+/// and the [`AutoSelect`] meta-assigner, last), boxed, for sweeps in
+/// benches and tests.
 pub fn all_strategies() -> Vec<Box<dyn ColorAssigner>> {
     vec![
         Box::new(RoundRobin),
@@ -163,6 +173,7 @@ pub fn all_strategies() -> Vec<Box<dyn ColorAssigner>> {
         Box::new(RecursiveBisection::default()),
         Box::new(CpLevelAware::default()),
         Box::new(DynamicAffinity::default()),
+        Box::new(AutoSelect::default()),
     ]
 }
 
@@ -191,6 +202,28 @@ mod tests {
         let _ = autocolor(&g, &RoundRobin, 3);
         let after: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn every_strategy_panics_uniformly_on_zero_workers() {
+        // The workspace-wide workers == 0 contract: every public entry
+        // point panics immediately with the same clearly-worded message —
+        // no strategy may silently clamp or defer the failure.
+        let g = generate::chain(4, 1, 1);
+        for s in all_strategies() {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.assign(&g, 0)))
+                .expect_err(&format!("{} accepted workers == 0", s.name()));
+            let msg = err
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(
+                msg.contains("need at least one worker"),
+                "{}: wrong panic message: {msg:?}",
+                s.name()
+            );
+        }
     }
 
     #[test]

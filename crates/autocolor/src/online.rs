@@ -34,7 +34,11 @@ use std::sync::RwLock;
 /// color.
 fn vote(pred_colors: &[usize], loads: &[u64], item_load: u64, cap: u64) -> usize {
     let workers = loads.len();
-    debug_assert!(workers > 0);
+    // Real assert, not debug_assert: every public entry already rejects
+    // workers == 0, but this is the last line of defense before the
+    // `min_by_key(...).expect` below would panic with a message that
+    // names neither the contract nor the caller.
+    assert!(workers > 0, "need at least one worker");
     let mut counts = vec![0u32; workers];
     let mut best: Option<usize> = None;
     for &c in pred_colors {
@@ -287,6 +291,12 @@ mod tests {
                 assert!(c.is_valid() && c.index() < 3);
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_worker_online_assigner_panics() {
+        let _: OnlineAssigner<u32> = OnlineAssigner::new(0);
     }
 
     #[test]

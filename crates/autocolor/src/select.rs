@@ -1,0 +1,588 @@
+//! Meta-assignment: run a portfolio of candidate assigners and keep the
+//! one the makespan estimator likes best.
+//!
+//! PR 2 left the strategy table forked: [`CpLevelAware`] wins wavefront
+//! shapes (sw), where cut-optimal partitions serialize the anti-diagonal
+//! pipeline, while [`RecursiveBisection`] still owns stencils (heat),
+//! where the cut *is* the makespan. No single objective — edge-cut or
+//! level-spread — wins both, so the paper's claim that locality coloring
+//! beats color-oblivious stealing *across* workload shapes needs an entry
+//! point that picks per graph. [`AutoSelect`] is that entry point:
+//!
+//! 1. **Shape pre-filter.** A [`GraphShape`] summary built from one
+//!    [`level_profile`] pass skips candidates whose objective is provably
+//!    inert or documented-losing on the graph's structure (see
+//!    [`GraphShape::skips`]); skipped candidates never pay their `assign`
+//!    cost. Unknown candidate names are never skipped, so custom
+//!    portfolios stay exact.
+//! 2. **Parallel candidacy.** Every surviving candidate runs `assign` on
+//!    its own scoped thread — the assigners are the expensive part, and
+//!    they are independent.
+//! 3. **Strict scoring.** Each assignment is scored with
+//!    [`estimate_makespan_colored_strict`] at the target worker count; an
+//!    assignment that fails validity is *disqualified*, not absorbed into
+//!    the lenient estimator's phantom overflow worker (which would score
+//!    a buggy assigner on a `workers + 1`-worker machine and could let it
+//!    win the selection).
+//! 4. **Argmin.** The lowest estimate wins; ties break toward portfolio
+//!    order, keeping selection deterministic.
+//!
+//! [`AutoSelect::select`] additionally returns a [`SelectionReport`] with
+//! every candidate's outcome, which the bench harnesses print next to the
+//! "auto" row. The estimator is trusted here because `nabbitc-numasim`
+//! cross-checks that the selected assignment's *simulated* makespan stays
+//! within tolerance of the best portfolio member on the three structural
+//! families (wavefront, stencil, irregular dataflow) — see the
+//! `auto_select_*` tests there and in `tests/makespan_regression.rs`.
+
+use crate::{BfsLocality, BlockContiguous, ColorAssigner, CpLevelAware, RecursiveBisection};
+use nabbitc_color::Color;
+use nabbitc_graph::analysis::{
+    estimate_makespan_colored_strict, level_profile, InvalidColoring, LevelProfile,
+};
+use nabbitc_graph::TaskGraph;
+
+/// A portfolio member: any [`ColorAssigner`] that can be shared with the
+/// scoped evaluation threads.
+pub type Candidate = Box<dyn ColorAssigner + Send + Sync>;
+
+/// Cheap structural summary of a graph, relative to a machine size —
+/// everything the candidate pre-filter is allowed to look at. Built from
+/// one [`level_profile`] sweep (O(V + E)), i.e. far cheaper than any
+/// candidate's `assign`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphShape {
+    /// Number of dependency levels (earliest-start-time classes).
+    pub levels: usize,
+    /// Widest level — the graph's peak available parallelism.
+    pub max_width: usize,
+    /// Fraction of total level weight sitting in *wide* levels (width ≥
+    /// workers) — how much of the schedule depends on spreading levels.
+    pub wide_weight_frac: f64,
+}
+
+impl GraphShape {
+    /// Profiles `graph` for a `workers`-worker machine.
+    pub fn of(graph: &TaskGraph, workers: usize) -> GraphShape {
+        Self::from_profile(&level_profile(graph), workers)
+    }
+
+    /// As [`of`](Self::of), over an already-computed profile.
+    pub fn from_profile(profile: &LevelProfile, workers: usize) -> GraphShape {
+        let total: u64 = profile.weights.iter().sum();
+        let wide: u64 = profile
+            .widths
+            .iter()
+            .zip(profile.weights.iter())
+            .filter(|(&w, _)| w >= workers)
+            .map(|(_, &wt)| wt)
+            .sum();
+        GraphShape {
+            levels: profile.level_count(),
+            max_width: profile.max_width(),
+            wide_weight_frac: if total == 0 {
+                0.0
+            } else {
+                wide as f64 / total as f64
+            },
+        }
+    }
+
+    /// Whether the pre-filter skips the candidate named `name` on this
+    /// shape. The rule is a conservative heuristic grounded in pinned
+    /// results, not a theorem; candidates the rule does not recognize are
+    /// never skipped, and [`AutoSelect::without_prefilter`] disables the
+    /// pass entirely.
+    ///
+    /// `recursive-bisection` is skipped on deep wavefront pipelines (more
+    /// levels than the widest level, with most weight in wide levels):
+    /// the cut-minimal partition of such a graph is spatially compact and
+    /// serializes whole dependency levels — the failure mode
+    /// `results/autocolor_vs_hand.md` pins on sw (0.45× hand at P=20 vs
+    /// cp-level-aware's 1.48×) — so it cannot win the makespan there, and
+    /// it is the portfolio's most expensive member to run.
+    pub fn skips(&self, name: &str, _workers: usize) -> bool {
+        match name {
+            "recursive-bisection" => self.levels > self.max_width && self.wide_weight_frac >= 0.5,
+            _ => false,
+        }
+    }
+}
+
+/// What happened to one portfolio member during a selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CandidateOutcome {
+    /// Ran and scored: the strict makespan estimate of its assignment.
+    Estimated(u64),
+    /// Never ran: dropped by the shape pre-filter, or the machine was
+    /// degenerate (`workers == 1`, where every assigner is monochrome and
+    /// no candidate runs at all — [`SelectionReport::chosen`] is `None`).
+    Skipped,
+    /// Ran, but produced an assignment with invalid or out-of-range
+    /// colors; disqualified by the strict estimator.
+    Rejected(InvalidColoring),
+}
+
+/// Per-candidate record of one [`AutoSelect::select`] run, for benches
+/// and debugging ("why did auto pick that?").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionReport {
+    /// Machine size the selection targeted.
+    pub workers: usize,
+    /// Cross-color edge penalty the estimator charged (ticks).
+    pub cross_penalty: u64,
+    /// Shape summary the pre-filter saw.
+    pub shape: GraphShape,
+    /// `(candidate name, outcome)` in portfolio order.
+    pub candidates: Vec<(&'static str, CandidateOutcome)>,
+    /// Index into `candidates` of the winner; `None` only for the
+    /// degenerate machines (`workers == 1`) where no candidate ran.
+    pub chosen: Option<usize>,
+}
+
+impl SelectionReport {
+    /// The winning candidate's name ("monochrome" when none ran).
+    pub fn chosen_name(&self) -> &'static str {
+        match self.chosen {
+            Some(i) => self.candidates[i].0,
+            None => "monochrome",
+        }
+    }
+
+    /// The winning candidate's estimate (0 when none ran).
+    pub fn chosen_estimate(&self) -> u64 {
+        match self.chosen {
+            Some(i) => match self.candidates[i].1 {
+                CandidateOutcome::Estimated(e) => e,
+                _ => unreachable!("chosen candidate is always Estimated"),
+            },
+            None => 0,
+        }
+    }
+}
+
+/// The meta-assigner (see module docs): evaluates a portfolio of
+/// candidate assigners in parallel and returns the assignment with the
+/// lowest strict makespan estimate.
+pub struct AutoSelect {
+    /// Cross-color dependence-edge cost in the estimator, as a fraction
+    /// of the graph's mean node weight (so it scales with the workload
+    /// instead of assuming one tick size). Overridden by
+    /// [`cross_penalty`](Self::with_cross_penalty).
+    ///
+    /// The default (0.25) is calibrated against the NUMA simulator on the
+    /// three structural families (`tests/makespan_regression.rs` pins the
+    /// result): the estimator charges cross edges on *ready latency*
+    /// only, so on memory-bound stencils — where a warm pipeline absorbs
+    /// latency and the real cross-color cost is remote bandwidth — a
+    /// large penalty mis-ranks the low-cut partition below the
+    /// level-spreader. Small fractions keep the latency term decisive on
+    /// wavefronts (where serialization, not bandwidth, dominates) without
+    /// drowning the stencil ranking.
+    pub cross_penalty_frac: f64,
+    /// Fixed estimator penalty in ticks; when set, wins over
+    /// `cross_penalty_frac`.
+    pub cross_penalty: Option<u64>,
+    /// Whether the [`GraphShape`] pre-filter may skip candidates.
+    pub prefilter: bool,
+    candidates: Vec<Candidate>,
+}
+
+impl Default for AutoSelect {
+    /// The default portfolio: both partitioning objectives
+    /// ([`RecursiveBisection`], [`CpLevelAware`]) plus the sweep
+    /// ([`BfsLocality`]) and id-blocking ([`BlockContiguous`]) heuristics
+    /// that win when node ids carry spatial meaning.
+    fn default() -> Self {
+        AutoSelect::new(vec![
+            Box::new(RecursiveBisection::default()),
+            Box::new(CpLevelAware::default()),
+            Box::new(BfsLocality::default()),
+            Box::new(BlockContiguous),
+        ])
+    }
+}
+
+impl AutoSelect {
+    /// A meta-assigner over an explicit portfolio (portfolio order is the
+    /// deterministic tie-break). Panics if `candidates` is empty.
+    pub fn new(candidates: Vec<Candidate>) -> Self {
+        assert!(!candidates.is_empty(), "portfolio must not be empty");
+        AutoSelect {
+            cross_penalty_frac: 0.25,
+            cross_penalty: None,
+            prefilter: true,
+            candidates,
+        }
+    }
+
+    /// Fixes the estimator's cross-color edge penalty in ticks (builder
+    /// style) instead of deriving it from the mean node weight.
+    pub fn with_cross_penalty(mut self, ticks: u64) -> Self {
+        self.cross_penalty = Some(ticks);
+        self
+    }
+
+    /// Disables the shape pre-filter: every candidate runs and is scored.
+    pub fn without_prefilter(mut self) -> Self {
+        self.prefilter = false;
+        self
+    }
+
+    /// The portfolio, in tie-break order.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The estimator penalty used for `graph` (ticks).
+    fn penalty_for(&self, graph: &TaskGraph) -> u64 {
+        if let Some(p) = self.cross_penalty {
+            return p;
+        }
+        let n = graph.node_count().max(1) as u64;
+        let total: u64 = graph.nodes().map(|u| crate::node_weight(graph, u)).sum();
+        (((total / n).max(1)) as f64 * self.cross_penalty_frac.max(0.0)).ceil() as u64
+    }
+
+    /// Runs the portfolio and returns the winning assignment plus the
+    /// per-candidate report. Panics if `workers == 0`, or if every
+    /// candidate was disqualified (a portfolio of only-buggy assigners).
+    pub fn select(&self, graph: &TaskGraph, workers: usize) -> (Vec<Color>, SelectionReport) {
+        assert!(workers > 0, "need at least one worker");
+        let penalty = self.penalty_for(graph);
+        let shape = GraphShape::of(graph, workers);
+
+        // Degenerate machine: every assigner returns the monochrome
+        // assignment, so there is nothing to select between.
+        if workers == 1 {
+            let report = SelectionReport {
+                workers,
+                cross_penalty: penalty,
+                shape,
+                candidates: self
+                    .candidates
+                    .iter()
+                    .map(|c| (c.name(), CandidateOutcome::Skipped))
+                    .collect(),
+                chosen: None,
+            };
+            return (vec![Color(0); graph.node_count()], report);
+        }
+
+        // Pre-filter, but never down to an empty shortlist: if the rules
+        // would drop everyone, selection degrades to exhaustive.
+        let shortlist: Vec<usize> = if self.prefilter {
+            let kept: Vec<usize> = (0..self.candidates.len())
+                .filter(|&i| !shape.skips(self.candidates[i].name(), workers))
+                .collect();
+            if kept.is_empty() {
+                (0..self.candidates.len()).collect()
+            } else {
+                kept
+            }
+        } else {
+            (0..self.candidates.len()).collect()
+        };
+
+        // One scoped thread per candidate in a round: `assign` dominates
+        // the cost and the candidates are independent. Panics inside a
+        // candidate are re-thrown on the caller's thread.
+        let evaluate = |indices: &[usize]| -> Vec<Result<(Vec<Color>, u64), InvalidColoring>> {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = indices
+                    .iter()
+                    .map(|&i| {
+                        let cand = &self.candidates[i];
+                        s.spawn(move || {
+                            let colors = cand.assign(graph, workers);
+                            estimate_makespan_colored_strict(graph, &colors, workers, penalty)
+                                .map(|est| (colors, est))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        };
+
+        let mut outcomes: Vec<(&'static str, CandidateOutcome)> = self
+            .candidates
+            .iter()
+            .map(|c| (c.name(), CandidateOutcome::Skipped))
+            .collect();
+        let mut best: Option<(u64, usize, Vec<Color>)> = None; // (estimate, index, colors)
+        let mut ingest = |indices: &[usize], best: &mut Option<(u64, usize, Vec<Color>)>| {
+            for (&i, eval) in indices.iter().zip(evaluate(indices)) {
+                match eval {
+                    Ok((colors, est)) => {
+                        outcomes[i].1 = CandidateOutcome::Estimated(est);
+                        // Strict `<`: ties break toward portfolio order.
+                        if best.as_ref().map(|(b, _, _)| est < *b).unwrap_or(true) {
+                            *best = Some((est, i, colors));
+                        }
+                    }
+                    Err(invalid) => outcomes[i].1 = CandidateOutcome::Rejected(invalid),
+                }
+            }
+        };
+        ingest(&shortlist, &mut best);
+        if best.is_none() {
+            // Every shortlisted candidate was disqualified. A pre-filter
+            // skip is a quality heuristic, not a validity judgment, so
+            // before giving up, fall back to the candidates it skipped.
+            let rescued: Vec<usize> = (0..self.candidates.len())
+                .filter(|i| !shortlist.contains(i))
+                .collect();
+            ingest(&rescued, &mut best);
+        }
+        let (_, chosen, colors) = best.expect(
+            "every portfolio candidate produced an invalid assignment — \
+             nothing left to select",
+        );
+        let report = SelectionReport {
+            workers,
+            cross_penalty: penalty,
+            shape,
+            candidates: outcomes,
+            chosen: Some(chosen),
+        };
+        (colors, report)
+    }
+}
+
+impl AutoSelect {
+    /// The meta-assigner's [`ColorAssigner::name`], as a constant so
+    /// harnesses that special-case the meta row (e.g. to print its
+    /// [`SelectionReport`]) don't hand-copy the string.
+    pub const NAME: &'static str = "auto";
+}
+
+impl ColorAssigner for AutoSelect {
+    fn name(&self) -> &'static str {
+        Self::NAME
+    }
+
+    fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
+        self.select(graph, workers).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assignment_is_valid, assignment_loads, balance_limit};
+    use nabbitc_graph::analysis::estimate_makespan_colored;
+    use nabbitc_graph::generate;
+
+    /// Strict estimates of every default-portfolio member, bypassing the
+    /// meta-machinery — the reference `select` must argmin against.
+    fn portfolio_estimates(g: &TaskGraph, workers: usize, penalty: u64) -> Vec<(String, u64)> {
+        AutoSelect::default()
+            .candidates()
+            .iter()
+            .map(|c| {
+                let colors = c.assign(g, workers);
+                (
+                    c.name().to_string(),
+                    estimate_makespan_colored(g, &colors, workers, penalty),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_best_candidate_estimate_on_every_shape_family() {
+        // The meta-assigner's defining property: never worse (under its
+        // own objective) than the best individual portfolio member.
+        for g in [
+            generate::wavefront(20, 20, 8, 1),                  // sw-like
+            generate::iterated_stencil(8, 48, 3, 1),            // heat-like
+            generate::layered_random(8, 24, 3, (1, 300), 1, 7), // irregular
+            generate::chain(40, 2, 1),                          // no parallelism
+        ] {
+            for p in [2usize, 4, 8] {
+                let sel = AutoSelect::default();
+                let (colors, report) = sel.select(&g, p);
+                assert!(assignment_is_valid(&colors, p));
+                let best = portfolio_estimates(&g, p, report.cross_penalty)
+                    .into_iter()
+                    .map(|(_, e)| e)
+                    .min()
+                    .expect("nonempty portfolio");
+                assert!(
+                    report.chosen_estimate() <= best,
+                    "p={p}: auto estimate {} worse than best member {best}",
+                    report.chosen_estimate()
+                );
+                // The returned colors really are the chosen candidate's.
+                assert_eq!(
+                    estimate_makespan_colored(&g, &colors, p, report.cross_penalty),
+                    report.chosen_estimate()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn picks_level_aware_on_wavefronts() {
+        // The fork AutoSelect exists to close (ROADMAP, PR 2): cp must
+        // win sw-shaped graphs even with the pre-filter off (i.e. by
+        // estimate, not by rb's disqualification). The complementary
+        // claim — bisection wins the *real* heat stencil, whose cost
+        // structure a uniform synthetic cannot reproduce — is pinned in
+        // `tests/makespan_regression.rs` against the registry workload.
+        let wf = generate::wavefront(24, 24, 8, 1);
+        let (_c, rep) = AutoSelect::default().without_prefilter().select(&wf, 8);
+        assert_eq!(rep.chosen_name(), "cp-level-aware", "{rep:?}");
+    }
+
+    #[test]
+    fn prefilter_skips_the_wavefront_trap_without_changing_the_winner() {
+        let wf = generate::wavefront(24, 24, 8, 1);
+        let sel = AutoSelect::default();
+        let (colors, rep) = sel.select(&wf, 8);
+        // Deep pipeline with most weight in wide levels: bisection is
+        // pre-filtered (the documented sw failure mode)…
+        assert!(rep.shape.levels > rep.shape.max_width);
+        assert!(
+            matches!(
+                rep.candidates
+                    .iter()
+                    .find(|(n, _)| *n == "recursive-bisection")
+                    .map(|(_, o)| o),
+                Some(CandidateOutcome::Skipped)
+            ),
+            "{rep:?}"
+        );
+        // …and the filtered selection still returns the exhaustive winner.
+        let (_c2, exhaustive) = AutoSelect::default().without_prefilter().select(&wf, 8);
+        assert_eq!(rep.chosen_name(), exhaustive.chosen_name());
+        assert!(assignment_is_valid(&colors, 8));
+    }
+
+    #[test]
+    fn prefilter_leaves_non_pipeline_shapes_exhaustive() {
+        // The skip rule must not fire outside the wavefront family: on a
+        // stencil (few wide levels) and a chain (no wide level at all)
+        // every candidate runs.
+        for g in [
+            generate::iterated_stencil(5, 64, 3, 1),
+            generate::chain(30, 2, 1),
+        ] {
+            let (_c, rep) = AutoSelect::default().select(&g, 4);
+            assert!(
+                rep.candidates
+                    .iter()
+                    .all(|(_, o)| !matches!(o, CandidateOutcome::Skipped)),
+                "{rep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_candidates_are_disqualified_not_scored() {
+        /// A buggy assigner: colors everything for a machine twice the
+        /// requested size. Under the lenient estimator its phantom
+        /// overflow worker would make it look *faster* than any honest
+        /// candidate on an independent-task graph.
+        struct DoubleWide;
+        impl ColorAssigner for DoubleWide {
+            fn name(&self) -> &'static str {
+                "double-wide"
+            }
+            fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
+                graph
+                    .nodes()
+                    .map(|u| Color::from(u as usize % (2 * workers)))
+                    .collect()
+            }
+        }
+        let g = generate::independent(64, 50, 1);
+        let sel = AutoSelect::new(vec![Box::new(DoubleWide), Box::new(BlockContiguous)]);
+        let (colors, rep) = sel.select(&g, 2);
+        assert!(assignment_is_valid(&colors, 2));
+        assert_eq!(rep.chosen_name(), "block-contiguous");
+        match &rep.candidates[0].1 {
+            CandidateOutcome::Rejected(err) => assert_eq!(err.workers, 2),
+            o => panic!("double-wide should be rejected, got {o:?}"),
+        }
+    }
+
+    struct AlwaysInvalid;
+    impl ColorAssigner for AlwaysInvalid {
+        fn name(&self) -> &'static str {
+            "always-invalid"
+        }
+        fn assign(&self, graph: &TaskGraph, _workers: usize) -> Vec<Color> {
+            vec![Color::INVALID; graph.node_count()]
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing left to select")]
+    fn all_invalid_portfolio_panics() {
+        let g = generate::chain(4, 1, 1);
+        let _ = AutoSelect::new(vec![Box::new(AlwaysInvalid)]).select(&g, 2);
+    }
+
+    #[test]
+    fn prefiltered_candidates_are_rescued_when_the_shortlist_is_disqualified() {
+        // A pre-filter skip is a quality heuristic, not a validity
+        // judgment: on a deep wavefront the filter drops bisection, and
+        // if everything left turns out buggy, selection must fall back
+        // to the skipped candidate instead of panicking.
+        let g = generate::wavefront(16, 16, 4, 1);
+        let sel = AutoSelect::new(vec![
+            Box::new(RecursiveBisection::default()),
+            Box::new(AlwaysInvalid),
+        ]);
+        let (colors, rep) = sel.select(&g, 4);
+        assert_eq!(rep.chosen_name(), "recursive-bisection", "{rep:?}");
+        assert!(assignment_is_valid(&colors, 4));
+        assert!(matches!(rep.candidates[1].1, CandidateOutcome::Rejected(_)));
+    }
+
+    #[test]
+    fn single_worker_is_monochrome_without_running_candidates() {
+        let g = generate::wavefront(6, 6, 1, 1);
+        let (colors, rep) = AutoSelect::default().select(&g, 1);
+        assert!(colors.iter().all(|&c| c == Color(0)));
+        assert_eq!(rep.chosen, None);
+        assert_eq!(rep.chosen_name(), "monochrome");
+        assert!(rep
+            .candidates
+            .iter()
+            .all(|(_, o)| matches!(o, CandidateOutcome::Skipped)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = generate::layered_random(8, 16, 3, (1, 200), 1, 11);
+        let a = AutoSelect::default().select(&g, 6);
+        let b = AutoSelect::default().select(&g, 6);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn respects_balance_on_uniform_shapes() {
+        // AutoSelect inherits whatever its winner guarantees; on uniform
+        // graphs every portfolio member meets the 2× bound, so the
+        // selection must too.
+        let g = generate::iterated_stencil(8, 32, 3, 4);
+        for p in [2usize, 5, 8] {
+            let colors = AutoSelect::default().assign(&g, p);
+            let max = *assignment_loads(&g, &colors, p).iter().max().unwrap();
+            assert!(max <= balance_limit(&g, p), "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_panics() {
+        let g = generate::chain(3, 1, 1);
+        let _ = AutoSelect::default().assign(&g, 0);
+    }
+}

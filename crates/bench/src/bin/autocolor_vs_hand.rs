@@ -19,9 +19,14 @@
 //! for it. On stencils and block dataflow, lower cut tracks lower remote%
 //! and equal or better makespan.
 //!
+//! The `auto` row is the `AutoSelect` meta-assigner: it should match the
+//! best individual strategy of each workload (cp-level-aware on sw,
+//! recursive-bisection on heat) — that is its acceptance property. The
+//! per-candidate estimates behind each pick go to stderr.
+//!
 //! `cargo run -p nabbitc-bench --bin autocolor_vs_hand --release`
 
-use nabbitc_autocolor::all_strategies;
+use nabbitc_autocolor::{all_strategies, AutoSelect, CandidateOutcome};
 use nabbitc_bench::{f1, f2, scale_from_env, Report};
 use nabbitc_color::Color;
 use nabbitc_graph::analysis::{
@@ -120,6 +125,9 @@ fn main() {
 
             let bare = registry::build_uncolored(id, scale, p);
             for strategy in all_strategies() {
+                if strategy.name() == AutoSelect::NAME {
+                    continue; // added last, with its selection report
+                }
                 let colors = strategy.assign(&bare.graph, p);
                 row_for(
                     &mut rep,
@@ -132,6 +140,36 @@ fn main() {
                     hand_result.makespan,
                 );
             }
+
+            // The meta-assigner's row, plus the per-candidate estimates
+            // behind its pick (stderr, next to the progress line).
+            let (auto_colors, selection) = AutoSelect::default().select(&bare.graph, p);
+            for (name, outcome) in &selection.candidates {
+                let verdict = match outcome {
+                    CandidateOutcome::Estimated(e) => format!("est {e}"),
+                    CandidateOutcome::Skipped => "skipped (shape pre-filter)".to_string(),
+                    CandidateOutcome::Rejected(err) => format!("rejected: {err}"),
+                };
+                eprintln!(
+                    "autocolor_vs_hand: {} P={p} auto candidate {name}: {verdict}{}",
+                    id.name(),
+                    if *name == selection.chosen_name() {
+                        "  <- chosen"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            row_for(
+                &mut rep,
+                id,
+                p,
+                "auto",
+                &bare.graph,
+                &profile,
+                &auto_colors,
+                hand_result.makespan,
+            );
             eprintln!("autocolor_vs_hand: {} P={p} done", id.name());
         }
     }

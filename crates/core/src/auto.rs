@@ -1,30 +1,35 @@
 //! Autocolor integration: executors that infer their own colors.
 //!
-//! Two entry points, one per executor:
+//! Three entry points:
 //!
-//! * [`StaticExecutor::execute_autocolored`] — run any pre-built
-//!   [`TaskGraph`] under an inferred coloring, ignoring whatever colors
-//!   the graph was built with (pass
-//!   [`RecursiveBisection`](nabbitc_autocolor::RecursiveBisection) for the
-//!   lowest edge-cut, or
-//!   [`CpLevelAware`](nabbitc_autocolor::CpLevelAware) for
-//!   level-structured shapes like wavefronts, where cut-optimal
-//!   partitions serialize the pipeline and the level-aware objective wins
-//!   the makespan);
+//! * [`StaticExecutor::execute_auto`] — **the default static path**: run
+//!   any pre-built [`TaskGraph`] under colors inferred by the
+//!   [`AutoSelect`] meta-assigner, which evaluates its whole portfolio
+//!   and keeps the per-graph winner (edge-cut partitioning on stencils,
+//!   level-aware partitioning on wavefronts) — no strategy choice needed
+//!   from the caller;
+//! * [`StaticExecutor::execute_autocolored`] — the same, under an
+//!   *explicit* [`ColorAssigner`] for callers who already know which
+//!   objective fits their shape (or want to sweep strategies, as the
+//!   benches do);
 //! * [`AutoColoredSpec`] — wrap any [`TaskSpec`] so its `color()` is
 //!   answered by an [`OnlineAssigner`] (predecessor-majority vote with
 //!   discovery hints and a load cap — hints carry affinity down the
-//!   sink-first exploration order) instead of the user. This is what
-//!   makes the on-demand
-//!   executor usable on task specs whose author never thought about NUMA:
+//!   sink-first exploration order) instead of the user. On-demand
+//!   discovery reveals the graph one key at a time, so the offline
+//!   portfolio machinery cannot apply; the online vote is its dynamic
+//!   counterpart. This is what makes the on-demand executor usable on
+//!   task specs whose author never thought about NUMA:
 //!   `DynamicExecutor::new(pool, Arc::new(AutoColoredSpec::new(spec, p)))`.
 //!
-//! Both keep the scheduling machinery untouched — autocolor only changes
+//! All keep the scheduling machinery untouched — autocolor only changes
 //! *which* color a task carries, never the stealing protocol.
 
 use crate::dynamic::TaskSpec;
 use crate::static_exec::{StaticExecutor, StaticReport};
-use nabbitc_autocolor::{autocolor, ColorAssigner, OnlineAssigner};
+use nabbitc_autocolor::{
+    apply_assignment, autocolor, AutoSelect, ColorAssigner, OnlineAssigner, SelectionReport,
+};
 use nabbitc_color::Color;
 use nabbitc_graph::{NodeId, TaskGraph};
 use std::sync::Arc;
@@ -50,6 +55,35 @@ impl StaticExecutor {
         let recolored = Arc::new(autocolor(graph, assigner, self.pool().workers()));
         let report = self.execute(&recolored, kernel);
         (report, recolored)
+    }
+
+    /// Executes `graph` under the default inferred coloring: the
+    /// [`AutoSelect`] portfolio picks the assigner whose assignment the
+    /// makespan estimator scores best for this pool's worker count. This
+    /// is the entry point for callers with no data-distribution argument
+    /// at all — the meta-selection makes the stencil-vs-wavefront
+    /// strategy choice that [`execute_autocolored`] pushes onto the
+    /// caller.
+    ///
+    /// Returns the execution report, the recolored graph (reuse it when
+    /// executing repeatedly — selection is the expensive part), and the
+    /// [`SelectionReport`] saying which candidate won and why.
+    ///
+    /// [`execute_autocolored`]: StaticExecutor::execute_autocolored
+    pub fn execute_auto<K>(
+        &self,
+        graph: &TaskGraph,
+        kernel: Arc<K>,
+    ) -> (StaticReport, Arc<TaskGraph>, SelectionReport)
+    where
+        K: Fn(NodeId, usize) + Send + Sync + 'static,
+    {
+        let (colors, selection) = AutoSelect::default().select(graph, self.pool().workers());
+        let mut recolored = graph.clone();
+        apply_assignment(&mut recolored, &colors);
+        let recolored = Arc::new(recolored);
+        let report = self.execute(&recolored, kernel);
+        (report, recolored, selection)
     }
 }
 
@@ -175,6 +209,42 @@ mod tests {
         for l in 0..profile.level_count() {
             if profile.widths[l] >= workers {
                 assert!(ser.per_level[l] < 1.0, "level {l} serialized");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_auto_runs_the_portfolio_winner() {
+        use nabbitc_autocolor::CandidateOutcome;
+        use nabbitc_graph::analysis::estimate_makespan_colored;
+        let workers = 4;
+        let graph = Arc::new(generate::wavefront(16, 16, 2, 1)); // monochrome input
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(workers)));
+        let exec = StaticExecutor::new(pool);
+        let counts: Arc<Vec<AtomicU32>> =
+            Arc::new((0..graph.node_count()).map(|_| AtomicU32::new(0)).collect());
+        let c2 = counts.clone();
+        let (_report, recolored, selection) = exec.execute_auto(
+            &graph,
+            Arc::new(move |u: NodeId, _w: usize| {
+                c2[u as usize].fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        // The graph actually carries the winning candidate's colors.
+        let colors: Vec<Color> = recolored.nodes().map(|u| recolored.color(u)).collect();
+        assert!(colors.iter().all(|c| c.is_valid() && c.index() < workers));
+        assert_eq!(
+            estimate_makespan_colored(&recolored, &colors, workers, selection.cross_penalty),
+            selection.chosen_estimate()
+        );
+        // Every scored candidate lost to (or tied) the winner.
+        for (name, outcome) in &selection.candidates {
+            if let CandidateOutcome::Estimated(e) = outcome {
+                assert!(
+                    *e >= selection.chosen_estimate(),
+                    "{name} scored {e} below the winner"
+                );
             }
         }
     }

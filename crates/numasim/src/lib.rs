@@ -130,6 +130,44 @@ mod recolor_tests {
     }
 
     #[test]
+    fn auto_select_pick_holds_up_in_the_simulator() {
+        // The meta-assigner trusts `estimate_makespan_colored` to rank
+        // candidates; this is the simulator-side contract that the trust
+        // is warranted: on each structural family (wavefront / stencil /
+        // irregular dataflow), the coloring AutoSelect picks must
+        // *simulate* within tolerance of the best individual portfolio
+        // member — picking by estimate must not cost more than 5% of
+        // simulated makespan. (The registry workloads get the same check
+        // in `tests/makespan_regression.rs` at the workspace root.)
+        use nabbitc_autocolor::AutoSelect;
+        let p = 8;
+        let cfg = WsConfig::nabbitc(p);
+        for (family, g) in [
+            ("wavefront", generate::wavefront(24, 24, 60, 1)),
+            ("stencil", generate::iterated_stencil(8, 64, 200, 1)),
+            (
+                "irregular",
+                generate::layered_random(10, 32, 3, (50, 400), 1, 42),
+            ),
+        ] {
+            let sel = AutoSelect::default();
+            let (colors, report) = sel.select(&g, p);
+            let auto_sim = simulate_ws_recolored(&g, &colors, &cfg).makespan;
+            let best_sim = sel
+                .candidates()
+                .iter()
+                .map(|c| simulate_ws_recolored(&g, &c.assign(&g, p), &cfg).makespan)
+                .min()
+                .expect("nonempty portfolio");
+            assert!(
+                auto_sim as f64 <= 1.05 * best_sim as f64,
+                "{family}: auto ({}) simulated {auto_sim}, best member {best_sim}",
+                report.chosen_name()
+            );
+        }
+    }
+
+    #[test]
     fn recoloring_changes_remote_rate() {
         // Same graph, hand colors (block-aligned) vs a scrambled coloring:
         // the scrambled placement must look worse (or equal) to the

@@ -310,7 +310,7 @@ impl<'a> Sim<'a> {
             now += cost.steal_check;
             self.stats[c].colored_attempts += 1;
             self.first_checks[c] += 1;
-            let v = self.rngs[c].victim(p, c);
+            let v = self.rngs[c].victim(p, c).expect("p >= 2 checked above");
             if let Some(front) = self.deques[v].front() {
                 if front.colors().intersects(&my) {
                     let entry = self.deques[v].pop_front().expect("peeked");
@@ -337,7 +337,7 @@ impl<'a> Sim<'a> {
         for _ in 0..self.cfg.policy.colored_attempts {
             now += cost.steal_check;
             self.stats[c].colored_attempts += 1;
-            let v = self.rngs[c].victim(p, c);
+            let v = self.rngs[c].victim(p, c).expect("p >= 2 checked above");
             if let Some(front) = self.deques[v].front() {
                 if front.colors().intersects(&my) {
                     let entry = self.deques[v].pop_front().expect("peeked");
@@ -352,7 +352,7 @@ impl<'a> Sim<'a> {
 
         now += cost.steal_check;
         self.stats[c].random_attempts += 1;
-        let v = self.rngs[c].victim(p, c);
+        let v = self.rngs[c].victim(p, c).expect("p >= 2 checked above");
         if !self.deques[v].is_empty() {
             let entry = self.deques[v].pop_front().expect("non-empty");
             self.stats[c].random_steals += 1;

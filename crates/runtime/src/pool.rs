@@ -50,16 +50,25 @@ pub struct PoolConfig {
 
 impl PoolConfig {
     /// NabbitC pool with `workers` workers on a single-socket topology.
+    ///
+    /// Panics if `workers == 0` — the workspace-wide contract for a
+    /// zero-worker machine is an immediate, clearly-worded panic at every
+    /// public entry point. This constructor used to paper over it with
+    /// `workers.max(1)` in the topology, which let a zero-worker config
+    /// travel all the way to [`Pool::new`] before failing with a message
+    /// about the pool rather than the config the caller actually wrote.
     pub fn nabbitc(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
         PoolConfig {
             workers,
-            topology: NumaTopology::uma(workers.max(1)),
+            topology: NumaTopology::uma(workers),
             policy: StealPolicy::nabbitc(),
             seed: 0xC0FFEE,
         }
     }
 
-    /// Vanilla-Nabbit pool (random steals only).
+    /// Vanilla-Nabbit pool (random steals only). Panics if `workers == 0`
+    /// (see [`PoolConfig::nabbitc`]).
     pub fn nabbit(workers: usize) -> Self {
         PoolConfig {
             policy: StealPolicy::nabbit(),
@@ -124,9 +133,9 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Spawns the worker threads.
+    /// Spawns the worker threads. Panics if `config.workers == 0`.
     pub fn new(config: PoolConfig) -> Pool {
-        assert!(config.workers > 0, "pool needs at least one worker");
+        assert!(config.workers > 0, "need at least one worker");
         assert!(
             config.workers <= nabbitc_color::MAX_COLORS,
             "at most {} workers supported",
@@ -451,11 +460,17 @@ fn steal_round(
     first_steal_pending: &mut bool,
 ) -> Option<Box<Task>> {
     let workers = inner.workers;
+    // A 1-worker pool has nobody to steal from: every `victim` call below
+    // would be `None`, so bail before touching the stats. This guard is
+    // load-bearing in release builds — see `XorShift64::victim`.
     if workers < 2 {
         return None;
     }
     let me = ctx.worker;
     let stats = &inner.stats[me];
+    // `workers >= 2` holds for the rest of this function, so every
+    // `victim` below returns `Some`.
+    let pick = |rng: &mut XorShift64| rng.victim(workers, me).expect("workers >= 2");
 
     if *first_steal_pending {
         // Forced first colored steal: only colored attempts until one
@@ -466,7 +481,7 @@ fn steal_round(
             }
             let checks = stats.first_steal_checks.fetch_add(1, Ordering::Relaxed) + 1;
             stats.colored_steal_attempts.fetch_add(1, Ordering::Relaxed);
-            let v = ctx.rng.victim(workers, me);
+            let v = pick(&mut ctx.rng);
             if let Steal::Success(t) = inner.deques[v].steal_if_any(accept) {
                 stats.colored_steals.fetch_add(1, Ordering::Relaxed);
                 *first_steal_pending = false;
@@ -486,7 +501,7 @@ fn steal_round(
 
     for _ in 0..inner.policy.colored_attempts {
         stats.colored_steal_attempts.fetch_add(1, Ordering::Relaxed);
-        let v = ctx.rng.victim(workers, me);
+        let v = pick(&mut ctx.rng);
         if let Steal::Success(t) = inner.deques[v].steal_if_any(accept) {
             stats.colored_steals.fetch_add(1, Ordering::Relaxed);
             return Some(t);
@@ -494,7 +509,7 @@ fn steal_round(
     }
 
     stats.random_steal_attempts.fetch_add(1, Ordering::Relaxed);
-    let v = ctx.rng.victim(workers, me);
+    let v = pick(&mut ctx.rng);
     if let Steal::Success(t) = inner.deques[v].steal() {
         stats.random_steals.fetch_add(1, Ordering::Relaxed);
         return Some(t);
@@ -613,6 +628,22 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_worker_config_panics_at_construction() {
+        // The config constructor, not Pool::new, is the contract point:
+        // it must not paper over workers == 0 with a 1-core topology.
+        let _ = PoolConfig::nabbitc(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_worker_pool_panics() {
+        let mut cfg = PoolConfig::nabbitc(1);
+        cfg.workers = 0; // bypass the constructor's check
+        let _ = Pool::new(cfg);
     }
 
     #[test]

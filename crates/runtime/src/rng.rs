@@ -38,23 +38,31 @@ impl XorShift64 {
 
     /// Uniform value in `0..n`. Uses the multiply-shift trick (Lemire);
     /// slight modulo bias is irrelevant for victim selection.
+    ///
+    /// Panics if `n == 0` — in release builds too. A `debug_assert!` here
+    /// once let `next_below(0)` return 0 in release, which is *outside*
+    /// the (empty) requested range and silently violated every caller's
+    /// range contract; the predictable branch costs nothing next to the
+    /// xorshift itself.
     #[inline]
     pub fn next_below(&mut self, n: usize) -> usize {
-        debug_assert!(n > 0);
+        assert!(n > 0, "next_below(0): empty range has no element");
         ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Picks a victim worker id uniformly from `0..workers`, excluding
-    /// `me`. Requires `workers >= 2`.
+    /// `me`. Returns `None` when `workers < 2`: with `me` excluded the
+    /// candidate set is empty, and the old `usize` signature made a
+    /// 1-worker pool that reached victim selection compute
+    /// `next_below(0) == 0 → victim 1` in release builds — an
+    /// out-of-range deque index.
     #[inline]
-    pub fn victim(&mut self, workers: usize, me: usize) -> usize {
-        debug_assert!(workers >= 2);
-        let v = self.next_below(workers - 1);
-        if v >= me {
-            v + 1
-        } else {
-            v
+    pub fn victim(&mut self, workers: usize, me: usize) -> Option<usize> {
+        if workers < 2 {
+            return None;
         }
+        let v = self.next_below(workers - 1);
+        Some(if v >= me { v + 1 } else { v })
     }
 }
 
@@ -90,7 +98,7 @@ mod tests {
         let mut r = XorShift64::new(11);
         let mut seen = [false; 8];
         for _ in 0..10_000 {
-            let v = r.victim(8, 3);
+            let v = r.victim(8, 3).expect("8 workers have victims");
             assert_ne!(v, 3);
             assert!(v < 8);
             seen[v] = true;
@@ -101,6 +109,27 @@ mod tests {
             .filter(|&(i, _)| i != 3)
             .all(|(_, &s)| s);
         assert!(others, "all other workers should eventually be picked");
+    }
+
+    #[test]
+    fn victim_on_degenerate_pools_is_none() {
+        // The release-mode regression: a 1-worker pool reaching victim
+        // selection used to get victim == 1, an out-of-range deque index.
+        let mut r = XorShift64::new(1);
+        assert_eq!(r.victim(1, 0), None);
+        assert_eq!(r.victim(0, 0), None);
+        // Two workers: the only possible victim is the other one.
+        for me in 0..2 {
+            for _ in 0..100 {
+                assert_eq!(r.victim(2, me), Some(1 - me));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn next_below_zero_panics_in_release_too() {
+        XorShift64::new(1).next_below(0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! of the forced first colored steal. `tests/theory_bound.rs` checks the
 //! simulated schedulers against this bound with fitted constants.
 
-use crate::TaskGraph;
+use crate::{NodeId, TaskGraph};
 use nabbitc_color::{Color, ColorSet};
 use std::collections::HashMap;
 
@@ -420,6 +420,66 @@ pub fn estimate_makespan_colored(
     makespan
 }
 
+/// An assignment handed to the strict makespan estimator named a color no
+/// worker owns: node `node` carries `color`, which is invalid or outside
+/// `0..workers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidColoring {
+    /// First offending node.
+    pub node: NodeId,
+    /// The color it carries.
+    pub color: Color,
+    /// The machine size the assignment was checked against.
+    pub workers: usize,
+}
+
+impl std::fmt::Display for InvalidColoring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} carries color {} but only {} workers exist",
+            self.node, self.color, self.workers
+        )
+    }
+}
+
+impl std::error::Error for InvalidColoring {}
+
+/// Strict variant of [`estimate_makespan_colored`]: rejects any assignment
+/// containing an invalid or out-of-range color instead of absorbing it
+/// into the overflow worker.
+///
+/// The lenient estimator's overflow worker exists so *diagnostic* sweeps
+/// can score broken colorings; it is the wrong tool for *selection*.
+/// Routing invalid colors to worker `workers` silently scores the
+/// assignment on a `workers + 1`-worker machine, so a buggy assigner that
+/// emits out-of-range colors can win a meta-selection with a makespan no
+/// real machine will reproduce. Selection paths (`AutoSelect` in
+/// `nabbitc-autocolor`) use this entry and disqualify offending
+/// candidates instead.
+pub fn estimate_makespan_colored_strict(
+    g: &TaskGraph,
+    colors: &[Color],
+    workers: usize,
+    cross_penalty: u64,
+) -> Result<u64, InvalidColoring> {
+    assert!(workers > 0, "need at least one worker");
+    assert_eq!(colors.len(), g.node_count(), "one color per node");
+    for u in g.nodes() {
+        let c = colors[u as usize];
+        if !c.is_valid() || c.index() >= workers {
+            return Err(InvalidColoring {
+                node: u,
+                color: c,
+                workers,
+            });
+        }
+    }
+    // Every color is a real worker, so the lenient estimator's overflow
+    // worker is unreachable and the two estimates coincide.
+    Ok(estimate_makespan_colored(g, colors, workers, cross_penalty))
+}
+
 /// [`estimate_makespan_colored`] over the graph's own colors.
 pub fn estimate_makespan(g: &TaskGraph, workers: usize, cross_penalty: u64) -> u64 {
     let colors: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
@@ -703,6 +763,34 @@ mod tests {
         let mut g = chain(&[1, 1]);
         g.recolor(|u, _| if u == 0 { Color(5) } else { Color(6) });
         assert_eq!(estimate_makespan(&g, 4, 100), 2);
+    }
+
+    #[test]
+    fn strict_estimate_matches_lenient_on_valid_colorings() {
+        let g = chain(&[5, 7, 3]);
+        let colors: Vec<Color> = vec![Color(0), Color(1), Color(0)];
+        let strict =
+            estimate_makespan_colored_strict(&g, &colors, 2, 5).expect("valid coloring accepted");
+        assert_eq!(strict, estimate_makespan_colored(&g, &colors, 2, 5));
+    }
+
+    #[test]
+    fn strict_estimate_rejects_invalid_and_out_of_range_colors() {
+        let g = chain(&[1, 1, 1]);
+        // INVALID color.
+        let colors = vec![Color(0), Color::INVALID, Color(0)];
+        let err = estimate_makespan_colored_strict(&g, &colors, 2, 5)
+            .expect_err("INVALID must be rejected");
+        assert_eq!(err.node, 1);
+        assert_eq!(err.color, Color::INVALID);
+        assert_eq!(err.workers, 2);
+        // Valid color, but no worker owns it: the lenient estimator would
+        // score this on a phantom extra worker; strict refuses.
+        let colors = vec![Color(0), Color(1), Color(7)];
+        let err = estimate_makespan_colored_strict(&g, &colors, 2, 5)
+            .expect_err("out-of-range must be rejected");
+        assert_eq!((err.node, err.color), (2, Color(7)));
+        assert!(err.to_string().contains("color c7"), "{err}");
     }
 
     #[test]

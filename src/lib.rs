@@ -13,7 +13,7 @@
 //! |---|---|---|
 //! | [`color`] | `nabbitc-color` | [`Color`](color::Color), constant-time [`ColorSet`](color::ColorSet) |
 //! | [`graph`] | `nabbitc-graph` | task graphs, generators, work/span + edge-cut analysis, trace validation |
-//! | [`autocolor`] | `nabbitc-autocolor` | automatic coloring: [`ColorAssigner`](autocolor::ColorAssigner) strategies from round-robin to recursive bisection, plus online coloring for dynamic specs |
+//! | [`autocolor`] | `nabbitc-autocolor` | automatic coloring: [`ColorAssigner`](autocolor::ColorAssigner) strategies from round-robin to recursive bisection, the [`AutoSelect`](autocolor::AutoSelect) meta-assigner that picks the best strategy per graph, plus online coloring for dynamic specs |
 //! | [`runtime`] | `nabbitc-runtime` | colored Chase–Lev deques, the worker pool, steal policies |
 //! | [`core`] | `nabbitc-core` | Nabbit/NabbitC executors, morphing-continuation spawning, §V-B metrics |
 //! | [`parfor`] | `nabbitc-parfor` | OpenMP-like static/guided/dynamic baselines |
@@ -52,13 +52,18 @@
 //!
 //! ### No colors? Infer them
 //!
-//! When nobody hand-colored the graph, let the autocolor subsystem do it:
-//! `execute_autocolored` partitions the graph for the pool's worker count
-//! (here with [`RecursiveBisection`](autocolor::RecursiveBisection), the
-//! strongest static strategy) and re-homes the data accordingly.
+//! When nobody hand-colored the graph, let the autocolor subsystem do it.
+//! The **default path** is `execute_auto`: the
+//! [`AutoSelect`](autocolor::AutoSelect) meta-assigner runs its whole
+//! strategy portfolio, scores every candidate assignment with the
+//! makespan estimator for this pool's worker count, applies the winner
+//! (edge-cut bisection on stencils, level-aware partitioning on
+//! wavefronts — no single objective wins both), and re-homes the data
+//! accordingly. The returned
+//! [`SelectionReport`](autocolor::SelectionReport) says which candidate
+//! won and what each one scored.
 //!
 //! ```
-//! use nabbitc::autocolor::RecursiveBisection;
 //! use nabbitc::prelude::*;
 //! use std::sync::Arc;
 //! use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,9 +75,8 @@
 //! let exec = StaticExecutor::new(pool);
 //! let done = Arc::new(AtomicU64::new(0));
 //! let d = done.clone();
-//! let (_report, recolored) = exec.execute_autocolored(
+//! let (_report, recolored, selection) = exec.execute_auto(
 //!     &graph,
-//!     &RecursiveBisection::default(),
 //!     Arc::new(move |_node, _worker| {
 //!         d.fetch_add(1, Ordering::SeqCst);
 //!     }),
@@ -80,7 +84,13 @@
 //! assert_eq!(done.load(Ordering::SeqCst), 100);
 //! // Both workers received a share of the inferred coloring.
 //! assert!(recolored.nodes().any(|u| recolored.color(u) != recolored.color(0)));
+//! println!("selected strategy: {}", selection.chosen_name());
 //! ```
+//!
+//! To pin one strategy instead (as the benches do when sweeping), pass it
+//! to `execute_autocolored` explicitly — e.g.
+//! [`RecursiveBisection`](autocolor::RecursiveBisection) for pure
+//! edge-cut minimization.
 
 pub use nabbitc_autocolor as autocolor;
 pub use nabbitc_color as color;
@@ -94,8 +104,8 @@ pub use nabbitc_workloads as workloads;
 /// The commonly-used surface in one import.
 pub mod prelude {
     pub use nabbitc_autocolor::{
-        autocolor, BfsLocality, BlockContiguous, ColorAssigner, CpLevelAware, DynamicAffinity,
-        RecursiveBisection, RoundRobin,
+        autocolor, AutoSelect, BfsLocality, BlockContiguous, ColorAssigner, CpLevelAware,
+        DynamicAffinity, RecursiveBisection, RoundRobin, SelectionReport,
     };
     pub use nabbitc_color::{Color, ColorSet};
     pub use nabbitc_core::{

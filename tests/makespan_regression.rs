@@ -1,35 +1,48 @@
-//! Makespan regression gate for the critical-path-aware assigner.
+//! Makespan regression gate for the autocolor subsystem.
 //!
 //! The whole point of `CpLevelAware` is the `sw` wavefront: edge-cut
 //! optimization (`RecursiveBisection`) serializes the anti-diagonal
 //! pipeline there, while the level-aware objective keeps every diagonal
-//! feeding all workers. These tests measure what actually matters —
-//! simulated makespan through the same `simulate_ws_recolored` pipeline
-//! the benchmark harness uses — and pin the current numbers so a future
-//! change to the assigner, the simulator, or the workload cannot silently
-//! regress the win (`results/autocolor_vs_hand.md` holds the full table).
+//! feeding all workers — and the whole point of `AutoSelect` is that
+//! nobody has to know which of the two their graph needs. These tests
+//! measure what actually matters — simulated makespan through the same
+//! `simulate_ws_recolored` pipeline the benchmark harness uses — and pin
+//! the current numbers on all three structural families (sw wavefront,
+//! heat stencil, page-uk-2002 irregular dataflow) so a future change to
+//! an assigner, the selection, the simulator, or a workload cannot
+//! silently regress a win (`results/autocolor_vs_hand.md` holds the full
+//! table).
 //!
 //! Everything here is deterministic: same graph + same config ⇒ identical
 //! makespan, so the pins are exact ceilings with a small headroom for
 //! intentional re-tuning.
 
-use nabbitc::autocolor::{ColorAssigner, CpLevelAware, RecursiveBisection};
+use nabbitc::autocolor::{AutoSelect, ColorAssigner, CpLevelAware, RecursiveBisection};
 use nabbitc::numasim::{simulate_ws_recolored, WsConfig};
 use nabbitc::prelude::*;
 use nabbitc::workloads::registry;
 use nabbitc::workloads::{BenchId, Scale};
 
-fn sw_makespans(p: usize) -> (u64, u64, u64) {
-    let hand = registry::build(BenchId::Sw, Scale::Small, p);
-    let hand_colors: Vec<Color> = hand.graph.nodes().map(|u| hand.graph.color(u)).collect();
-    let hand_m = simulate_ws_recolored(&hand.graph, &hand_colors, &WsConfig::nabbitc(p)).makespan;
+/// Simulated makespan of the benchmark's own (hand) coloring.
+fn hand_makespan(id: BenchId, p: usize) -> u64 {
+    let hand = registry::build(id, Scale::Small, p);
+    let colors: Vec<Color> = hand.graph.nodes().map(|u| hand.graph.color(u)).collect();
+    simulate_ws_recolored(&hand.graph, &colors, &WsConfig::nabbitc(p)).makespan
+}
 
-    let bare = registry::build_uncolored(BenchId::Sw, Scale::Small, p);
-    let cp = CpLevelAware::default().assign(&bare.graph, p);
-    let cp_m = simulate_ws_recolored(&bare.graph, &cp, &WsConfig::nabbitc(p)).makespan;
-    let rb = RecursiveBisection::default().assign(&bare.graph, p);
-    let rb_m = simulate_ws_recolored(&bare.graph, &rb, &WsConfig::nabbitc(p)).makespan;
-    (hand_m, cp_m, rb_m)
+/// Simulated makespan of `assigner`'s coloring of the uncolored build.
+fn assigned_makespan(id: BenchId, p: usize, assigner: &dyn ColorAssigner) -> u64 {
+    let bare = registry::build_uncolored(id, Scale::Small, p);
+    let colors = assigner.assign(&bare.graph, p);
+    simulate_ws_recolored(&bare.graph, &colors, &WsConfig::nabbitc(p)).makespan
+}
+
+fn sw_makespans(p: usize) -> (u64, u64, u64) {
+    (
+        hand_makespan(BenchId::Sw, p),
+        assigned_makespan(BenchId::Sw, p, &CpLevelAware::default()),
+        assigned_makespan(BenchId::Sw, p, &RecursiveBisection::default()),
+    )
 }
 
 #[test]
@@ -69,5 +82,86 @@ fn sw_makespans_pinned() {
             hand_m <= hand_pin + hand_pin / 10,
             "P={p}: hand makespan {hand_m} drifted past pin {hand_pin}"
         );
+    }
+}
+
+#[test]
+fn heat_and_pagerank_makespans_pinned() {
+    // The other two structural families, pinned when AutoSelect landed
+    // (Scale::Small, default WsConfig seed). Heat is the stencil where
+    // `RecursiveBisection` wins (low cut = low remote traffic); pagerank
+    // is the irregular dataflow where the level-aware objective wins.
+    // Same policy as the sw pins: 10% headroom, re-pin deliberately.
+    const PINS: [(BenchId, usize, u64, u64); 4] = [
+        // (bench, P, winner pin, hand pin)
+        (BenchId::Heat, 20, 12_666_166, 12_735_924),
+        (BenchId::Heat, 40, 6_405_392, 6_421_206),
+        (BenchId::PageUk2002, 20, 384_597, 425_121),
+        (BenchId::PageUk2002, 40, 317_826, 315_537),
+    ];
+    for (id, p, win_pin, hand_pin) in PINS {
+        // The defaults, not hand-copied configs: the pins must track the
+        // exact members AutoSelect's portfolio runs, or a default retune
+        // would silently decouple them.
+        let winner: Box<dyn ColorAssigner> = match id {
+            BenchId::Heat => Box::new(RecursiveBisection::default()),
+            _ => Box::new(CpLevelAware::default()),
+        };
+        let win_m = assigned_makespan(id, p, winner.as_ref());
+        let hand_m = hand_makespan(id, p);
+        println!("{} P={p}: hand={hand_m} winner={win_m}", id.name());
+        assert!(
+            win_m <= win_pin + win_pin / 10,
+            "{} P={p}: winner makespan {win_m} regressed past pin {win_pin}",
+            id.name()
+        );
+        assert!(
+            hand_m <= hand_pin + hand_pin / 10,
+            "{} P={p}: hand makespan {hand_m} drifted past pin {hand_pin}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn auto_select_never_worse_than_best_portfolio_member() {
+    // The meta-assigner's acceptance property (ISSUE 3): on every
+    // structural family, AutoSelect's *simulated* makespan is within 5%
+    // of the best individual portfolio member's — picking by estimator
+    // must not forfeit the per-workload win it exists to capture.
+    for id in [BenchId::Sw, BenchId::Heat, BenchId::PageUk2002] {
+        for p in [20usize, 40] {
+            let sel = AutoSelect::default();
+            let bare = registry::build_uncolored(id, Scale::Small, p);
+            let (colors, report) = sel.select(&bare.graph, p);
+            let auto_m =
+                simulate_ws_recolored(&bare.graph, &colors, &WsConfig::nabbitc(p)).makespan;
+            let best_m = sel
+                .candidates()
+                .iter()
+                .map(|c| {
+                    let m = simulate_ws_recolored(
+                        &bare.graph,
+                        &c.assign(&bare.graph, p),
+                        &WsConfig::nabbitc(p),
+                    )
+                    .makespan;
+                    println!("{} P={p}: {} sim={m}", id.name(), c.name());
+                    m
+                })
+                .min()
+                .expect("nonempty portfolio");
+            println!(
+                "{} P={p}: auto ({}) sim={auto_m}, best member sim={best_m}",
+                id.name(),
+                report.chosen_name()
+            );
+            assert!(
+                auto_m as f64 <= 1.05 * best_m as f64,
+                "{} P={p}: auto ({}) simulated {auto_m} > 1.05x best member {best_m}",
+                id.name(),
+                report.chosen_name()
+            );
+        }
     }
 }
