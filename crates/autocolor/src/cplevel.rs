@@ -16,45 +16,50 @@
 //!    at that point of an ideal schedule.
 //! 2. **Sweep level by level** down the DAG, assigning each node the
 //!    color that finishes it earliest under a running list-schedule
-//!    estimate (the offline analogue of HEFT): a color is ready when the
-//!    node's predecessors have finished — plus
-//!    [`CpLevelAware::cross_penalty_frac`] of a mean node's weight per
-//!    cross-color dependence — and when the color's previous work is
-//!    done. Chains therefore inherit their predecessor's color (crossing
-//!    costs a penalty), while a color that is busy — because a level is
-//!    piling onto it — loses to an idle one, which is what spreads the
-//!    wavefront ramp that pure majority-inheritance serializes. Finish
-//!    ties break toward the weighted majority predecessor color.
+//!    estimate (the offline analogue of HEFT) priced by the shared
+//!    [`CostModel`]: a color is ready when the node's predecessors have
+//!    finished — plus [`CostModel::cross_edge_latency`] per cross-color
+//!    dependence — and executing there costs the node's own ticks plus
+//!    [`CostModel::remote_excess`] over the byte traffic of its
+//!    cross-color in-edges, exactly the terms of
+//!    [`estimate_makespan_colored`](nabbitc_graph::analysis::estimate_makespan_colored).
+//!    Chains therefore inherit their predecessor's color (crossing costs
+//!    latency and bandwidth), while a color that is busy — because a
+//!    level is piling onto it — loses to an idle one, which is what
+//!    spreads the wavefront ramp that pure majority-inheritance
+//!    serializes. Finish ties break toward the weighted majority
+//!    predecessor color.
 //! 3. **Quotas and caps (hard constraints).** In a *wide* level (width ≥
 //!    workers) each color may take at most [`CpLevelAware::level_slack`]
 //!    × its even share of the level's weight, clamped to strictly less
 //!    than the whole level — so no wide level can ever serialize. A
 //!    global cap at [`balance_limit`] keeps the 2×
 //!    greedy bound unconditionally.
-//! 4. **Refine** with the makespan-estimate gain
-//!    ([`MakespanGain`]) through the same
-//!    pluggable KL machinery the bisection uses — moves that improve
-//!    locality are taken only when they do not re-concentrate a level
-//!    (wide-level quotas are enforced as a veto).
+//! 4. **Refine** with the bandwidth-aware makespan-estimate gain
+//!    ([`MakespanGain`]) through the same pluggable KL machinery the
+//!    bisection uses — moves that reduce remote-byte traffic are taken
+//!    only when they do not re-concentrate a level (wide-level quotas are
+//!    enforced as a veto).
 
 use crate::refine::{refine_kway, MakespanGain};
 use crate::{balance_limit, node_weight, ColorAssigner};
 use nabbitc_color::Color;
+use nabbitc_cost::CostModel;
 use nabbitc_graph::analysis::level_profile;
 use nabbitc_graph::{NodeId, TaskGraph};
 
 /// Level-by-level critical-path-aware partitioner (see module docs).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CpLevelAware {
     /// Per-color share of a wide level's weight, as a multiple of the even
     /// share `level_weight / workers`. Clamped below at 1.0; higher trades
     /// level spread for locality.
     pub level_slack: f64,
-    /// Cost of one cross-color dependence edge in the internal
-    /// list-schedule estimate, as a fraction of the mean node weight.
-    /// Higher values favor inheritance (longer same-color chains), lower
-    /// values favor spreading.
-    pub cross_penalty_frac: f64,
+    /// Cost model pricing the internal list-schedule estimate (node
+    /// ticks, cross-edge latency, and remote-byte bandwidth). Defaults to
+    /// [`CostModel::default`]; see
+    /// [`with_cost_model`](Self::with_cost_model).
+    pub cost: CostModel,
     /// Makespan-gain refinement sweeps after the level sweep (0 disables).
     pub refine_passes: usize,
 }
@@ -63,9 +68,19 @@ impl Default for CpLevelAware {
     fn default() -> Self {
         CpLevelAware {
             level_slack: 1.1,
-            cross_penalty_frac: 2.0,
+            cost: CostModel::default(),
             refine_passes: 2,
         }
+    }
+}
+
+impl CpLevelAware {
+    /// Replaces the cost model (builder style). Panics on invalid
+    /// bandwidth terms.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        cost.assert_valid();
+        self.cost = cost;
+        self
     }
 }
 
@@ -76,16 +91,28 @@ impl ColorAssigner for CpLevelAware {
 
     fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
         assert!(workers > 0, "need at least one worker");
+        self.cost.assert_valid();
         let n = graph.node_count();
         if workers == 1 {
             return vec![Color(0); n];
         }
         let profile = level_profile(graph);
         let weight: Vec<u64> = graph.nodes().map(|u| node_weight(graph, u)).collect();
-        let total: u64 = weight.iter().sum();
         let limit = balance_limit(graph, workers);
         let slack = self.level_slack.max(1.0);
-        let penalty = ((total as f64 / n as f64) * self.cross_penalty_frac.max(0.0)).ceil() as u64;
+        let latency = self.cost.cross_edge_latency();
+        // Hoisted footprints (summing access lists once, not per edge).
+        let fp: Vec<u64> = graph.nodes().map(|u| graph.footprint(u)).collect();
+        // Per-node execution ticks with every byte local — the cross-edge
+        // remote excess is added per candidate color below.
+        let ticks: Vec<u64> = graph
+            .nodes()
+            .map(|u| {
+                self.cost
+                    .node_ticks(graph.work(u), fp[u as usize], 0)
+                    .max(1)
+            })
+            .collect();
 
         // Per-level totals in *node-weight* units (profile.weights counts
         // work only; the sweep's loads, caps, and quotas all use
@@ -124,6 +151,7 @@ impl ColorAssigner for CpLevelAware {
         let mut votes = vec![0u64; workers]; // scratch, reset per node
         let mut free = vec![0u64; workers]; // list-schedule worker clocks
         let mut finish = vec![0u64; n];
+        let mut pred_info: Vec<(usize, u64, u64)> = Vec::new(); // (part, finish, traffic)
         for (l, bucket) in buckets.iter().enumerate() {
             let q = quota[l];
             level_loads.fill(0);
@@ -145,6 +173,14 @@ impl ColorAssigner for CpLevelAware {
                 for &p in preds {
                     votes[part[p as usize]] = 0;
                 }
+
+                pred_info.clear();
+                pred_info.extend(preds.iter().map(|&p| {
+                    // `TaskGraph::edge_traffic` over the hoisted footprints.
+                    let produced = fp[p as usize] / graph.out_degree(p).max(1) as u64;
+                    let consumed = fp[u as usize] / graph.in_degree(u).max(1) as u64;
+                    (part[p as usize], finish[p as usize], produced.min(consumed))
+                }));
 
                 // Earliest finish time over the admissible colors. The
                 // candidate set is nonempty: the globally least-loaded
@@ -179,15 +215,21 @@ impl ColorAssigner for CpLevelAware {
                     if quota_ok != any_quota_ok {
                         continue;
                     }
+                    // The estimator's two cross-edge terms: latency on
+                    // the ready time, remote-byte bandwidth on the
+                    // execution time.
                     let mut ready = 0u64;
-                    for &p in preds {
-                        let mut t = finish[p as usize];
-                        if part[p as usize] != c {
-                            t += penalty;
+                    let mut remote_bytes = 0u64;
+                    for &(pc, pf, traffic) in &pred_info {
+                        let mut t = pf;
+                        if pc != c {
+                            t += latency;
+                            remote_bytes += traffic;
                         }
                         ready = ready.max(t);
                     }
-                    let fin = ready.max(free[c]) + w;
+                    let dur = ticks[u as usize] + self.cost.remote_excess(remote_bytes);
+                    let fin = ready.max(free[c]) + dur;
                     let better = match chosen {
                         None => true,
                         Some((best_fin, best_c)) => {
@@ -209,12 +251,29 @@ impl ColorAssigner for CpLevelAware {
             }
         }
 
-        // Makespan-gain refinement: improve locality where it does not
-        // re-concentrate a level (the quota veto keeps every wide level
-        // spread, the load cap keeps the balance bound).
+        // Makespan-gain refinement: reduce remote-byte traffic where it
+        // does not re-concentrate a level (the quota veto keeps every
+        // wide level spread, the load cap keeps the balance bound). The
+        // gain works in tick units, so its quotas are rebuilt over the
+        // levels' tick-weights with the same slack-and-clamp rule.
         if self.refine_passes > 0 {
-            let mut gain =
-                MakespanGain::new(graph, &profile, &part, &weight, workers).with_level_quota(quota);
+            let mut tick_lweights = vec![0u64; profile.level_count()];
+            for u in graph.nodes() {
+                tick_lweights[profile.level_of[u as usize] as usize] += ticks[u as usize];
+            }
+            let tick_quota: Vec<u64> = (0..profile.level_count())
+                .map(|l| {
+                    if profile.widths[l] >= workers {
+                        let even =
+                            ((tick_lweights[l] as f64 / workers as f64) * slack).ceil() as u64;
+                        even.min(tick_lweights[l].saturating_sub(1)).max(1)
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let mut gain = MakespanGain::new(graph, &profile, &part, workers, &self.cost)
+                .with_level_quota(tick_quota);
             refine_kway(
                 graph,
                 &mut part,
@@ -276,15 +335,15 @@ mod tests {
 
     #[test]
     fn beats_bisection_makespan_estimate_on_wavefront() {
-        // The tentpole claim: on the wavefront shape, the level-aware
+        // The core claim: on the wavefront shape, the level-aware
         // coloring wins the schedule even though bisection wins the cut.
         let g = generate::wavefront(32, 32, 8, 1);
+        let cost = CostModel::default();
         for p in [4usize, 8] {
             let cp = CpLevelAware::default().assign(&g, p);
             let rb = RecursiveBisection::default().assign(&g, p);
-            let penalty = 4;
-            let m_cp = estimate_makespan_colored(&g, &cp, p, penalty);
-            let m_rb = estimate_makespan_colored(&g, &rb, p, penalty);
+            let m_cp = estimate_makespan_colored(&g, &cp, p, &cost);
+            let m_rb = estimate_makespan_colored(&g, &rb, p, &cost);
             assert!(
                 m_cp < m_rb,
                 "p={p}: cp-level-aware {m_cp} not below bisection {m_rb}"
@@ -314,6 +373,19 @@ mod tests {
         let a = CpLevelAware::default().assign(&g, 5);
         let b = CpLevelAware::default().assign(&g, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_model_is_pluggable() {
+        // A heavier remote ratio must still produce valid, balanced
+        // assignments — and the builder validates its input.
+        let g = generate::wavefront(12, 12, 4, 1);
+        let cp =
+            CpLevelAware::default().with_cost_model(CostModel::default().with_remote_ratio(8.0));
+        let colors = cp.assign(&g, 4);
+        assert!(assignment_is_valid(&colors, 4));
+        let max = *assignment_loads(&g, &colors, 4).iter().max().unwrap();
+        assert!(max <= balance_limit(&g, 4));
     }
 
     #[test]

@@ -51,9 +51,14 @@
 //!
 //! A coloring is *scheduling metadata only* until it is applied:
 //! [`apply_assignment`] recolors the graph **and** re-homes every node's
-//! access list to the assigned color, modeling first-touch data placement
-//! by the worker that owns the node (the paper's "each worker initializes
-//! a unique region"). [`autocolor`] is the clone-and-apply convenience.
+//! access list under the edge-traffic model
+//! ([`TaskGraph::rehome_edge_traffic`]): the worker that owns a node
+//! first-touch initializes its data (the paper's "each worker initializes
+//! a unique region"), and the node's reads of its predecessors' outputs
+//! are placed at the predecessors' colors — so cross-color dependence
+//! edges carry real remote-byte traffic under the shared
+//! `nabbitc-cost::CostModel`. [`autocolor`] is the clone-and-apply
+//! convenience.
 //!
 //! Two invariants are tested per strategy and property-tested over random
 //! DAGs:
@@ -141,8 +146,12 @@ pub fn assignment_loads(graph: &TaskGraph, colors: &[Color], workers: usize) -> 
 }
 
 /// Applies an assignment to a graph in place: sets every node's color and
-/// re-homes its accesses to that color (first-touch placement by the
-/// owning worker). Panics if the assignment is invalid.
+/// re-homes its accesses under the edge-traffic model
+/// ([`TaskGraph::rehome_edge_traffic`]) — each node's data is first-touch
+/// placed at its new color, and its reads of predecessor outputs are
+/// priced at the predecessors' colors, the same placement the NUMA
+/// simulator and the bandwidth-aware makespan estimator charge. Panics if
+/// the assignment is invalid.
 pub fn apply_assignment(graph: &mut TaskGraph, colors: &[Color]) {
     assert_eq!(colors.len(), graph.node_count(), "one color per node");
     assert!(
@@ -150,7 +159,7 @@ pub fn apply_assignment(graph: &mut TaskGraph, colors: &[Color]) {
         "assignments must use valid colors"
     );
     graph.recolor(|u, _| colors[u as usize]);
-    graph.localize_accesses();
+    graph.rehome_edge_traffic();
 }
 
 /// Clone-and-apply convenience: runs `assigner` and returns a recolored
@@ -185,13 +194,30 @@ mod tests {
     #[test]
     fn apply_assignment_recolors_and_rehomes() {
         let mut g = generate::wavefront(4, 4, 1, 4);
+        let before: Vec<u64> = g.nodes().map(|u| g.footprint(u)).collect();
         let colors: Vec<Color> = (0..16usize).map(|u| Color::from(u % 2)).collect();
         apply_assignment(&mut g, &colors);
         for u in g.nodes() {
             assert_eq!(g.color(u), colors[u as usize]);
+            // Every access is owned by the node's own new color or by one
+            // of its predecessors' new colors (the edge-traffic reads),
+            // and the total footprint is preserved.
             for a in g.accesses(u) {
-                assert_eq!(a.owner, colors[u as usize]);
+                let from_pred = g
+                    .predecessors(u)
+                    .iter()
+                    .any(|&p| a.owner == colors[p as usize]);
+                assert!(
+                    a.owner == colors[u as usize] || from_pred,
+                    "node {u}: access owned by unrelated color {}",
+                    a.owner
+                );
             }
+            assert_eq!(g.footprint(u), before[u as usize]);
+        }
+        // Sources have no predecessors: fully homed at their own color.
+        for u in g.sources() {
+            assert!(g.accesses(u).iter().all(|a| a.owner == colors[u as usize]));
         }
     }
 

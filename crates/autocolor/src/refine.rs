@@ -11,15 +11,20 @@
 //!   edges made external). Optimal for remote-access volume, blind to the
 //!   level structure; on wavefront shapes it happily serializes whole
 //!   dependency levels onto one color.
-//! * [`MakespanGain`] — the differential of the makespan estimator's two
-//!   cost terms (see
-//!   [`estimate_makespan_colored`](nabbitc_graph::analysis::estimate_makespan_colored)):
-//!   the cross-color edge term, scaled into weight units, plus a
-//!   per-level concentration term (the exact delta of the smooth
-//!   sum-of-squares surrogate for each level's max-per-color completion
-//!   time). A move gains by cutting fewer edges *or* by spreading a
-//!   dependency level across colors — never by piling a level up.
+//! * [`MakespanGain`] — the differential of the bandwidth-aware makespan
+//!   estimator
+//!   ([`estimate_makespan_colored`](nabbitc_graph::analysis::estimate_makespan_colored)),
+//!   in the [`CostModel`]'s tick units: the **bandwidth** term (each
+//!   cross-color edge costs [`CostModel::remote_excess`] over its
+//!   [`edge traffic`](nabbitc_graph::TaskGraph::edge_traffic) — the exact
+//!   delta of the estimator's remote-byte charge) plus a per-level
+//!   concentration term (the exact delta of the smooth sum-of-squares
+//!   surrogate for each level's max-per-color completion time, which
+//!   stands in for the estimator's non-differentiable latency/stall
+//!   terms). A move gains by moving fewer remote bytes *or* by spreading
+//!   a dependency level across colors — never by piling a level up.
 
+use nabbitc_cost::CostModel;
 use nabbitc_graph::analysis::LevelProfile;
 use nabbitc_graph::{NodeId, TaskGraph};
 
@@ -82,71 +87,97 @@ impl MoveGain for EdgeCutGain {
     }
 }
 
-/// Makespan-estimate gain: cross-color edge delta (scaled to weight
-/// units) plus the per-level concentration delta.
+/// Bandwidth-aware makespan-estimate gain: cross-edge remote-byte delta
+/// plus the per-level concentration delta, both in the [`CostModel`]'s
+/// tick units (no hand-calibrated scale factor between them).
 ///
-/// The list-schedule estimator charges (a) `cross_penalty` per cut edge
-/// and (b) per dependency level, roughly the *max* single-color weight of
-/// the level (the workers not holding the max finish earlier and wait).
-/// Term (a)'s differential is [`EdgeCutGain`] times the penalty; term
-/// (b)'s is approximated through the smooth sum-of-squares surrogate
-/// `Σ_c m_{l,c}²` whose exact move delta is `2w·(w + m_to − m_from)` —
-/// negative (an improvement) exactly when the move takes weight from a
-/// more-loaded color of the level to a less-loaded one.
+/// The estimator charges (a) [`CostModel::remote_excess`] over an edge's
+/// byte traffic when its endpoints land on different workers and (b) per
+/// dependency level, roughly the *max* single-color tick-weight of the
+/// level (the workers not holding the max finish earlier and wait). Term
+/// (a)'s move differential is exact — each neighbor edge's byte cost
+/// becomes internal or cut; term (b)'s is approximated through the smooth
+/// sum-of-squares surrogate `Σ_c m_{l,c}²` whose exact move delta is
+/// `2w·(w + m_to − m_from)` — negative (an improvement) exactly when the
+/// move takes weight from a more-loaded color of the level to a
+/// less-loaded one. The estimator's cross-edge *latency* charge enters
+/// its ready times through a `max`, so it has no additive per-edge
+/// differential; the spread term is its surrogate.
 pub struct MakespanGain {
     level_of: Vec<u32>,
-    /// `m[level * workers + color]`: node-weight per (level, color).
+    /// `m[level * workers + color]`: tick-weight per (level, color).
     level_loads: Vec<u64>,
+    /// Per-node tick weight: `node_ticks(work, footprint, 0)`, floored at
+    /// one tick.
     weight: Vec<u64>,
+    /// Per-node footprint, hoisted once — `TaskGraph::footprint` sums the
+    /// access list, and [`edge_cost`](Self::edge_cost) sits in the
+    /// refinement's inner loop.
+    footprint: Vec<u64>,
     workers: usize,
-    /// What one cut edge costs, in weight units.
-    edge_scale: i64,
-    /// Optional hard cap on any color's share of a level's weight
+    cost: CostModel,
+    /// Optional hard cap on any color's share of a level's tick-weight
     /// (0 = uncapped level); enforced via [`MoveGain::allow`].
     level_quota: Vec<u64>,
 }
 
 impl MakespanGain {
     /// Builds the gain state for `graph` under the initial assignment
-    /// `part` (values `< workers`), with node weights `weight`. The edge
-    /// term is scaled by the mean node weight, so "one edge" and "one
-    /// average node of pipeline slack" trade at par.
+    /// `part` (values `< workers`), pricing nodes and edges with `cost`.
     pub fn new(
         graph: &TaskGraph,
         profile: &LevelProfile,
         part: &[usize],
-        weight: &[u64],
         workers: usize,
+        cost: &CostModel,
     ) -> Self {
+        cost.assert_valid();
+        let footprint: Vec<u64> = graph.nodes().map(|u| graph.footprint(u)).collect();
+        let weight: Vec<u64> = graph
+            .nodes()
+            .map(|u| {
+                cost.node_ticks(graph.work(u), footprint[u as usize], 0)
+                    .max(1)
+            })
+            .collect();
         let mut level_loads = vec![0u64; profile.level_count() * workers];
         for u in graph.nodes() {
             let l = profile.level_of[u as usize] as usize;
             level_loads[l * workers + part[u as usize]] += weight[u as usize];
         }
-        let total: u64 = weight.iter().sum();
-        let edge_scale = (total / weight.len().max(1) as u64).max(1) as i64;
         MakespanGain {
             level_of: profile.level_of.clone(),
             level_loads,
-            weight: weight.to_vec(),
+            weight,
+            footprint,
             workers,
-            edge_scale,
+            cost: cost.clone(),
             level_quota: Vec::new(),
         }
     }
 
-    /// Adds a hard per-level quota: no move may push a color's share of
-    /// level `l`'s weight above `quota[l]` (0 leaves the level uncapped).
-    /// This is how [`CpLevelAware`](crate::CpLevelAware) guarantees its
-    /// level sweep's spread survives refinement.
+    /// Adds a hard per-level quota in tick units: no move may push a
+    /// color's share of level `l`'s tick-weight above `quota[l]` (0
+    /// leaves the level uncapped). This is how
+    /// [`CpLevelAware`](crate::CpLevelAware) guarantees its level sweep's
+    /// spread survives refinement.
     pub fn with_level_quota(mut self, quota: Vec<u64>) -> Self {
         self.level_quota = quota;
         self
     }
 
-    /// Node-weight of color `c` within node `u`'s level.
+    /// Tick-weight of color `c` within node `u`'s level.
     pub fn level_load(&self, u: NodeId, c: usize) -> u64 {
         self.level_loads[self.level_of[u as usize] as usize * self.workers + c]
+    }
+
+    /// What cutting the edge between `producer` and `consumer` costs, in
+    /// ticks: the remote-byte excess of the edge's traffic
+    /// ([`TaskGraph::edge_traffic`], over the hoisted footprints).
+    fn edge_cost(&self, graph: &TaskGraph, producer: NodeId, consumer: NodeId) -> i64 {
+        let produced = self.footprint[producer as usize] / graph.out_degree(producer).max(1) as u64;
+        let consumed = self.footprint[consumer as usize] / graph.in_degree(consumer).max(1) as u64;
+        self.cost.remote_excess(produced.min(consumed)) as i64
     }
 }
 
@@ -159,12 +190,28 @@ impl MoveGain for MakespanGain {
         to: usize,
         part_of: &dyn Fn(NodeId) -> Option<usize>,
     ) -> i64 {
-        let edge = EdgeCutGain.gain(graph, u, from, to, part_of);
+        // Byte-weighted edge-cut delta: edges to `to` become internal
+        // (their remote cost is saved), edges kept in `from` become cut.
+        let mut edge = 0i64;
+        for &p in graph.predecessors(u) {
+            match part_of(p) {
+                Some(c) if c == to => edge += self.edge_cost(graph, p, u),
+                Some(c) if c == from => edge -= self.edge_cost(graph, p, u),
+                _ => {}
+            }
+        }
+        for &s in graph.successors(u) {
+            match part_of(s) {
+                Some(c) if c == to => edge += self.edge_cost(graph, u, s),
+                Some(c) if c == from => edge -= self.edge_cost(graph, u, s),
+                _ => {}
+            }
+        }
         let w = self.weight[u as usize] as i64;
         // Exact delta of the level's sum-of-squares concentration,
         // divided by 2w (positive = improvement): m_from − m_to − w.
         let spread = self.level_load(u, from) as i64 - self.level_load(u, to) as i64 - w;
-        edge * self.edge_scale + spread
+        edge + spread
     }
 
     fn allow(&self, _graph: &TaskGraph, u: NodeId, _from: usize, to: usize) -> bool {
@@ -247,7 +294,7 @@ mod tests {
     use super::*;
     use nabbitc_color::Color;
     use nabbitc_graph::analysis::{edge_cut, level_profile};
-    use nabbitc_graph::{generate, TaskGraph};
+    use nabbitc_graph::{generate, GraphBuilder, TaskGraph};
 
     fn apply(g: &TaskGraph, part: &[usize]) -> TaskGraph {
         let mut g2 = g.clone();
@@ -342,50 +389,75 @@ mod tests {
         assert_eq!(moves, 0, "veto must block every move");
     }
 
+    /// Two independent nodes (512 bytes, work 10) funneled into one sink
+    /// (512 bytes, work 1): one wide level + the sink level, with real
+    /// byte traffic on the funnel edges.
+    fn fork_with_bytes() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(10, Color(0), 512);
+        b.add_simple_node(10, Color(0), 512);
+        b.add_simple_node(1, Color(0), 512);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.build().unwrap()
+    }
+
+    /// Default-model tick weight of a node: 200 overhead + work + bytes.
+    fn tick(g: &TaskGraph, u: NodeId) -> u64 {
+        let cost = CostModel::default();
+        cost.node_ticks(g.work(u), g.footprint(u), 0).max(1)
+    }
+
     #[test]
     fn makespan_gain_quota_vetoes_reconcentration() {
-        // Two independent nodes + sink; both nodes on color 0, quota =
-        // half the level weight: moving anything more onto color 0 is
-        // vetoed, spreading to color 1 is allowed.
-        let g = generate::independent(2, 10, 1);
+        // Both wide-level nodes on color 0; quota = the level's current
+        // concentration: moving anything more onto color 0 is vetoed,
+        // spreading to color 1 is allowed.
+        let g = fork_with_bytes();
         let profile = level_profile(&g);
         let part = vec![0usize, 0, 0];
-        let weight: Vec<u64> = g.nodes().map(|u| g.work(u).max(1)).collect();
-        let quota = vec![10u64, 0];
-        let mg = MakespanGain::new(&g, &profile, &part, &weight, 2).with_level_quota(quota);
+        let cost = CostModel::default();
+        let level0 = tick(&g, 0) + tick(&g, 1);
+        let quota = vec![level0, 0];
+        let mg = MakespanGain::new(&g, &profile, &part, 2, &cost).with_level_quota(quota);
         assert!(!mg.allow(&g, 0, 1, 0), "color 0 is past the level quota");
         assert!(mg.allow(&g, 0, 0, 1), "color 1 has quota headroom");
     }
 
     #[test]
     fn makespan_gain_prefers_spreading_a_level() {
-        // Two independent equal nodes in one level funneled to a sink,
-        // both on color 0: moving one to color 1 has zero edge-cut gain
-        // but positive spread gain.
-        let g = generate::independent(2, 10, 1);
+        // Both wide-level nodes on color 0: moving one to color 1 cuts a
+        // funnel edge (a remote-byte loss) but more than recovers it in
+        // level spread.
+        let g = fork_with_bytes();
         let profile = level_profile(&g);
         let part = vec![0usize, 0, 0];
-        let weight: Vec<u64> = g.nodes().map(|u| g.work(u).max(1)).collect();
-        let mg = MakespanGain::new(&g, &profile, &part, &weight, 2);
+        let cost = CostModel::default();
+        let mg = MakespanGain::new(&g, &profile, &part, 2, &cost);
         let gain = mg.gain(&g, 0, 0, 1, &|v| Some(part[v as usize]));
-        // Spread term: m_from(20) - m_to(0) - w(10) = +10; edge term:
-        // the funnel edge 0->sink becomes cut, -1 × edge_scale.
+        // Spread: m_from(2·722) − m_to(0) − w(722) = +722; edge: funnel
+        // edge 0→sink becomes cut: −remote_excess(min(512, 512/2)) = −512.
+        let w = tick(&g, 0) as i64;
+        let edge = -(cost.remote_excess(g.edge_traffic(0, 2)) as i64);
+        assert_eq!(gain, w + edge);
         assert!(gain > 0, "spreading an over-concentrated level must gain");
-        // Moving the sink off its predecessors' color is a pure loss.
+        // Moving the sink off its predecessors' color cuts *both* funnel
+        // edges with zero spread benefit: a pure loss.
         let gain_sink = mg.gain(&g, 2, 0, 1, &|v| Some(part[v as usize]));
         assert!(gain_sink < 0);
     }
 
     #[test]
     fn makespan_gain_commit_tracks_level_loads() {
-        let g = generate::independent(2, 10, 1);
+        let g = fork_with_bytes();
         let profile = level_profile(&g);
         let part = vec![0usize, 0, 0];
-        let weight: Vec<u64> = g.nodes().map(|u| g.work(u).max(1)).collect();
-        let mut mg = MakespanGain::new(&g, &profile, &part, &weight, 2);
-        assert_eq!(mg.level_load(0, 0), 20);
+        let cost = CostModel::default();
+        let mut mg = MakespanGain::new(&g, &profile, &part, 2, &cost);
+        let w = tick(&g, 0);
+        assert_eq!(mg.level_load(0, 0), 2 * w);
         mg.commit(&g, 1, 0, 1);
-        assert_eq!(mg.level_load(0, 0), 10);
-        assert_eq!(mg.level_load(0, 1), 10);
+        assert_eq!(mg.level_load(0, 0), w);
+        assert_eq!(mg.level_load(0, 1), w);
     }
 }

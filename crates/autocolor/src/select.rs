@@ -19,11 +19,13 @@
 //!    its own scoped thread — the assigners are the expensive part, and
 //!    they are independent.
 //! 3. **Strict scoring.** Each assignment is scored with
-//!    [`estimate_makespan_colored_strict`] at the target worker count; an
-//!    assignment that fails validity is *disqualified*, not absorbed into
-//!    the lenient estimator's phantom overflow worker (which would score
-//!    a buggy assigner on a `workers + 1`-worker machine and could let it
-//!    win the selection).
+//!    [`estimate_makespan_colored_strict`] at the target worker count
+//!    under the selection's [`CostModel`] — cross-color edges are priced
+//!    as remote-byte bandwidth plus steal latency, not as a calibrated
+//!    flat penalty. An assignment that fails validity is *disqualified*,
+//!    not absorbed into the lenient estimator's phantom overflow worker
+//!    (which would score a buggy assigner on a `workers + 1`-worker
+//!    machine and could let it win the selection).
 //! 4. **Argmin.** The lowest estimate wins; ties break toward portfolio
 //!    order, keeping selection deterministic.
 //!
@@ -37,6 +39,7 @@
 
 use crate::{BfsLocality, BlockContiguous, ColorAssigner, CpLevelAware, RecursiveBisection};
 use nabbitc_color::Color;
+use nabbitc_cost::CostModel;
 use nabbitc_graph::analysis::{
     estimate_makespan_colored_strict, level_profile, InvalidColoring, LevelProfile,
 };
@@ -129,8 +132,8 @@ pub enum CandidateOutcome {
 pub struct SelectionReport {
     /// Machine size the selection targeted.
     pub workers: usize,
-    /// Cross-color edge penalty the estimator charged (ticks).
-    pub cross_penalty: u64,
+    /// Cost model the estimator priced every candidate with.
+    pub cost: CostModel,
     /// Shape summary the pre-filter saw.
     pub shape: GraphShape,
     /// `(candidate name, outcome)` in portfolio order.
@@ -165,27 +168,22 @@ impl SelectionReport {
 /// candidate assigners in parallel and returns the assignment with the
 /// lowest strict makespan estimate.
 pub struct AutoSelect {
-    /// Cross-color dependence-edge cost in the estimator, as a fraction
-    /// of the graph's mean node weight (so it scales with the workload
-    /// instead of assuming one tick size). Overridden by
-    /// [`cross_penalty`](Self::with_cross_penalty).
-    ///
-    /// The default (0.25) is calibrated against the NUMA simulator on the
-    /// three structural families (`tests/makespan_regression.rs` pins the
-    /// result): the estimator charges cross edges on *ready latency*
-    /// only, so on memory-bound stencils — where a warm pipeline absorbs
-    /// latency and the real cross-color cost is remote bandwidth — a
-    /// large penalty mis-ranks the low-cut partition below the
-    /// level-spreader. Small fractions keep the latency term decisive on
-    /// wavefronts (where serialization, not bandwidth, dominates) without
-    /// drowning the stencil ranking.
-    pub cross_penalty_frac: f64,
-    /// Fixed estimator penalty in ticks; when set, wins over
-    /// `cross_penalty_frac`.
-    pub cross_penalty: Option<u64>,
+    /// The cost model every candidate is scored with — node ticks over
+    /// work and footprint, plus the two cross-color edge terms
+    /// (remote-byte bandwidth on the consumer's execution, steal latency
+    /// on its ready time). Replaces the old hand-calibrated
+    /// `cross_penalty_frac`: because the bandwidth term scales with the
+    /// bytes an edge actually moves, memory-bound stencils and
+    /// latency-bound wavefronts rank correctly under the *same* model,
+    /// with nothing left to tune.
+    pub cost: CostModel,
     /// Whether the [`GraphShape`] pre-filter may skip candidates.
     pub prefilter: bool,
     candidates: Vec<Candidate>,
+    /// Whether `candidates` is the default portfolio, in which case
+    /// [`with_cost_model`](Self::with_cost_model) rebuilds it so the
+    /// cost-model-driven members optimize under the new model too.
+    default_portfolio: bool,
 }
 
 impl Default for AutoSelect {
@@ -194,33 +192,55 @@ impl Default for AutoSelect {
     /// ([`BfsLocality`]) and id-blocking ([`BlockContiguous`]) heuristics
     /// that win when node ids carry spatial meaning.
     fn default() -> Self {
-        AutoSelect::new(vec![
-            Box::new(RecursiveBisection::default()),
-            Box::new(CpLevelAware::default()),
-            Box::new(BfsLocality::default()),
-            Box::new(BlockContiguous),
-        ])
+        AutoSelect::with_default_portfolio(CostModel::default())
     }
 }
 
 impl AutoSelect {
+    /// The default portfolio priced end to end by `cost`: the scoring
+    /// *and* the candidates that optimize under a cost model
+    /// ([`CpLevelAware`]'s sweep and refinement) use the same machine.
+    /// Panics on invalid bandwidth terms.
+    pub fn with_default_portfolio(cost: CostModel) -> Self {
+        cost.assert_valid();
+        let mut sel = AutoSelect::new(vec![
+            Box::new(RecursiveBisection::default()),
+            Box::new(CpLevelAware::default().with_cost_model(cost.clone())),
+            Box::new(BfsLocality::default()),
+            Box::new(BlockContiguous),
+        ]);
+        sel.cost = cost;
+        sel.default_portfolio = true;
+        sel
+    }
+
     /// A meta-assigner over an explicit portfolio (portfolio order is the
     /// deterministic tie-break). Panics if `candidates` is empty.
     pub fn new(candidates: Vec<Candidate>) -> Self {
         assert!(!candidates.is_empty(), "portfolio must not be empty");
         AutoSelect {
-            cross_penalty_frac: 0.25,
-            cross_penalty: None,
+            cost: CostModel::default(),
             prefilter: true,
             candidates,
+            default_portfolio: false,
         }
     }
 
-    /// Fixes the estimator's cross-color edge penalty in ticks (builder
-    /// style) instead of deriving it from the mean node weight.
-    pub fn with_cross_penalty(mut self, ticks: u64) -> Self {
-        self.cross_penalty = Some(ticks);
-        self
+    /// Replaces the cost model (builder style). Panics on invalid
+    /// bandwidth terms. On the default portfolio this re-prices the whole
+    /// pipeline — the cost-model-driven candidates are rebuilt with the
+    /// new model, so they optimize for the same machine the scoring
+    /// prices. An explicit [`new`](Self::new) portfolio keeps its
+    /// members' own models (they may be deliberately heterogeneous); only
+    /// the scoring changes.
+    pub fn with_cost_model(self, cost: CostModel) -> Self {
+        cost.assert_valid();
+        if self.default_portfolio {
+            let mut sel = AutoSelect::with_default_portfolio(cost);
+            sel.prefilter = self.prefilter;
+            return sel;
+        }
+        AutoSelect { cost, ..self }
     }
 
     /// Disables the shape pre-filter: every candidate runs and is scored.
@@ -234,22 +254,12 @@ impl AutoSelect {
         &self.candidates
     }
 
-    /// The estimator penalty used for `graph` (ticks).
-    fn penalty_for(&self, graph: &TaskGraph) -> u64 {
-        if let Some(p) = self.cross_penalty {
-            return p;
-        }
-        let n = graph.node_count().max(1) as u64;
-        let total: u64 = graph.nodes().map(|u| crate::node_weight(graph, u)).sum();
-        (((total / n).max(1)) as f64 * self.cross_penalty_frac.max(0.0)).ceil() as u64
-    }
-
     /// Runs the portfolio and returns the winning assignment plus the
     /// per-candidate report. Panics if `workers == 0`, or if every
     /// candidate was disqualified (a portfolio of only-buggy assigners).
     pub fn select(&self, graph: &TaskGraph, workers: usize) -> (Vec<Color>, SelectionReport) {
         assert!(workers > 0, "need at least one worker");
-        let penalty = self.penalty_for(graph);
+        self.cost.assert_valid();
         let shape = GraphShape::of(graph, workers);
 
         // Degenerate machine: every assigner returns the monochrome
@@ -257,7 +267,7 @@ impl AutoSelect {
         if workers == 1 {
             let report = SelectionReport {
                 workers,
-                cross_penalty: penalty,
+                cost: self.cost.clone(),
                 shape,
                 candidates: self
                     .candidates
@@ -295,7 +305,7 @@ impl AutoSelect {
                         let cand = &self.candidates[i];
                         s.spawn(move || {
                             let colors = cand.assign(graph, workers);
-                            estimate_makespan_colored_strict(graph, &colors, workers, penalty)
+                            estimate_makespan_colored_strict(graph, &colors, workers, &self.cost)
                                 .map(|est| (colors, est))
                         })
                     })
@@ -343,7 +353,7 @@ impl AutoSelect {
         );
         let report = SelectionReport {
             workers,
-            cross_penalty: penalty,
+            cost: self.cost.clone(),
             shape,
             candidates: outcomes,
             chosen: Some(chosen),
@@ -378,7 +388,7 @@ mod tests {
 
     /// Strict estimates of every default-portfolio member, bypassing the
     /// meta-machinery — the reference `select` must argmin against.
-    fn portfolio_estimates(g: &TaskGraph, workers: usize, penalty: u64) -> Vec<(String, u64)> {
+    fn portfolio_estimates(g: &TaskGraph, workers: usize, cost: &CostModel) -> Vec<(String, u64)> {
         AutoSelect::default()
             .candidates()
             .iter()
@@ -386,7 +396,7 @@ mod tests {
                 let colors = c.assign(g, workers);
                 (
                     c.name().to_string(),
-                    estimate_makespan_colored(g, &colors, workers, penalty),
+                    estimate_makespan_colored(g, &colors, workers, cost),
                 )
             })
             .collect()
@@ -406,7 +416,7 @@ mod tests {
                 let sel = AutoSelect::default();
                 let (colors, report) = sel.select(&g, p);
                 assert!(assignment_is_valid(&colors, p));
-                let best = portfolio_estimates(&g, p, report.cross_penalty)
+                let best = portfolio_estimates(&g, p, &report.cost)
                     .into_iter()
                     .map(|(_, e)| e)
                     .min()
@@ -418,7 +428,7 @@ mod tests {
                 );
                 // The returned colors really are the chosen candidate's.
                 assert_eq!(
-                    estimate_makespan_colored(&g, &colors, p, report.cross_penalty),
+                    estimate_makespan_colored(&g, &colors, p, &report.cost),
                     report.chosen_estimate()
                 );
             }
@@ -555,6 +565,26 @@ mod tests {
             .candidates
             .iter()
             .all(|(_, o)| matches!(o, CandidateOutcome::Skipped)));
+    }
+
+    #[test]
+    fn with_cost_model_reprices_the_default_portfolio() {
+        // On the default portfolio, with_cost_model must be equivalent to
+        // building the portfolio under that model — the cost-model-driven
+        // candidates optimize for the machine the scoring prices.
+        let heavy = CostModel::default().with_remote_ratio(8.0);
+        let g = generate::wavefront(16, 16, 4, 1);
+        let a = AutoSelect::default()
+            .with_cost_model(heavy.clone())
+            .select(&g, 4);
+        let b = AutoSelect::with_default_portfolio(heavy.clone()).select(&g, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.1.cost, heavy);
+        // Builder state set before the re-pricing survives it.
+        let sel = AutoSelect::default()
+            .without_prefilter()
+            .with_cost_model(heavy);
+        assert!(!sel.prefilter);
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn bench_executor(c: &mut Criterion) {
         let exec = StaticExecutor::new(pool).with_options(ExecOptions {
             record_trace: false,
             count_remote: false,
+            ..ExecOptions::default()
         });
         let graph = graph.clone();
         g.bench_function(name, |b| {

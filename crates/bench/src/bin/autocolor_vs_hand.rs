@@ -27,13 +27,13 @@
 //! `cargo run -p nabbitc-bench --bin autocolor_vs_hand --release`
 
 use nabbitc_autocolor::{all_strategies, AutoSelect, CandidateOutcome};
-use nabbitc_bench::{f1, f2, scale_from_env, Report};
+use nabbitc_bench::{cost_from_env, f1, f2, scale_from_env, Report};
 use nabbitc_color::Color;
 use nabbitc_graph::analysis::{
     color_balance, edge_cut, edge_cut_fraction, level_profile, level_serialization, LevelProfile,
 };
 use nabbitc_graph::TaskGraph;
-use nabbitc_numasim::{simulate_ws, simulate_ws_recolored, WsConfig};
+use nabbitc_numasim::{simulate_ws, simulate_ws_recolored, CostModel, WsConfig};
 use nabbitc_workloads::{registry, BenchId};
 
 /// Benchmarks covering the three structural families: regular stencil
@@ -54,6 +54,7 @@ fn row_for(
     profile: &LevelProfile,
     colors: &[Color],
     hand_makespan: u64,
+    cost: &CostModel,
 ) {
     // One clone carries both the metrics and the simulation: recolor +
     // re-home once, then simulate directly (same pipeline as
@@ -64,8 +65,12 @@ fn row_for(
     let cut_pct = 100.0 * edge_cut_fraction(&colored);
     let balance = color_balance(&colored, p).imbalance();
     let lvl_ser = level_serialization(&colored, profile).weighted_mean;
-    colored.localize_accesses();
-    let r = simulate_ws(&colored, &WsConfig::nabbitc(p));
+    colored.rehome_edge_traffic();
+    let cfg = WsConfig {
+        cost: cost.clone(),
+        ..WsConfig::nabbitc(p)
+    };
+    let r = simulate_ws(&colored, &cfg);
     rep.row(&[
         bench.name().to_string(),
         p.to_string(),
@@ -81,9 +86,13 @@ fn row_for(
 
 fn main() {
     let scale = scale_from_env();
+    let cost = cost_from_env();
     let mut rep = Report::new(
         "autocolor_vs_hand",
-        &format!("Autocolor vs hand coloring (scale {scale:?})"),
+        &format!(
+            "Autocolor vs hand coloring (scale {scale:?}, remote ratio {:.1})",
+            cost.remote_ratio()
+        ),
     );
     rep.line(
         "speedup-vs-hand > 1: the automatic coloring beats the hand coloring; \
@@ -107,8 +116,11 @@ fn main() {
         for &p in CORES.iter() {
             let hand = registry::build(id, scale, p);
             let hand_colors: Vec<Color> = hand.graph.nodes().map(|u| hand.graph.color(u)).collect();
-            let hand_result =
-                simulate_ws_recolored(&hand.graph, &hand_colors, &WsConfig::nabbitc(p));
+            let cfg = WsConfig {
+                cost: cost.clone(),
+                ..WsConfig::nabbitc(p)
+            };
+            let hand_result = simulate_ws_recolored(&hand.graph, &hand_colors, &cfg);
             // Levels depend only on structure, which hand and bare share.
             let profile = level_profile(&hand.graph);
 
@@ -121,6 +133,7 @@ fn main() {
                 &profile,
                 &hand_colors,
                 hand_result.makespan,
+                &cost,
             );
 
             let bare = registry::build_uncolored(id, scale, p);
@@ -138,12 +151,15 @@ fn main() {
                     &profile,
                     &colors,
                     hand_result.makespan,
+                    &cost,
                 );
             }
 
             // The meta-assigner's row, plus the per-candidate estimates
             // behind its pick (stderr, next to the progress line).
-            let (auto_colors, selection) = AutoSelect::default().select(&bare.graph, p);
+            let (auto_colors, selection) = AutoSelect::default()
+                .with_cost_model(cost.clone())
+                .select(&bare.graph, p);
             for (name, outcome) in &selection.candidates {
                 let verdict = match outcome {
                     CandidateOutcome::Estimated(e) => format!("est {e}"),
@@ -169,6 +185,7 @@ fn main() {
                 &profile,
                 &auto_colors,
                 hand_result.makespan,
+                &cost,
             );
             eprintln!("autocolor_vs_hand: {} P={p} done", id.name());
         }

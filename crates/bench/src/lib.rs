@@ -33,6 +33,23 @@ pub fn scale_from_env() -> Scale {
     }
 }
 
+/// Builds the harness [`CostModel`] from the environment:
+/// `NABBITC_REMOTE_RATIO` (a finite positive float, default 3.0) sets the
+/// remote/local byte-cost ratio. The same model prices the simulator and
+/// the `AutoSelect` scoring in the harnesses that select colorings, so a
+/// ratio sweep exercises estimator and simulator consistently.
+pub fn cost_from_env() -> CostModel {
+    match std::env::var("NABBITC_REMOTE_RATIO") {
+        Ok(v) => {
+            let ratio: f64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("NABBITC_REMOTE_RATIO not a float: {v:?}"));
+            CostModel::default().with_remote_ratio(ratio)
+        }
+        Err(_) => CostModel::default(),
+    }
+}
+
 /// A scheduling strategy under comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {

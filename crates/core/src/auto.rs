@@ -65,6 +65,11 @@ impl StaticExecutor {
     /// strategy choice that [`execute_autocolored`] pushes onto the
     /// caller.
     ///
+    /// Candidates are scored with the executor's cost model
+    /// ([`ExecOptions::cost`](crate::ExecOptions)) — override it via
+    /// [`with_options`](StaticExecutor::with_options) to select under a
+    /// different machine pricing (e.g. a heavier remote-byte ratio).
+    ///
     /// Returns the execution report, the recolored graph (reuse it when
     /// executing repeatedly — selection is the expensive part), and the
     /// [`SelectionReport`] saying which candidate won and why.
@@ -78,7 +83,8 @@ impl StaticExecutor {
     where
         K: Fn(NodeId, usize) + Send + Sync + 'static,
     {
-        let (colors, selection) = AutoSelect::default().select(graph, self.pool().workers());
+        let select = AutoSelect::default().with_cost_model(self.options().cost.clone());
+        let (colors, selection) = select.select(graph, self.pool().workers());
         let mut recolored = graph.clone();
         apply_assignment(&mut recolored, &colors);
         let recolored = Arc::new(recolored);
@@ -163,6 +169,7 @@ mod tests {
         let exec = StaticExecutor::new(pool).with_options(ExecOptions {
             record_trace: true,
             count_remote: true,
+            ..ExecOptions::default()
         });
         let counts: Arc<Vec<AtomicU32>> =
             Arc::new((0..graph.node_count()).map(|_| AtomicU32::new(0)).collect());
@@ -235,7 +242,7 @@ mod tests {
         let colors: Vec<Color> = recolored.nodes().map(|u| recolored.color(u)).collect();
         assert!(colors.iter().all(|c| c.is_valid() && c.index() < workers));
         assert_eq!(
-            estimate_makespan_colored(&recolored, &colors, workers, selection.cross_penalty),
+            estimate_makespan_colored(&recolored, &colors, workers, &selection.cost),
             selection.chosen_estimate()
         );
         // Every scored candidate lost to (or tied) the winner.

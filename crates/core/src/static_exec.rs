@@ -35,6 +35,12 @@ pub struct ExecOptions {
     /// Count remote accesses with the §V-B metric (cheap; on by default in
     /// the benchmark harnesses).
     pub count_remote: bool,
+    /// Cost model used wherever this executor prices a schedule — today
+    /// that is [`execute_auto`](StaticExecutor::execute_auto)'s
+    /// `AutoSelect` scoring (cross-color edges priced as remote-byte
+    /// bandwidth plus steal latency). The threaded execution itself runs
+    /// on wall clock and ignores it.
+    pub cost: nabbitc_cost::CostModel,
 }
 
 /// Result of one static execution.
@@ -92,6 +98,7 @@ impl StaticExecutor {
             options: ExecOptions {
                 record_trace: false,
                 count_remote: true,
+                cost: nabbitc_cost::CostModel::default(),
             },
         }
     }
@@ -105,6 +112,11 @@ impl StaticExecutor {
     /// The underlying pool.
     pub fn pool(&self) -> &Arc<Pool> {
         &self.pool
+    }
+
+    /// The execution options in effect.
+    pub fn options(&self) -> &ExecOptions {
+        &self.options
     }
 
     /// Executes `graph`, invoking `kernel(node, worker_id)` once per node
@@ -267,6 +279,7 @@ mod tests {
         let exec = StaticExecutor::new(pool).with_options(ExecOptions {
             record_trace: true,
             count_remote: true,
+            ..ExecOptions::default()
         });
         let counts: Arc<Vec<A32>> =
             Arc::new((0..graph.node_count()).map(|_| A32::new(0)).collect());

@@ -1,0 +1,271 @@
+//! The NabbitC cost model — one crate, one source of truth.
+//!
+//! Everything in this workspace that prices a schedule consumes the same
+//! [`CostModel`]:
+//!
+//! * the NUMA work-stealing and OpenMP simulators (`nabbitc-numasim`)
+//!   charge every node `node_ticks(work, local, remote)` plus steal,
+//!   split, back-off, and barrier overheads;
+//! * the list-schedule makespan estimators
+//!   (`nabbitc-graph::analysis::estimate_makespan_colored*`) charge a
+//!   cross-color dependence edge as **remote-byte bandwidth on the
+//!   consumer** ([`CostModel::remote_excess`]) plus the steal
+//!   hand-off latency ([`CostModel::cross_edge_latency`]);
+//! * the autocolor objectives (`nabbitc-autocolor`'s `MakespanGain`,
+//!   `CpLevelAware`, and the `AutoSelect` meta-assigner) optimize and
+//!   score with the same two terms.
+//!
+//! Before this crate existed the workspace carried three incompatible
+//! pricings of a cross-color edge — the simulator's byte costs, the
+//! estimator's flat `cross_penalty` ticks on ready *latency*, and the
+//! assigners' `cross_penalty_frac` in node-weight units — and the
+//! estimator penalty had to stay hand-calibrated below ~0.5× the mean
+//! node weight or memory-bound stencils mis-ranked. Deriving every layer
+//! from one bandwidth-aware model makes the penalty principled instead of
+//! calibrated: a cross edge costs what moving its bytes costs.
+//!
+//! All costs are integer "ticks". The defaults model a memory-bound
+//! workload on a multi-socket machine: remote DRAM costs ~3× local
+//! (typical 2-hop QPI ratio on the paper's Westmere-EX generation),
+//! scheduling costs are small relative to node work, and barriers cost on
+//! the order of a few thousand cycles.
+
+/// Cost parameters, in integer "ticks".
+///
+/// The bandwidth terms (`work_tick`, `local_byte`, `remote_byte`) are
+/// validated by every constructor and builder — and re-checked by
+/// [`assert_valid`](Self::assert_valid) at consumer entry points — so a
+/// NaN, negative, or zero term panics with a clear message instead of
+/// silently producing garbage tick counts downstream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Ticks per unit of node `work` (compute).
+    pub work_tick: f64,
+    /// Ticks per byte accessed in the executing core's own domain.
+    pub local_byte: f64,
+    /// Ticks per byte accessed in a remote domain.
+    pub remote_byte: f64,
+    /// Fixed per-node scheduling overhead (dependence bookkeeping — the
+    /// `O(|E|)` term of `T1`).
+    pub node_overhead: u64,
+    /// Cost of one steal attempt (successful or not) — a cache-line probe
+    /// of a remote deque.
+    pub steal_check: u64,
+    /// Additional cost of transferring a stolen entry.
+    pub steal_transfer: u64,
+    /// Cost of one batch split in `spawn_colors`/`spawn_nodes`.
+    pub split: u64,
+    /// Idle back-off after a fully failed steal round.
+    pub idle_backoff: u64,
+    /// Per-phase barrier cost for the OpenMP simulator.
+    pub barrier: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            work_tick: 1.0,
+            local_byte: 1.0,
+            remote_byte: 3.0,
+            node_overhead: 200,
+            steal_check: 150,
+            steal_transfer: 300,
+            split: 40,
+            idle_backoff: 300,
+            barrier: 4000,
+        }
+    }
+}
+
+/// Panics unless `v` is a finite, strictly positive bandwidth term.
+fn check_term(name: &str, v: f64) {
+    assert!(
+        v.is_finite() && v > 0.0,
+        "cost model: {name} must be finite and > 0, got {v}"
+    );
+}
+
+impl CostModel {
+    /// A model with explicit bandwidth terms (everything else default).
+    /// Panics if any term is NaN, infinite, negative, or zero.
+    pub fn new(work_tick: f64, local_byte: f64, remote_byte: f64) -> Self {
+        let m = CostModel {
+            work_tick,
+            local_byte,
+            remote_byte,
+            ..CostModel::default()
+        };
+        m.assert_valid();
+        m
+    }
+
+    /// A model with a custom remote/local byte-cost ratio (ablation knob).
+    /// Panics if `ratio` is NaN, infinite, negative, or zero.
+    pub fn with_remote_ratio(mut self, ratio: f64) -> Self {
+        check_term("remote ratio", ratio);
+        self.remote_byte = self.local_byte * ratio;
+        self.assert_valid();
+        self
+    }
+
+    /// Validates the bandwidth terms, panicking with a clear message on
+    /// NaN/negative/zero. Constructors call this; consumers that accept a
+    /// `&CostModel` (whose public fields a caller may have set directly)
+    /// re-check at entry.
+    pub fn assert_valid(&self) {
+        check_term("work_tick", self.work_tick);
+        check_term("local_byte", self.local_byte);
+        check_term("remote_byte", self.remote_byte);
+    }
+
+    /// Remote/local byte-cost ratio.
+    #[inline]
+    pub fn remote_ratio(&self) -> f64 {
+        self.remote_byte / self.local_byte
+    }
+
+    /// Execution ticks for a node with `work` compute units, `local` local
+    /// bytes, and `remote` remote bytes.
+    #[inline]
+    pub fn node_ticks(&self, work: u64, local: u64, remote: u64) -> u64 {
+        self.node_overhead
+            + (work as f64 * self.work_tick
+                + local as f64 * self.local_byte
+                + remote as f64 * self.remote_byte)
+                .round() as u64
+    }
+
+    /// Execution ticks when every byte is local.
+    #[inline]
+    pub fn node_ticks_all_local(&self, work: u64, bytes: u64) -> u64 {
+        self.node_ticks(work, bytes, 0)
+    }
+
+    /// Extra ticks `bytes` cost when read remotely instead of locally —
+    /// the bandwidth price of a cross-color dependence edge carrying
+    /// `bytes` of producer output. Zero when remote is not dearer than
+    /// local.
+    #[inline]
+    pub fn remote_excess(&self, bytes: u64) -> u64 {
+        ((self.remote_byte - self.local_byte).max(0.0) * bytes as f64).round() as u64
+    }
+
+    /// Latency of handing a task across workers — one steal probe plus
+    /// one entry transfer. The estimators charge this on the *ready time*
+    /// of a cross-worker dependence (it delays the consumer but does not
+    /// occupy it), in contrast to [`remote_excess`](Self::remote_excess),
+    /// which occupies the consumer's core for the duration of the byte
+    /// traffic.
+    #[inline]
+    pub fn cross_edge_latency(&self) -> u64 {
+        self.steal_check + self.steal_transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_costs_more() {
+        let m = CostModel::default();
+        let local = m.node_ticks(100, 1000, 0);
+        let remote = m.node_ticks(100, 0, 1000);
+        assert!(remote > local);
+        assert_eq!(remote - local, 2000); // (3.0 - 1.0) * 1000
+        assert_eq!(m.remote_excess(1000), 2000);
+    }
+
+    #[test]
+    fn ratio_knob() {
+        let m = CostModel::default().with_remote_ratio(5.0);
+        assert_eq!(m.remote_byte, 5.0);
+        assert_eq!(m.remote_ratio(), 5.0);
+    }
+
+    #[test]
+    fn overhead_included() {
+        let m = CostModel::default();
+        assert_eq!(m.node_ticks(0, 0, 0), m.node_overhead);
+    }
+
+    #[test]
+    fn cross_edge_latency_is_steal_handoff() {
+        let m = CostModel::default();
+        assert_eq!(m.cross_edge_latency(), m.steal_check + m.steal_transfer);
+    }
+
+    #[test]
+    fn remote_excess_never_negative() {
+        // A (pathological but finite) model where remote is cheaper than
+        // local must clamp the excess at zero, not wrap.
+        let m = CostModel {
+            local_byte: 3.0,
+            remote_byte: 1.0,
+            ..CostModel::default()
+        };
+        assert_eq!(m.remote_excess(1000), 0);
+    }
+
+    #[test]
+    fn new_validates_and_builds() {
+        let m = CostModel::new(2.0, 1.0, 4.0);
+        assert_eq!(m.work_tick, 2.0);
+        assert_eq!(m.node_overhead, CostModel::default().node_overhead);
+    }
+
+    macro_rules! rejects {
+        ($name:ident, $build:expr, $msg:expr) => {
+            #[test]
+            fn $name() {
+                let err = std::panic::catch_unwind(|| $build).expect_err("must panic");
+                let got = err
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                assert!(got.contains($msg), "panic message {got:?} lacks {:?}", $msg);
+            }
+        };
+    }
+
+    rejects!(
+        rejects_nan_work_tick,
+        CostModel::new(f64::NAN, 1.0, 3.0),
+        "work_tick must be finite and > 0"
+    );
+    rejects!(
+        rejects_zero_local_byte,
+        CostModel::new(1.0, 0.0, 3.0),
+        "local_byte must be finite and > 0"
+    );
+    rejects!(
+        rejects_negative_remote_byte,
+        CostModel::new(1.0, 1.0, -3.0),
+        "remote_byte must be finite and > 0"
+    );
+    rejects!(
+        rejects_zero_remote_ratio,
+        CostModel::default().with_remote_ratio(0.0),
+        "remote ratio must be finite and > 0"
+    );
+    rejects!(
+        rejects_nan_remote_ratio,
+        CostModel::default().with_remote_ratio(f64::NAN),
+        "remote ratio must be finite and > 0"
+    );
+    rejects!(
+        rejects_infinite_remote_ratio,
+        CostModel::default().with_remote_ratio(f64::INFINITY),
+        "remote ratio must be finite and > 0"
+    );
+    rejects!(
+        assert_valid_catches_hand_set_fields,
+        CostModel {
+            local_byte: f64::NEG_INFINITY,
+            ..CostModel::default()
+        }
+        .assert_valid(),
+        "local_byte must be finite and > 0"
+    );
+}

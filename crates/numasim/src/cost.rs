@@ -1,98 +1,11 @@
-//! NUMA cost model.
+//! NUMA cost model — re-exported from `nabbitc-cost`.
+//!
+//! The model used to live in this crate; it is now the workspace-wide
+//! `nabbitc-cost` crate so the simulator, the makespan estimators in
+//! `nabbitc-graph::analysis`, and the autocolor objectives are
+//! *definitionally* consistent — one [`CostModel`], one pricing of node
+//! work, byte traffic, and scheduling overheads. This module remains so
+//! `nabbitc_numasim::cost::CostModel` (and the crate-root re-export)
+//! keep working.
 
-/// Cost parameters, in integer "ticks".
-///
-/// The defaults model a memory-bound workload on a multi-socket machine:
-/// remote DRAM costs ~3× local (typical 2-hop QPI latency ratio on the
-/// paper's Westmere-EX generation), scheduling costs are small relative to
-/// node work, and barriers cost on the order of a few thousand cycles.
-#[derive(Clone, Debug, PartialEq)]
-pub struct CostModel {
-    /// Ticks per unit of node `work` (compute).
-    pub work_tick: f64,
-    /// Ticks per byte accessed in the executing core's own domain.
-    pub local_byte: f64,
-    /// Ticks per byte accessed in a remote domain.
-    pub remote_byte: f64,
-    /// Fixed per-node scheduling overhead (dependence bookkeeping — the
-    /// `O(|E|)` term of `T1`).
-    pub node_overhead: u64,
-    /// Cost of one steal attempt (successful or not) — a cache-line probe
-    /// of a remote deque.
-    pub steal_check: u64,
-    /// Additional cost of transferring a stolen entry.
-    pub steal_transfer: u64,
-    /// Cost of one batch split in `spawn_colors`/`spawn_nodes`.
-    pub split: u64,
-    /// Idle back-off after a fully failed steal round.
-    pub idle_backoff: u64,
-    /// Per-phase barrier cost for the OpenMP simulator.
-    pub barrier: u64,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel {
-            work_tick: 1.0,
-            local_byte: 1.0,
-            remote_byte: 3.0,
-            node_overhead: 200,
-            steal_check: 150,
-            steal_transfer: 300,
-            split: 40,
-            idle_backoff: 300,
-            barrier: 4000,
-        }
-    }
-}
-
-impl CostModel {
-    /// A model with a custom remote/local byte-cost ratio (ablation knob).
-    pub fn with_remote_ratio(mut self, ratio: f64) -> Self {
-        self.remote_byte = self.local_byte * ratio;
-        self
-    }
-
-    /// Execution ticks for a node with `work` compute units, `local` local
-    /// bytes, and `remote` remote bytes.
-    #[inline]
-    pub fn node_ticks(&self, work: u64, local: u64, remote: u64) -> u64 {
-        self.node_overhead
-            + (work as f64 * self.work_tick
-                + local as f64 * self.local_byte
-                + remote as f64 * self.remote_byte)
-                .round() as u64
-    }
-
-    /// Execution ticks when every byte is local.
-    #[inline]
-    pub fn node_ticks_all_local(&self, work: u64, bytes: u64) -> u64 {
-        self.node_ticks(work, bytes, 0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn remote_costs_more() {
-        let m = CostModel::default();
-        let local = m.node_ticks(100, 1000, 0);
-        let remote = m.node_ticks(100, 0, 1000);
-        assert!(remote > local);
-        assert_eq!(remote - local, 2000); // (3.0 - 1.0) * 1000
-    }
-
-    #[test]
-    fn ratio_knob() {
-        let m = CostModel::default().with_remote_ratio(5.0);
-        assert_eq!(m.remote_byte, 5.0);
-    }
-
-    #[test]
-    fn overhead_included() {
-        let m = CostModel::default();
-        assert_eq!(m.node_ticks(0, 0, 0), m.node_overhead);
-    }
-}
+pub use nabbitc_cost::CostModel;

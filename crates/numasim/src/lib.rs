@@ -38,11 +38,20 @@ use nabbitc_color::Color;
 use nabbitc_graph::TaskGraph;
 
 /// Simulates `graph` under an alternative coloring — `colors[u]` becomes
-/// node `u`'s color *and* its data placement (accesses re-homed, modeling
-/// first-touch initialization by the owning worker). This is the
-/// simulator-side entry point for the autocolor subsystem: hand coloring
-/// and inferred colorings run through the identical pipeline, so their
-/// makespans and remote-access rates are directly comparable.
+/// node `u`'s color *and* its data placement: each node's footprint is
+/// re-homed under the edge-traffic model
+/// ([`TaskGraph::rehome_edge_traffic`]), so a node owns (first-touch
+/// initializes) its data but reads its predecessors' outputs from *their*
+/// colors' regions. A cross-color dependence edge whose endpoints land in
+/// different NUMA domains therefore carries real remote-byte traffic —
+/// the same bandwidth term the makespan estimator
+/// (`nabbitc_graph::analysis::estimate_makespan_colored`) charges, priced
+/// by the same [`CostModel`].
+///
+/// This is the simulator-side entry point for the autocolor subsystem:
+/// hand coloring and inferred colorings run through the identical
+/// pipeline, so their makespans and remote-access rates are directly
+/// comparable.
 pub fn simulate_ws_recolored(graph: &TaskGraph, colors: &[Color], cfg: &WsConfig) -> SimResult {
     assert_eq!(
         colors.len(),
@@ -51,7 +60,7 @@ pub fn simulate_ws_recolored(graph: &TaskGraph, colors: &[Color], cfg: &WsConfig
     );
     let mut g = graph.clone();
     g.recolor(|u, _| colors[u as usize]);
-    g.localize_accesses();
+    g.rehome_edge_traffic();
     simulate_ws(&g, cfg)
 }
 
@@ -117,8 +126,8 @@ mod recolor_tests {
         let cfg = WsConfig::nabbitc(p);
         let sim_row = simulate_ws_recolored(&g, &by_row, &cfg).makespan;
         let sim_level = simulate_ws_recolored(&g, &by_level, &cfg).makespan;
-        let est_row = estimate_makespan_colored(&g, &by_row, p, cfg.cost.steal_transfer);
-        let est_level = estimate_makespan_colored(&g, &by_level, p, cfg.cost.steal_transfer);
+        let est_row = estimate_makespan_colored(&g, &by_row, p, &cfg.cost);
+        let est_level = estimate_makespan_colored(&g, &by_level, p, &cfg.cost);
         assert!(
             sim_row < sim_level,
             "simulator: row {sim_row} !< level {sim_level}"

@@ -14,6 +14,7 @@
 
 use crate::{NodeId, TaskGraph};
 use nabbitc_color::{Color, ColorSet};
+use nabbitc_cost::CostModel;
 use std::collections::HashMap;
 
 /// Summary of the Theorem 1 quantities for a graph.
@@ -207,7 +208,7 @@ pub fn color_balance(g: &TaskGraph, workers: usize) -> ColorBalance {
 /// Lower bound on `P`-processor completion time: `max(T1/P, T∞)`
 /// (the work and span laws).
 pub fn completion_lower_bound(a: &GraphAnalysis, p: usize) -> f64 {
-    assert!(p > 0, "need at least one processor");
+    assert!(p > 0, "need at least one worker");
     (a.t1 as f64 / p as f64).max(a.t_inf as f64)
 }
 
@@ -219,7 +220,7 @@ pub fn theorem1_bound(
     constants: (f64, f64, f64, f64),
     startup: f64,
 ) -> f64 {
-    assert!(p > 0, "need at least one processor");
+    assert!(p > 0, "need at least one worker");
     let (c1, c2, c3, c4) = constants;
     let lg_d = (a.max_degree.max(2) as f64).log2();
     let lg_p = (p.max(2) as f64).log2();
@@ -368,26 +369,44 @@ pub fn level_serialization(g: &TaskGraph, profile: &LevelProfile) -> LevelSerial
     }
 }
 
-/// Cheap list-schedule makespan estimate of a coloring: node `u` executes
-/// on the worker its color names (invalid or out-of-range colors share one
-/// overflow worker), nodes are issued in topological order, and every
-/// cross-color dependence edge charges `cross_penalty` ticks on top of the
-/// predecessor's finish time — the communication term that makes the
-/// estimate see both load balance *and* pipeline serialization.
+/// Cheap bandwidth-aware list-schedule makespan estimate of a coloring.
 ///
-/// This is the objective the makespan-aware refinement gain optimizes: it
-/// is O(V + E), deterministic, and ranks colorings the same way the full
-/// work-stealing simulator does on the shapes that matter (the simulator's
-/// steal protocol adds noise but not systematic reordering; see the
-/// cross-check tests in `nabbitc-numasim`).
+/// Node `u` executes on the worker its color names (invalid or
+/// out-of-range colors share one overflow worker) and nodes are issued in
+/// topological order. A cross-worker dependence edge `p -> u` is charged
+/// with the two terms of the shared [`CostModel`]:
+///
+/// * **bandwidth** — the edge's byte traffic
+///   ([`TaskGraph::edge_traffic`]) is read *remotely* by the consumer, so
+///   [`CostModel::remote_excess`] ticks are added to `u`'s execution
+///   time. This occupies the consumer's worker — it cannot be hidden by a
+///   warm pipeline — which is what makes memory-bound colorings rank
+///   correctly (the price of a cut edge scales with the bytes it moves,
+///   not with a calibrated constant);
+/// * **latency** — [`CostModel::cross_edge_latency`] (one steal probe +
+///   one entry transfer) delays `u`'s *ready time* after `p` finishes but
+///   does not occupy the worker; a busy worker absorbs it.
+///
+/// Same-worker edges charge nothing; every node additionally pays
+/// [`CostModel::node_ticks`] over its work and (local) footprint, so the
+/// estimate and the NUMA simulator price nodes identically.
+///
+/// This is the objective the makespan-aware refinement gain optimizes and
+/// the `AutoSelect` meta-assigner scores with: it is O(V + E),
+/// deterministic, and ranks colorings the same way the full work-stealing
+/// simulator does (pinned by the estimator-vs-simulator rank-agreement
+/// proptests in `tests/cost_model.rs` and the cross-checks in
+/// `nabbitc-numasim`).
 pub fn estimate_makespan_colored(
     g: &TaskGraph,
     colors: &[Color],
     workers: usize,
-    cross_penalty: u64,
+    cost: &CostModel,
 ) -> u64 {
     assert!(workers > 0, "need at least one worker");
     assert_eq!(colors.len(), g.node_count(), "one color per node");
+    cost.assert_valid();
+    let latency = cost.cross_edge_latency();
     let worker_of = |c: Color| -> usize {
         if c.is_valid() && c.index() < workers {
             c.index()
@@ -395,24 +414,38 @@ pub fn estimate_makespan_colored(
             workers // overflow worker
         }
     };
+    // Hoisted footprints: `footprint()` sums a node's access list, and
+    // the edge-traffic lookups below would otherwise re-sum both
+    // endpoints per edge (keeping the estimate O(V + E) as documented).
+    let fp: Vec<u64> = g.nodes().map(|u| g.footprint(u)).collect();
+    let traffic = |p: NodeId, u: NodeId| -> u64 {
+        let produced = fp[p as usize] / g.out_degree(p).max(1) as u64;
+        let consumed = fp[u as usize] / g.in_degree(u).max(1) as u64;
+        produced.min(consumed)
+    };
     let mut free = vec![0u64; workers + 1];
     let mut finish = vec![0u64; g.node_count()];
     let mut makespan = 0u64;
     for &u in g.topo_order() {
         let w = worker_of(colors[u as usize]);
         let mut ready = 0u64;
+        let mut remote_bytes = 0u64;
         for &p in g.predecessors(u) {
             let mut t = finish[p as usize];
-            // Penalize by executing *worker*, not raw color: two distinct
+            // Charge by executing *worker*, not raw color: two distinct
             // out-of-range colors share the overflow worker, so no
             // transfer occurs between them.
             if worker_of(colors[p as usize]) != w {
-                t += cross_penalty;
+                t += latency;
+                remote_bytes += traffic(p, u);
             }
             ready = ready.max(t);
         }
+        // edge_traffic caps inbound at the footprint, so this never
+        // underflows: local + remote = footprint(u).
+        let local_bytes = fp[u as usize] - remote_bytes;
         let start = ready.max(free[w]);
-        let end = start + g.work(u).max(1);
+        let end = start + cost.node_ticks(g.work(u), local_bytes, remote_bytes).max(1);
         finish[u as usize] = end;
         free[w] = end;
         makespan = makespan.max(end);
@@ -461,10 +494,11 @@ pub fn estimate_makespan_colored_strict(
     g: &TaskGraph,
     colors: &[Color],
     workers: usize,
-    cross_penalty: u64,
+    cost: &CostModel,
 ) -> Result<u64, InvalidColoring> {
     assert!(workers > 0, "need at least one worker");
     assert_eq!(colors.len(), g.node_count(), "one color per node");
+    cost.assert_valid();
     for u in g.nodes() {
         let c = colors[u as usize];
         if !c.is_valid() || c.index() >= workers {
@@ -477,13 +511,14 @@ pub fn estimate_makespan_colored_strict(
     }
     // Every color is a real worker, so the lenient estimator's overflow
     // worker is unreachable and the two estimates coincide.
-    Ok(estimate_makespan_colored(g, colors, workers, cross_penalty))
+    Ok(estimate_makespan_colored(g, colors, workers, cost))
 }
 
 /// [`estimate_makespan_colored`] over the graph's own colors.
-pub fn estimate_makespan(g: &TaskGraph, workers: usize, cross_penalty: u64) -> u64 {
+pub fn estimate_makespan(g: &TaskGraph, workers: usize, cost: &CostModel) -> u64 {
+    assert!(workers > 0, "need at least one worker");
     let colors: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
-    estimate_makespan_colored(g, &colors, workers, cross_penalty)
+    estimate_makespan_colored(g, &colors, workers, cost)
 }
 
 /// Checks whether the sink is reachable from every node and every node is
@@ -702,16 +737,35 @@ mod tests {
         assert!((s.weighted_mean - 1.0).abs() < 1e-12);
     }
 
+    /// A model with no per-node overhead and no cross-edge latency: pure
+    /// work ticks (tests here use zero-byte nodes), for exact arithmetic.
+    fn work_only() -> CostModel {
+        CostModel {
+            node_overhead: 0,
+            steal_check: 0,
+            steal_transfer: 0,
+            ..CostModel::default()
+        }
+    }
+
+    /// [`work_only`] plus a cross-edge hand-off latency of `lat` ticks.
+    fn work_and_latency(lat: u64) -> CostModel {
+        CostModel {
+            steal_transfer: lat,
+            ..work_only()
+        }
+    }
+
     #[test]
     fn makespan_estimate_chain_is_serial() {
         let g = chain(&[5, 7, 3]);
         // Monochrome chain: no cross edges, one worker does everything.
-        assert_eq!(estimate_makespan(&g, 4, 100), 15);
+        assert_eq!(estimate_makespan(&g, 4, &work_and_latency(100)), 15);
     }
 
     #[test]
-    fn makespan_estimate_sees_parallelism_and_penalty() {
-        // 0 -> {1,2} -> 3; colors 0,0,1,0; works 1,10,10,1.
+    fn makespan_estimate_sees_parallelism_and_latency() {
+        // 0 -> {1,2} -> 3; colors 0,0,1,0; works 1,10,10,1; no bytes.
         let mut b = GraphBuilder::new();
         b.add_simple_node(1, Color(0), 0);
         b.add_simple_node(10, Color(0), 0);
@@ -722,31 +776,95 @@ mod tests {
         b.add_edge(1, 3);
         b.add_edge(2, 3);
         let g = b.build().unwrap();
-        // Penalty 0: 1 + max(10, 10) + 1 = 12 (branches overlap).
-        assert_eq!(estimate_makespan(&g, 2, 0), 12);
-        // Penalty 5: node 2 starts at 1+5, node 3 waits for 2's finish +5.
-        assert_eq!(estimate_makespan(&g, 2, 5), 1 + 5 + 10 + 5 + 1);
+        // No latency: 1 + max(10, 10) + 1 = 12 (branches overlap).
+        assert_eq!(estimate_makespan(&g, 2, &work_only()), 12);
+        // Latency 5: node 2 starts at 1+5, node 3 waits for 2's finish +5.
+        assert_eq!(
+            estimate_makespan(&g, 2, &work_and_latency(5)),
+            1 + 5 + 10 + 5 + 1
+        );
         // One worker (monochrome): branches serialize.
         let mut mono = g.clone();
         mono.recolor(|_, _| Color(0));
-        assert_eq!(estimate_makespan(&mono, 1, 0), 22);
+        assert_eq!(estimate_makespan(&mono, 1, &work_only()), 22);
+    }
+
+    #[test]
+    fn makespan_estimate_charges_cross_edges_as_remote_bytes() {
+        // Two-node chain, 1200 bytes each, works 1: the consumer reads
+        // the producer's output (min(1200/1, 1200/1) = 1200 bytes)
+        // remotely when their colors differ.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 1200);
+        b.add_simple_node(1, Color(1), 1200);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let cost = work_only(); // local 1x, remote 3x, no latency
+        let mono: Vec<Color> = vec![Color(0), Color(0)];
+        let split: Vec<Color> = vec![Color(0), Color(1)];
+        // Monochrome: both nodes all-local: 2 × (1 + 1200).
+        assert_eq!(estimate_makespan_colored(&g, &mono, 2, &cost), 2 * 1201);
+        // Split: same serial chain, but the consumer's 1200 bytes are now
+        // remote: + (3 - 1) × 1200 on its execution time.
+        assert_eq!(
+            estimate_makespan_colored(&g, &split, 2, &cost),
+            2 * 1201 + 2 * 1200
+        );
+    }
+
+    #[test]
+    fn makespan_estimate_bandwidth_occupies_the_worker() {
+        // The tentpole distinction: bandwidth is charged on *execution*
+        // (it occupies the consumer), latency on *readiness* (a busy
+        // worker absorbs it). Two producers on color 0 feed one consumer
+        // on color 1 that also has a long local queue: under a pure
+        // latency model the cross edges vanish behind the queue; under
+        // the bandwidth model they cannot.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 600); // producers, one per worker
+        b.add_simple_node(1, Color(1), 600);
+        b.add_simple_node(1, Color(2), 600); // consumer, cross reads
+        b.add_simple_node(1200, Color(2), 0); // the queue keeping 2 busy
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let colors: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
+        let lat_only = CostModel {
+            // Remote bytes priced as local: bandwidth term zero.
+            remote_byte: 1.0,
+            steal_transfer: 500,
+            node_overhead: 0,
+            steal_check: 0,
+            ..CostModel::default()
+        };
+        // Latency-only: worker 2 is busy until 1200; the consumer's ready
+        // time (1 + 500) is absorbed entirely: 1200 + (1 + 600).
+        assert_eq!(
+            estimate_makespan_colored(&g, &colors, 3, &lat_only),
+            1200 + 601
+        );
+        // Bandwidth-aware (no latency, remote 3x): the consumer's 600
+        // inbound bytes cost 2x extra *on the worker*: nothing absorbs it.
+        assert_eq!(
+            estimate_makespan_colored(&g, &colors, 3, &work_only()),
+            1200 + 601 + 2 * 600
+        );
     }
 
     #[test]
     fn makespan_estimate_serialized_level_costs_more() {
-        // The tentpole's core claim in miniature: on a wavefront, coloring
-        // by row beats coloring by level under the estimator, even though
-        // coloring by level cuts *fewer* edges per node pair in other
-        // shapes. Both colorings use both workers.
+        // On a wavefront, coloring by row beats coloring by level under
+        // the estimator, even though coloring by level cuts *fewer* edges
+        // per node pair in other shapes. Both colorings use both workers.
         let mut by_row = crate::generate::wavefront(8, 8, 10, 1);
         by_row.recolor(|u, _| Color::from(u as usize / 32));
         let profile = level_profile(&by_row);
         let mut by_level = crate::generate::wavefront(8, 8, 10, 1);
         let lv = profile.level_of.clone();
         by_level.recolor(|u, _| Color::from((lv[u as usize] as usize / 8) % 2));
-        let penalty = 3;
+        let cost = CostModel::default();
         assert!(
-            estimate_makespan(&by_row, 2, penalty) < estimate_makespan(&by_level, 2, penalty),
+            estimate_makespan(&by_row, 2, &cost) < estimate_makespan(&by_level, 2, &cost),
             "row blocking must beat level blocking"
         );
     }
@@ -756,30 +874,32 @@ mod tests {
         let mut g = chain(&[1, 1]);
         g.recolor(|_, _| Color::INVALID);
         // Both nodes share the overflow worker; same-color edges (both
-        // invalid) carry no penalty.
-        assert_eq!(estimate_makespan(&g, 4, 100), 2);
+        // invalid) carry no cross charge.
+        assert_eq!(estimate_makespan(&g, 4, &work_and_latency(100)), 2);
         // Two *distinct* out-of-range colors still alias to the one
-        // overflow worker: serialized, but no transfer penalty either.
+        // overflow worker: serialized, but no transfer charge either.
         let mut g = chain(&[1, 1]);
         g.recolor(|u, _| if u == 0 { Color(5) } else { Color(6) });
-        assert_eq!(estimate_makespan(&g, 4, 100), 2);
+        assert_eq!(estimate_makespan(&g, 4, &work_and_latency(100)), 2);
     }
 
     #[test]
     fn strict_estimate_matches_lenient_on_valid_colorings() {
         let g = chain(&[5, 7, 3]);
         let colors: Vec<Color> = vec![Color(0), Color(1), Color(0)];
-        let strict =
-            estimate_makespan_colored_strict(&g, &colors, 2, 5).expect("valid coloring accepted");
-        assert_eq!(strict, estimate_makespan_colored(&g, &colors, 2, 5));
+        let cost = CostModel::default();
+        let strict = estimate_makespan_colored_strict(&g, &colors, 2, &cost)
+            .expect("valid coloring accepted");
+        assert_eq!(strict, estimate_makespan_colored(&g, &colors, 2, &cost));
     }
 
     #[test]
     fn strict_estimate_rejects_invalid_and_out_of_range_colors() {
         let g = chain(&[1, 1, 1]);
+        let cost = CostModel::default();
         // INVALID color.
         let colors = vec![Color(0), Color::INVALID, Color(0)];
-        let err = estimate_makespan_colored_strict(&g, &colors, 2, 5)
+        let err = estimate_makespan_colored_strict(&g, &colors, 2, &cost)
             .expect_err("INVALID must be rejected");
         assert_eq!(err.node, 1);
         assert_eq!(err.color, Color::INVALID);
@@ -787,10 +907,88 @@ mod tests {
         // Valid color, but no worker owns it: the lenient estimator would
         // score this on a phantom extra worker; strict refuses.
         let colors = vec![Color(0), Color(1), Color(7)];
-        let err = estimate_makespan_colored_strict(&g, &colors, 2, 5)
+        let err = estimate_makespan_colored_strict(&g, &colors, 2, &cost)
             .expect_err("out-of-range must be rejected");
         assert_eq!((err.node, err.color), (2, Color(7)));
         assert!(err.to_string().contains("color c7"), "{err}");
+    }
+
+    #[test]
+    fn estimator_family_shares_the_workers_contract() {
+        // The workspace-wide `workers == 0` contract (unified in PR 3 for
+        // the runtime): every public estimator-family entry panics
+        // immediately with the same message.
+        let g = chain(&[1, 1]);
+        let a = analyze(&g);
+        let cost = CostModel::default();
+        let colors: Vec<Color> = vec![Color(0), Color(0)];
+        type Entry<'a> = (&'a str, Box<dyn Fn() + 'a>);
+        let entries: Vec<Entry<'_>> = vec![
+            (
+                "estimate_makespan",
+                Box::new(|| {
+                    estimate_makespan(&g, 0, &cost);
+                }),
+            ),
+            (
+                "estimate_makespan_colored",
+                Box::new(|| {
+                    estimate_makespan_colored(&g, &colors, 0, &cost);
+                }),
+            ),
+            (
+                "estimate_makespan_colored_strict",
+                Box::new(|| {
+                    let _ = estimate_makespan_colored_strict(&g, &colors, 0, &cost);
+                }),
+            ),
+            (
+                "color_balance",
+                Box::new(|| {
+                    color_balance(&g, 0);
+                }),
+            ),
+            (
+                "completion_lower_bound",
+                Box::new(|| {
+                    completion_lower_bound(&a, 0);
+                }),
+            ),
+            (
+                "theorem1_bound",
+                Box::new(|| {
+                    theorem1_bound(&a, 0, (1.0, 1.0, 1.0, 1.0), 0.0);
+                }),
+            ),
+        ];
+        for (name, f) in entries {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                .expect_err(&format!("{name} accepted workers == 0"));
+            let msg = err
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(
+                msg.contains("need at least one worker"),
+                "{name}: wrong panic message: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimator_rejects_garbage_cost_models() {
+        let g = chain(&[1, 1]);
+        let bad = CostModel {
+            remote_byte: f64::NAN,
+            ..CostModel::default()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            estimate_makespan(&g, 2, &bad);
+        }))
+        .expect_err("NaN bandwidth term must be rejected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("remote_byte"), "{msg:?}");
     }
 
     #[test]

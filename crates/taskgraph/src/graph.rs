@@ -288,14 +288,74 @@ impl TaskGraph {
         self.localize_accesses();
     }
 
+    /// Bytes assumed to travel along the dependence edge `p -> u`: the
+    /// producer's footprint split evenly among its consumers, capped by
+    /// the consumer's even share of its own footprint.
+    ///
+    /// This is the workspace's shared *edge-traffic model* — the bytes a
+    /// cross-color edge moves across domains, priced by
+    /// `nabbitc_cost::CostModel::remote_excess` in the makespan
+    /// estimators, the autocolor refinement gain, and (through
+    /// [`rehome_edge_traffic`](Self::rehome_edge_traffic)) the NUMA
+    /// simulator. The cap guarantees `Σ_p edge_traffic(p, u) ≤
+    /// footprint(u)`, so a node's inbound traffic never exceeds the bytes
+    /// it actually touches.
+    pub fn edge_traffic(&self, p: NodeId, u: NodeId) -> u64 {
+        let produced = self.footprint(p) / self.out_degree(p).max(1) as u64;
+        let consumed = self.footprint(u) / self.in_degree(u).max(1) as u64;
+        produced.min(consumed)
+    }
+
+    /// Re-homes every node's accesses under its *current* color using the
+    /// [`edge_traffic`](Self::edge_traffic) model: each node reads its
+    /// predecessors' outputs from the predecessors' regions and the rest
+    /// of its footprint from its own region (first-touch by the owning
+    /// worker). Total bytes per node are preserved, so serial baselines
+    /// are unaffected; only the local/remote split changes.
+    ///
+    /// This is the placement model behind every recolored simulation
+    /// (`nabbitc-numasim::simulate_ws_recolored`) and applied assignment:
+    /// it makes a cross-color dependence edge carry real remote-byte
+    /// traffic, matching what the bandwidth-aware makespan estimator
+    /// charges — simulator and estimator price the same model. Compare
+    /// [`localize_accesses`](Self::localize_accesses), which models a
+    /// placement with no inter-node reads at all.
+    pub fn rehome_edge_traffic(&mut self) {
+        let n = self.node_count();
+        let mut rehomed: Vec<Vec<NodeAccess>> = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let mut acc: Vec<NodeAccess> = Vec::new();
+            let mut push = |owner: Color, bytes: u64| {
+                if bytes == 0 {
+                    return;
+                }
+                match acc.iter_mut().find(|a| a.owner == owner) {
+                    Some(a) => a.bytes += bytes,
+                    None => acc.push(NodeAccess { owner, bytes }),
+                }
+            };
+            let mut inbound = 0u64;
+            for &p in self.predecessors(u) {
+                let b = self.edge_traffic(p, u);
+                inbound += b;
+                push(self.color[p as usize], b);
+            }
+            // The cap in edge_traffic guarantees inbound ≤ footprint.
+            push(self.color[u as usize], self.footprint(u) - inbound);
+            rehomed.push(acc);
+        }
+        self.accesses = rehomed;
+    }
+
     /// Re-homes every node's accesses to the node's *current* color,
     /// merging them into one region of the same total size.
     ///
-    /// This models first-touch placement under a fresh coloring: the
-    /// worker that owns a node initializes the data it touches. Used by
-    /// the autocolor subsystem after recoloring, so that the NUMA
-    /// simulator and the §V-B metric price the inferred placement rather
-    /// than the hand placement the graph was built with.
+    /// This models first-touch placement under a fresh coloring with no
+    /// inter-node reads: the worker that owns a node initializes and
+    /// exclusively touches the data. It is the canonical "uncolored
+    /// graph" form ([`strip_colors`](Self::strip_colors)); recolored
+    /// *simulations* use [`rehome_edge_traffic`](Self::rehome_edge_traffic)
+    /// instead, which keeps dependence edges carrying byte traffic.
     pub fn localize_accesses(&mut self) {
         for u in 0..self.accesses.len() {
             let bytes: u64 = self.accesses[u].iter().map(|a| a.bytes).sum();
@@ -470,6 +530,97 @@ mod tests {
         );
         assert!(g.accesses(1).is_empty());
         assert_eq!(g.footprint(0), 128);
+    }
+
+    #[test]
+    fn edge_traffic_splits_producer_output_and_caps_at_consumer_share() {
+        // 0 -> {1,2} -> 3; footprints 600, 90, 600, 600.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 600);
+        b.add_simple_node(1, Color(0), 90);
+        b.add_simple_node(1, Color(1), 600);
+        b.add_simple_node(1, Color(1), 600);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build().unwrap();
+        // Producer 0 splits 600 over 2 consumers = 300; consumer 1's own
+        // share is 90/1 — the cap binds.
+        assert_eq!(g.edge_traffic(0, 1), 90);
+        // Consumer 2 has footprint 600, in-degree 1: producer share binds.
+        assert_eq!(g.edge_traffic(0, 2), 300);
+        // Inbound never exceeds the consumer's footprint.
+        for u in g.nodes() {
+            let inbound: u64 = g
+                .predecessors(u)
+                .iter()
+                .map(|&p| g.edge_traffic(p, u))
+                .sum();
+            assert!(inbound <= g.footprint(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn rehome_edge_traffic_preserves_footprint_and_prices_cross_reads() {
+        let mut g = diamond(); // colors 0,1,2,3; footprints 64 each
+        g.rehome_edge_traffic();
+        for u in g.nodes() {
+            assert_eq!(g.footprint(u), 64, "total bytes preserved at {u}");
+        }
+        // The source has no predecessors: everything in its own region.
+        assert_eq!(
+            g.accesses(0),
+            &[NodeAccess {
+                owner: Color(0),
+                bytes: 64
+            }]
+        );
+        // Node 1 reads its share of node 0's output (64/2 = 32) from
+        // color 0 and the rest from its own region.
+        assert_eq!(
+            g.accesses(1),
+            &[
+                NodeAccess {
+                    owner: Color(0),
+                    bytes: 32
+                },
+                NodeAccess {
+                    owner: Color(1),
+                    bytes: 32
+                }
+            ]
+        );
+        // The sink reads from both branch owners.
+        let owners: Vec<Color> = g.accesses(3).iter().map(|a| a.owner).collect();
+        assert!(owners.contains(&Color(1)) && owners.contains(&Color(2)));
+    }
+
+    #[test]
+    fn rehome_edge_traffic_merges_same_owner_regions() {
+        // Two same-colored producers feeding one consumer merge into one
+        // region of that color.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 100);
+        b.add_simple_node(1, Color(0), 100);
+        b.add_simple_node(1, Color(1), 400);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let mut g = b.build().unwrap();
+        g.rehome_edge_traffic();
+        assert_eq!(
+            g.accesses(2),
+            &[
+                NodeAccess {
+                    owner: Color(0),
+                    bytes: 200
+                },
+                NodeAccess {
+                    owner: Color(1),
+                    bytes: 200
+                }
+            ]
+        );
     }
 
     #[test]

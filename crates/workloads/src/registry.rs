@@ -252,6 +252,50 @@ mod tests {
     }
 
     #[test]
+    fn every_benchmark_annotates_byte_footprints() {
+        // The bandwidth-aware cost layer is only as good as its inputs:
+        // every Table I benchmark must annotate real byte footprints
+        // (stencil halos, sw border rows, pagerank edge lists), and the
+        // memory-bound families must actually be memory-bound under the
+        // default model (bytes outweigh work ticks).
+        for id in BenchId::all() {
+            let b = build(id, Scale::Small, 8);
+            let with_bytes = b
+                .graph
+                .nodes()
+                .filter(|&u| b.graph.footprint(u) > 0)
+                .count();
+            assert!(
+                with_bytes * 10 >= b.graph.node_count() * 9,
+                "{}: only {with_bytes}/{} nodes carry bytes",
+                id.name(),
+                b.graph.node_count()
+            );
+        }
+        for id in [BenchId::Heat, BenchId::Fdtd, BenchId::Life, BenchId::Sw] {
+            let b = build(id, Scale::Small, 8);
+            let bytes: u64 = b.graph.nodes().map(|u| b.graph.footprint(u)).sum();
+            let work: u64 = b.graph.nodes().map(|u| b.graph.work(u)).sum();
+            assert!(
+                bytes > work,
+                "{}: bytes {bytes} do not dominate work {work}",
+                id.name()
+            );
+        }
+        // Stencil halos and sw borders are multi-region: interior nodes
+        // read neighbors' regions, so the hand-colored builds must carry
+        // more than one access per interior node.
+        for id in [BenchId::Heat, BenchId::Sw] {
+            let b = build(id, Scale::Small, 8);
+            assert!(
+                b.graph.nodes().any(|u| b.graph.accesses(u).len() > 1),
+                "{}: no multi-region accesses",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
     fn pagerank_variants_differ_in_skew() {
         let uk = build_pagerank(BenchId::PageUk2002, Scale::Small);
         let tw = build_pagerank(BenchId::PageTwitter2010, Scale::Small);

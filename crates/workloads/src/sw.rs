@@ -70,6 +70,33 @@ pub fn shape_swn2(scale_div: usize) -> SwShape {
     }
 }
 
+/// Accesses of tile `(i, j)`: its own DP block, the bottom row of the
+/// tile above (owned by the previous tile-row's worker), and the right
+/// column of the tile to the left (same tile row, so same owner — local
+/// under row blocking, but real bytes the anti-diagonal recurrence
+/// reads). These byte footprints are what the bandwidth-aware cost layer
+/// prices when a coloring cuts the wavefront's dependence edges.
+fn tile_accesses(shape: &SwShape, i: usize, j: usize, tr: usize, p: usize) -> Vec<NodeAccess> {
+    let own = Color::from(block_owner(i, tr, p));
+    let mut acc = vec![NodeAccess {
+        owner: own,
+        bytes: shape.tile_bytes,
+    }];
+    if i > 0 {
+        acc.push(NodeAccess {
+            owner: Color::from(block_owner(i - 1, tr, p)),
+            bytes: shape.border_bytes,
+        });
+    }
+    if j > 0 {
+        acc.push(NodeAccess {
+            owner: own,
+            bytes: shape.border_bytes,
+        });
+    }
+    acc
+}
+
 /// Task graph: tiles colored by tile-row owner (rows of the DP matrix are
 /// distributed across workers).
 pub fn graph_from_shape(shape: &SwShape, p: usize) -> TaskGraph {
@@ -78,18 +105,8 @@ pub fn graph_from_shape(shape: &SwShape, p: usize) -> TaskGraph {
     let mut gb = GraphBuilder::with_capacity(tr * tc, 3 * tr * tc);
     for i in 0..tr {
         let own = Color::from(block_owner(i, tr, p));
-        for _j in 0..tc {
-            let mut acc = vec![NodeAccess {
-                owner: own,
-                bytes: shape.tile_bytes,
-            }];
-            if i > 0 {
-                acc.push(NodeAccess {
-                    owner: Color::from(block_owner(i - 1, tr, p)),
-                    bytes: shape.border_bytes,
-                });
-            }
-            gb.add_node(shape.work, own, acc);
+        for j in 0..tc {
+            gb.add_node(shape.work, own, tile_accesses(shape, i, j, tr, p));
         }
     }
     for i in 0..tr {
@@ -117,20 +134,9 @@ pub fn loops_from_shape(shape: &SwShape, p: usize) -> LoopNest {
         let mut iters = Vec::new();
         for i in 0..tr {
             if d >= i && d - i < tc {
-                let own = Color::from(block_owner(i, tr, p));
-                let mut acc = vec![NodeAccess {
-                    owner: own,
-                    bytes: shape.tile_bytes,
-                }];
-                if i > 0 {
-                    acc.push(NodeAccess {
-                        owner: Color::from(block_owner(i - 1, tr, p)),
-                        bytes: shape.border_bytes,
-                    });
-                }
                 iters.push(IterDesc {
                     work: shape.work,
-                    accesses: acc,
+                    accesses: tile_accesses(shape, i, d - i, tr, p),
                 });
             }
         }

@@ -56,6 +56,7 @@ fn main() {
     let exec = StaticExecutor::new(pool).with_options(ExecOptions {
         record_trace: true,
         count_remote: true,
+        ..ExecOptions::default()
     });
     let t = Instant::now();
     let ranks = pr.run_taskgraph(&exec);

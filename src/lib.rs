@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`color`] | `nabbitc-color` | [`Color`](color::Color), constant-time [`ColorSet`](color::ColorSet) |
+//! | [`cost`] | `nabbitc-cost` | the [`CostModel`](cost::CostModel) every layer prices schedules with — simulator, estimators, autocolor objectives |
 //! | [`graph`] | `nabbitc-graph` | task graphs, generators, work/span + edge-cut analysis, trace validation |
 //! | [`autocolor`] | `nabbitc-autocolor` | automatic coloring: [`ColorAssigner`](autocolor::ColorAssigner) strategies from round-robin to recursive bisection, the [`AutoSelect`](autocolor::AutoSelect) meta-assigner that picks the best strategy per graph, plus online coloring for dynamic specs |
 //! | [`runtime`] | `nabbitc-runtime` | colored Chase–Lev deques, the worker pool, steal policies |
@@ -91,10 +92,46 @@
 //! to `execute_autocolored` explicitly — e.g.
 //! [`RecursiveBisection`](autocolor::RecursiveBisection) for pure
 //! edge-cut minimization.
+//!
+//! ### The cost model
+//!
+//! Everything that *prices* a schedule — the NUMA simulator, the
+//! makespan estimators in [`graph::analysis`], and the `AutoSelect`
+//! scoring above — consumes the same [`CostModel`](cost::CostModel) from
+//! `nabbitc-cost`. A node costs `node_overhead + work·work_tick +
+//! bytes·(local_byte or remote_byte)` ticks; a cross-color dependence
+//! edge costs its **byte traffic**
+//! ([`TaskGraph::edge_traffic`](graph::TaskGraph::edge_traffic), the
+//! producer's output split among its consumers) at the remote-vs-local
+//! byte premium ([`CostModel::remote_excess`](cost::CostModel::remote_excess))
+//! on the consumer's execution, plus one steal hand-off
+//! ([`CostModel::cross_edge_latency`](cost::CostModel::cross_edge_latency))
+//! on its ready time. Because the bandwidth term scales with the bytes an
+//! edge actually moves, `AutoSelect` needs no hand-calibrated cross
+//! penalty: memory-bound stencils (where remote bandwidth dominates) and
+//! latency-bound wavefronts (where pipeline serialization dominates) rank
+//! correctly under the same model.
+//!
+//! ```
+//! use nabbitc::cost::CostModel;
+//!
+//! // The default machine: remote DRAM 3x local.
+//! let cost = CostModel::default();
+//! assert_eq!(cost.remote_ratio(), 3.0);
+//! // Ablation knob — validated: NaN/negative/zero terms panic.
+//! let heavy = CostModel::default().with_remote_ratio(8.0);
+//! assert_eq!(heavy.remote_excess(100), 700); // (8 - 1) x 100 bytes
+//! ```
+//!
+//! Consumers take the model explicitly: `estimate_makespan_colored(&g,
+//! &colors, workers, &cost)`, `WsConfig { cost, .. }` for the simulator,
+//! `AutoSelect::default().with_cost_model(cost)` (or
+//! `ExecOptions { cost, .. }` through `execute_auto`).
 
 pub use nabbitc_autocolor as autocolor;
 pub use nabbitc_color as color;
 pub use nabbitc_core as core;
+pub use nabbitc_cost as cost;
 pub use nabbitc_graph as graph;
 pub use nabbitc_numasim as numasim;
 pub use nabbitc_parfor as parfor;

@@ -1,0 +1,314 @@
+//! Acceptance tests for the unified bandwidth-aware cost layer
+//! (`nabbitc-cost`): the estimator must *rank* colorings the way the NUMA
+//! simulator does, and the bandwidth term must fix the documented
+//! memory-bound mis-ranking that the old latency-only `cross_penalty`
+//! suffered. Runs in both debug and release (CI runs `cargo test` and
+//! `cargo test --release`); everything here is deterministic.
+
+use nabbitc::cost::CostModel;
+use nabbitc::graph::analysis::estimate_makespan_colored;
+use nabbitc::graph::{generate, TaskGraph};
+use nabbitc::numasim::{simulate_ws_recolored, WsConfig};
+use nabbitc::prelude::*;
+use proptest::prelude::*;
+
+/// A simulator config whose topology gives every worker its own NUMA
+/// domain, matching the estimator's worker-granular remote model (the
+/// paper machine groups 10 workers per domain, which the O(V+E)
+/// estimator deliberately does not model).
+fn per_worker_domains(p: usize) -> WsConfig {
+    WsConfig {
+        topology: NumaTopology::new(p, 1),
+        ..WsConfig::nabbitc(p)
+    }
+}
+
+/// The pre-`nabbitc-cost` estimator, preserved verbatim for the
+/// regression test below: cross-worker edges charge a flat `penalty` on
+/// the consumer's *ready time* only (latency), nodes cost bare work
+/// ticks, and byte footprints are invisible.
+fn latency_only_estimate(g: &TaskGraph, colors: &[Color], workers: usize, penalty: u64) -> u64 {
+    let worker_of = |c: Color| -> usize {
+        if c.is_valid() && c.index() < workers {
+            c.index()
+        } else {
+            workers
+        }
+    };
+    let mut free = vec![0u64; workers + 1];
+    let mut finish = vec![0u64; g.node_count()];
+    let mut makespan = 0u64;
+    for &u in g.topo_order() {
+        let w = worker_of(colors[u as usize]);
+        let mut ready = 0u64;
+        for &p in g.predecessors(u) {
+            let mut t = finish[p as usize];
+            if worker_of(colors[p as usize]) != w {
+                t += penalty;
+            }
+            ready = ready.max(t);
+        }
+        let end = ready.max(free[w]) + g.work(u).max(1);
+        finish[u as usize] = end;
+        free[w] = end;
+        makespan = makespan.max(end);
+    }
+    makespan
+}
+
+/// A deterministic pseudo-random valid coloring from a seed.
+fn scrambled_colors(g: &TaskGraph, workers: usize, seed: u64) -> Vec<Color> {
+    g.nodes()
+        .map(|u| {
+            let mut x = (u as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+            x ^= x >> 29;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 32;
+            Color::from((x % workers as u64) as usize)
+        })
+        .collect()
+}
+
+/// Contiguous id-block coloring.
+fn blocked_colors(g: &TaskGraph, workers: usize) -> Vec<Color> {
+    let n = g.node_count();
+    g.nodes()
+        .map(|u| generate::block_color(u as usize, n, workers))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tentpole acceptance property (the numasim cross-check
+    /// generalized): over random graphs and random coloring pairs, the
+    /// estimator must order any two colorings the same way the simulator
+    /// does, within tolerance — whenever the simulator sees a clear gap
+    /// (>= 30%), the estimator must not prefer the simulator's loser by
+    /// more than 5%.
+    #[test]
+    fn estimator_ranks_colorings_like_the_simulator(
+        layers in 3usize..8,
+        width in 4usize..10,
+        max_preds in 1usize..4,
+        work_hi in 10u64..300,
+        seed in 0u64..10_000,
+    ) {
+        let p = 6;
+        let g = generate::layered_random(layers, width, max_preds, (1, work_hi), 1, seed);
+        let cfg = per_worker_domains(p);
+        let candidates = [
+            blocked_colors(&g, p),
+            scrambled_colors(&g, p, seed),
+            scrambled_colors(&g, p, seed ^ 0xABCD_EF12),
+        ];
+        let measured: Vec<(u64, u64)> = candidates
+            .iter()
+            .map(|colors| {
+                (
+                    simulate_ws_recolored(&g, colors, &cfg).makespan,
+                    estimate_makespan_colored(&g, colors, p, &cfg.cost),
+                )
+            })
+            .collect();
+        for (i, &(sim_a, est_a)) in measured.iter().enumerate() {
+            for &(sim_b, est_b) in measured.iter().skip(i + 1) {
+                if (sim_a as f64) * 1.3 < sim_b as f64 {
+                    prop_assert!(
+                        est_a as f64 <= est_b as f64 * 1.05,
+                        "simulator says A << B ({sim_a} vs {sim_b}) but estimator \
+                         prefers B ({est_a} vs {est_b})"
+                    );
+                }
+                if (sim_b as f64) * 1.3 < sim_a as f64 {
+                    prop_assert!(
+                        est_b as f64 <= est_a as f64 * 1.05,
+                        "simulator says B << A ({sim_b} vs {sim_a}) but estimator \
+                         prefers A ({est_b} vs {est_a})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The regression the tentpole exists for (ROADMAP's resolved known
+/// limit): on a memory-bound stencil — bytes far outweighing work — the
+/// old latency-only penalty, once pushed past its documented ~0.5x
+/// mean-node-weight calibration ceiling, ranks the byte-scattering
+/// coloring *above* the locality-preserving one (latency penalties are
+/// absorbed by busy workers, and the model never sees the bytes). The
+/// simulator disagrees, and the bandwidth-aware estimator agrees with the
+/// simulator with no calibration at all.
+#[test]
+fn bandwidth_model_fixes_memory_bound_stencil_misranking() {
+    let p = 4;
+    let blocks = 64;
+    // Memory-bound: 1024 bytes per node vs 2 work ticks.
+    let g = generate::iterated_stencil(12, blocks, 2, 1);
+    // Column-blocked: contiguous stencil blocks per color, cut only at
+    // the block boundaries — the locality-preserving hand strategy.
+    let blocked: Vec<Color> = g
+        .nodes()
+        .map(|u| generate::block_color(u as usize % blocks, blocks, p))
+        .collect();
+    // Scattered: every dependence edge crosses colors; perfectly
+    // balanced, maximally remote.
+    let scattered: Vec<Color> = g.nodes().map(|u| Color::from(u as usize % p)).collect();
+
+    // Ground truth: the simulator prefers the blocked coloring, clearly.
+    let cfg = per_worker_domains(p);
+    let sim_blocked = simulate_ws_recolored(&g, &blocked, &cfg).makespan;
+    let sim_scattered = simulate_ws_recolored(&g, &scattered, &cfg).makespan;
+    assert!(
+        (sim_blocked as f64) * 1.2 < sim_scattered as f64,
+        "simulator must clearly prefer blocked: {sim_blocked} vs {sim_scattered}"
+    );
+
+    // The old latency-only model, miscalibrated past the ceiling the
+    // ROADMAP documented (penalty > 0.5x mean node weight): it ranks the
+    // all-remote scattering *better*, because scattering keeps every
+    // worker's queue dense (latency absorbed) while the blocked
+    // coloring's boundary chains stall visibly.
+    let mean_weight: u64 = g
+        .nodes()
+        .map(|u| nabbitc::autocolor::node_weight(&g, u))
+        .sum::<u64>()
+        / g.node_count() as u64;
+    let penalty = 2 * mean_weight; // 4x the documented safe ceiling
+    let old_blocked = latency_only_estimate(&g, &blocked, p, penalty);
+    let old_scattered = latency_only_estimate(&g, &scattered, p, penalty);
+    assert!(
+        old_scattered < old_blocked,
+        "the latency-only mis-ranking this test pins has vanished: \
+         blocked {old_blocked} vs scattered {old_scattered}"
+    );
+
+    // The bandwidth-aware model ranks like the simulator, with the
+    // default (uncalibrated) cost model.
+    let new_blocked = estimate_makespan_colored(&g, &blocked, p, &cfg.cost);
+    let new_scattered = estimate_makespan_colored(&g, &scattered, p, &cfg.cost);
+    assert!(
+        new_blocked < new_scattered,
+        "bandwidth-aware estimator must prefer blocked: {new_blocked} vs {new_scattered}"
+    );
+}
+
+/// Estimator vs simulator on the real memory-bound stencil workload:
+/// `AutoSelect` scoring with the shared model must keep ranking the
+/// low-cut bisection above the level-spreader on heat (the pairing the
+/// old calibration could invert).
+#[test]
+fn heat_ranking_survives_without_calibration() {
+    use nabbitc::autocolor::{CpLevelAware, RecursiveBisection};
+    use nabbitc::workloads::{registry, BenchId, Scale};
+    let p = 20;
+    let bare = registry::build_uncolored(BenchId::Heat, Scale::Small, p);
+    let cost = CostModel::default();
+    let rb = RecursiveBisection::default().assign(&bare.graph, p);
+    let cp = CpLevelAware::default().assign(&bare.graph, p);
+    let est_rb = estimate_makespan_colored(&bare.graph, &rb, p, &cost);
+    let est_cp = estimate_makespan_colored(&bare.graph, &cp, p, &cost);
+    assert!(
+        est_rb < est_cp,
+        "estimator must rank bisection above level-spread on heat: {est_rb} vs {est_cp}"
+    );
+    let cfg = WsConfig::nabbitc(p);
+    let sim_rb = simulate_ws_recolored(&bare.graph, &rb, &cfg).makespan;
+    let sim_cp = simulate_ws_recolored(&bare.graph, &cp, &cfg).makespan;
+    assert!(
+        sim_rb < sim_cp,
+        "simulator must agree on heat: {sim_rb} vs {sim_cp}"
+    );
+}
+
+/// The unified `workers == 0` contract reaches the whole cost-consuming
+/// estimator/selection surface (the runtime side was unified in PR 3).
+#[test]
+fn cost_consumers_share_the_workers_contract() {
+    let g = generate::chain(4, 1, 1);
+    let colors = vec![Color(0); 4];
+    let cost = CostModel::default();
+    type Entry<'a> = (&'a str, Box<dyn Fn() + 'a>);
+    let entries: Vec<Entry<'_>> = vec![
+        (
+            "estimate_makespan_colored",
+            Box::new(|| {
+                estimate_makespan_colored(&g, &colors, 0, &cost);
+            }),
+        ),
+        (
+            "AutoSelect::select",
+            Box::new(|| {
+                let _ = AutoSelect::default().select(&g, 0);
+            }),
+        ),
+        (
+            "CpLevelAware::assign",
+            Box::new(|| {
+                let _ = CpLevelAware::default().assign(&g, 0);
+            }),
+        ),
+    ];
+    for (name, f) in entries {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .expect_err(&format!("{name} accepted workers == 0"));
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("need at least one worker"),
+            "{name}: wrong panic message: {msg:?}"
+        );
+    }
+}
+
+/// Concrete placement agreement: under the shared edge-traffic model, a
+/// split diamond shows remote traffic in the simulator exactly where the
+/// estimator charges remote bytes, and a monochrome placement shows none.
+#[test]
+fn recolored_simulation_and_estimator_price_the_same_placement() {
+    // Diamond with fat nodes: 0 -> {1,2} -> 3, 4 KiB per node.
+    let mut b = GraphBuilder::new();
+    for _ in 0..4 {
+        b.add_simple_node(100, Color(0), 4096);
+    }
+    b.add_edge(0, 1);
+    b.add_edge(0, 2);
+    b.add_edge(1, 3);
+    b.add_edge(2, 3);
+    let g = b.build().unwrap();
+    let split: Vec<Color> = vec![Color(0), Color(0), Color(1), Color(0)];
+    let mono: Vec<Color> = vec![Color(0); 4];
+    let cfg = per_worker_domains(2);
+    // Splitting one branch pays remote bytes in the simulator; the
+    // monochrome placement is all-local.
+    assert!(
+        simulate_ws_recolored(&g, &split, &cfg).remote.pct() > 0.0,
+        "split placement must show remote traffic"
+    );
+    assert_eq!(
+        simulate_ws_recolored(&g, &mono, &cfg).remote.pct(),
+        0.0,
+        "monochrome placement is all-local"
+    );
+    // The estimator charges the same cross edges: forcing zero bandwidth
+    // premium (remote == local) must strictly lower the split estimate
+    // and leave the monochrome estimate untouched.
+    let flat = CostModel {
+        remote_byte: 1.0,
+        ..CostModel::default()
+    };
+    assert!(
+        estimate_makespan_colored(&g, &split, 2, &flat)
+            < estimate_makespan_colored(&g, &split, 2, &cfg.cost),
+        "split estimate must carry a bandwidth term"
+    );
+    assert_eq!(
+        estimate_makespan_colored(&g, &mono, 2, &flat),
+        estimate_makespan_colored(&g, &mono, 2, &cfg.cost),
+        "monochrome estimate must be bandwidth-free"
+    );
+}

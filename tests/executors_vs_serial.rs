@@ -23,6 +23,7 @@ fn traced_executor(workers: usize, policy: StealPolicy) -> StaticExecutor {
     StaticExecutor::new(pool).with_options(ExecOptions {
         record_trace: true,
         count_remote: true,
+        ..ExecOptions::default()
     })
 }
 

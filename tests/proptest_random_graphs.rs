@@ -30,6 +30,7 @@ proptest! {
         let exec = StaticExecutor::new(pool).with_options(ExecOptions {
             record_trace: true,
             count_remote: true,
+            ..ExecOptions::default()
         });
         let counts: Arc<Vec<AtomicU32>> =
             Arc::new((0..g.node_count()).map(|_| AtomicU32::new(0)).collect());
