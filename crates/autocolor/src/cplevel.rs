@@ -44,7 +44,7 @@
 use crate::refine::{refine_kway, MakespanGain};
 use crate::{balance_limit, node_weight, ColorAssigner};
 use nabbitc_color::Color;
-use nabbitc_cost::CostModel;
+use nabbitc_cost::{CostModel, Topology};
 use nabbitc_graph::analysis::level_profile;
 use nabbitc_graph::{NodeId, TaskGraph};
 
@@ -60,6 +60,10 @@ pub struct CpLevelAware {
     /// [`CostModel::default`]; see
     /// [`with_cost_model`](Self::with_cost_model).
     pub cost: CostModel,
+    /// Worker→domain mapping pricing the sweep's remote-byte term and the
+    /// refinement gain. `None` (the default) means every worker is its
+    /// own domain; see [`with_topology`](Self::with_topology).
+    pub topology: Option<Topology>,
     /// Makespan-gain refinement sweeps after the level sweep (0 disables).
     pub refine_passes: usize,
 }
@@ -69,6 +73,7 @@ impl Default for CpLevelAware {
         CpLevelAware {
             level_slack: 1.1,
             cost: CostModel::default(),
+            topology: None,
             refine_passes: 2,
         }
     }
@@ -80,6 +85,17 @@ impl CpLevelAware {
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         cost.assert_valid();
         self.cost = cost;
+        self
+    }
+
+    /// Targets a machine topology (builder style): the earliest-finish
+    /// sweep charges a predecessor's byte traffic as remote only when the
+    /// candidate color's NUMA domain differs from the predecessor's, and
+    /// the refinement gain prices cut edges the same way — so chains may
+    /// cross colors freely *within* a domain, keeping the spread benefit
+    /// without the (nonexistent) bandwidth price.
+    pub fn with_topology(mut self, topo: Topology) -> Self {
+        self.topology = Some(topo);
         self
     }
 }
@@ -96,6 +112,15 @@ impl ColorAssigner for CpLevelAware {
         if workers == 1 {
             return vec![Color(0); n];
         }
+        let topo = self
+            .topology
+            .clone()
+            .unwrap_or_else(|| Topology::per_worker(workers));
+        assert!(
+            topo.cores() >= workers,
+            "topology with {} cores cannot place {workers} workers",
+            topo.cores()
+        );
         let profile = level_profile(graph);
         let weight: Vec<u64> = graph.nodes().map(|u| node_weight(graph, u)).collect();
         let limit = balance_limit(graph, workers);
@@ -217,14 +242,17 @@ impl ColorAssigner for CpLevelAware {
                     }
                     // The estimator's two cross-edge terms: latency on
                     // the ready time, remote-byte bandwidth on the
-                    // execution time.
+                    // execution time — the latter only when the edge also
+                    // crosses NUMA domains.
                     let mut ready = 0u64;
                     let mut remote_bytes = 0u64;
                     for &(pc, pf, traffic) in &pred_info {
                         let mut t = pf;
                         if pc != c {
                             t += latency;
-                            remote_bytes += traffic;
+                            if !topo.same_domain(pc, c) {
+                                remote_bytes += traffic;
+                            }
                         }
                         ready = ready.max(t);
                     }
@@ -273,6 +301,7 @@ impl ColorAssigner for CpLevelAware {
                 })
                 .collect();
             let mut gain = MakespanGain::new(graph, &profile, &part, workers, &self.cost)
+                .with_topology(topo.clone())
                 .with_level_quota(tick_quota);
             refine_kway(
                 graph,
@@ -386,6 +415,26 @@ mod tests {
         assert!(assignment_is_valid(&colors, 4));
         let max = *assignment_loads(&g, &colors, 4).iter().max().unwrap();
         assert!(max <= balance_limit(&g, 4));
+    }
+
+    #[test]
+    fn topology_aware_assignments_stay_valid_and_balanced() {
+        // A real domain topology must not disturb the hard guarantees —
+        // validity, the 2x balance bound, and wide-level spread.
+        let g = generate::wavefront(20, 20, 2, 1);
+        let topo = Topology::paper_machine().truncated(20);
+        let cp = CpLevelAware::default().with_topology(topo.clone());
+        for p in [4usize, 10, 20] {
+            let colors = cp.assign(&g, p);
+            assert!(assignment_is_valid(&colors, p), "p={p}");
+            let max = *assignment_loads(&g, &colors, p).iter().max().unwrap();
+            assert!(max <= balance_limit(&g, p), "p={p}");
+        }
+        // Per-worker topology is exactly the default behaviour.
+        let pw = CpLevelAware::default()
+            .with_topology(Topology::per_worker(8))
+            .assign(&g, 8);
+        assert_eq!(pw, CpLevelAware::default().assign(&g, 8));
     }
 
     #[test]

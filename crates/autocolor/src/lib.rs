@@ -39,7 +39,23 @@
 //!   count, and returns the argmin — so callers get the per-graph winner
 //!   (bisection on stencils, level-aware on wavefronts) without choosing
 //!   a strategy themselves. See [`select`] for the shape pre-filter and
-//!   the [`SelectionReport`] benches print.
+//!   the [`SelectionReport`] benches print. If every candidate is
+//!   disqualified, selection falls back to [`BlockContiguous`] (valid by
+//!   construction) and records the fallback instead of aborting.
+//!
+//! The whole stack is **NUMA-domain aware**: under a machine topology
+//! (`nabbitc_cost::Topology`, e.g. the paper's 8-domain × 10-worker
+//! Xeon), a cut edge whose endpoint colors share a domain moves its bytes
+//! at *local* bandwidth, so [`CpLevelAware`]'s sweep, the
+//! [`refine::MakespanGain`] refinement, and [`AutoSelect`]'s scoring all
+//! charge the remote-byte premium only on *cross-domain* edges (their
+//! `with_topology` builders; per-worker domains remain the default). On
+//! top of that, the [`domains`] module adds a **domain-packing
+//! post-pass** ([`pack_domains`]): since any permutation of the colors
+//! preserves validity, loads, and the cross-worker cut, it greedily
+//! relabels colors so the heaviest-communicating color pairs share a
+//! domain — `AutoSelect` runs it on the portfolio winner and keeps the
+//! permutation when the domain-aware estimate improves.
 //!
 //! The partitioners share one KL/FM refinement engine with a *pluggable
 //! gain* ([`refine::MoveGain`]): [`RecursiveBisection`] refines with the
@@ -81,6 +97,7 @@ pub mod baseline;
 pub mod bfs;
 pub mod bisect;
 pub mod cplevel;
+pub mod domains;
 pub mod online;
 pub mod refine;
 pub mod select;
@@ -89,6 +106,7 @@ pub use baseline::{BlockContiguous, RoundRobin};
 pub use bfs::BfsLocality;
 pub use bisect::RecursiveBisection;
 pub use cplevel::CpLevelAware;
+pub use domains::{inter_domain_traffic, pack_domains};
 pub use online::{DynamicAffinity, OnlineAssigner};
 pub use select::{AutoSelect, CandidateOutcome, GraphShape, SelectionReport};
 

@@ -19,15 +19,26 @@
 //!    its own scoped thread — the assigners are the expensive part, and
 //!    they are independent.
 //! 3. **Strict scoring.** Each assignment is scored with
-//!    [`estimate_makespan_colored_strict`] at the target worker count
-//!    under the selection's [`CostModel`] — cross-color edges are priced
-//!    as remote-byte bandwidth plus steal latency, not as a calibrated
-//!    flat penalty. An assignment that fails validity is *disqualified*,
-//!    not absorbed into the lenient estimator's phantom overflow worker
-//!    (which would score a buggy assigner on a `workers + 1`-worker
-//!    machine and could let it win the selection).
+//!    [`estimate_makespan_colored_strict_on`] at the target worker count
+//!    under the selection's [`CostModel`] and worker→domain
+//!    [`Topology`] — cross-color edges are priced as remote-byte
+//!    bandwidth plus steal latency, not as a calibrated flat penalty,
+//!    and under a real machine topology
+//!    ([`with_topology`](AutoSelect::with_topology)) the bandwidth term
+//!    applies only to *cross-domain* edges. An assignment that fails
+//!    validity is *disqualified*, not absorbed into the lenient
+//!    estimator's phantom overflow worker (which would score a buggy
+//!    assigner on a `workers + 1`-worker machine and could let it win
+//!    the selection). If *every* candidate is disqualified, selection
+//!    falls back to [`BlockContiguous`] — valid by construction — and
+//!    records the fallback in the report instead of aborting.
 //! 4. **Argmin.** The lowest estimate wins; ties break toward portfolio
 //!    order, keeping selection deterministic.
+//! 5. **Domain packing.** On a multi-core-per-domain topology the winner
+//!    is handed to [`pack_domains`], which permutes its colors so the
+//!    heaviest-communicating pairs share a domain; the permutation is
+//!    kept only when the domain-aware estimate strictly improves
+//!    ([`SelectionReport::packed_estimate`]).
 //!
 //! [`AutoSelect::select`] additionally returns a [`SelectionReport`] with
 //! every candidate's outcome, which the bench harnesses print next to the
@@ -37,11 +48,12 @@
 //! families (wavefront, stencil, irregular dataflow) — see the
 //! `auto_select_*` tests there and in `tests/makespan_regression.rs`.
 
+use crate::domains::pack_domains;
 use crate::{BfsLocality, BlockContiguous, ColorAssigner, CpLevelAware, RecursiveBisection};
 use nabbitc_color::Color;
-use nabbitc_cost::CostModel;
+use nabbitc_cost::{CostModel, Topology};
 use nabbitc_graph::analysis::{
-    estimate_makespan_colored_strict, level_profile, InvalidColoring, LevelProfile,
+    estimate_makespan_colored_strict_on, level_profile, InvalidColoring, LevelProfile,
 };
 use nabbitc_graph::TaskGraph;
 
@@ -134,13 +146,29 @@ pub struct SelectionReport {
     pub workers: usize,
     /// Cost model the estimator priced every candidate with.
     pub cost: CostModel,
+    /// Worker→domain topology the estimator priced cut edges with
+    /// ([`Topology::per_worker`] when none was supplied).
+    pub topology: Topology,
     /// Shape summary the pre-filter saw.
     pub shape: GraphShape,
-    /// `(candidate name, outcome)` in portfolio order.
+    /// `(candidate name, outcome)` in portfolio order. When `fallback` is
+    /// set, one extra trailing entry records the fallback assigner.
     pub candidates: Vec<(&'static str, CandidateOutcome)>,
     /// Index into `candidates` of the winner; `None` only for the
     /// degenerate machines (`workers == 1`) where no candidate ran.
     pub chosen: Option<usize>,
+    /// Whether every portfolio candidate was disqualified and selection
+    /// fell back to [`BlockContiguous`] (always valid by construction);
+    /// the fallback is the trailing `candidates` entry and the `chosen`
+    /// one.
+    pub fallback: bool,
+    /// `Some(estimate)` when the domain-packing post-pass improved the
+    /// winner: the returned colors are the packed permutation and this is
+    /// their domain-aware strict estimate
+    /// ([`chosen_estimate`](Self::chosen_estimate) returns it). `None`
+    /// when the pass did not run (per-worker or single-domain topology)
+    /// or did not improve.
+    pub packed_estimate: Option<u64>,
 }
 
 impl SelectionReport {
@@ -152,8 +180,13 @@ impl SelectionReport {
         }
     }
 
-    /// The winning candidate's estimate (0 when none ran).
+    /// The estimate of the returned assignment: the domain-packed
+    /// estimate when the packing pass improved the winner, otherwise the
+    /// winning candidate's estimate (0 when none ran).
     pub fn chosen_estimate(&self) -> u64 {
+        if let Some(e) = self.packed_estimate {
+            return e;
+        }
         match self.chosen {
             Some(i) => match self.candidates[i].1 {
                 CandidateOutcome::Estimated(e) => e,
@@ -177,6 +210,13 @@ pub struct AutoSelect {
     /// latency-bound wavefronts rank correctly under the *same* model,
     /// with nothing left to tune.
     pub cost: CostModel,
+    /// The worker→domain topology candidates are scored against. `None`
+    /// (the default) prices every worker as its own domain — the
+    /// conservative pre-domain-aware behaviour; see
+    /// [`with_topology`](Self::with_topology) for scoring against a real
+    /// machine (the paper's 8×10), where same-domain cut edges are free
+    /// and the domain-packing post-pass runs on the winner.
+    pub topology: Option<Topology>,
     /// Whether the [`GraphShape`] pre-filter may skip candidates.
     pub prefilter: bool,
     candidates: Vec<Candidate>,
@@ -220,6 +260,7 @@ impl AutoSelect {
         assert!(!candidates.is_empty(), "portfolio must not be empty");
         AutoSelect {
             cost: CostModel::default(),
+            topology: None,
             prefilter: true,
             candidates,
             default_portfolio: false,
@@ -238,9 +279,37 @@ impl AutoSelect {
         if self.default_portfolio {
             let mut sel = AutoSelect::with_default_portfolio(cost);
             sel.prefilter = self.prefilter;
+            sel.topology = self.topology.clone();
             return sel;
         }
         AutoSelect { cost, ..self }
+    }
+
+    /// Targets a machine topology (builder style): candidates are scored
+    /// with the domain-aware strict estimator — same-domain cut edges
+    /// move their bytes at local bandwidth — and the domain-packing
+    /// post-pass ([`pack_domains`]) permutes the winner's colors onto
+    /// domains when that improves the estimate.
+    ///
+    /// Deliberately, the portfolio members themselves keep their
+    /// per-worker-domain pricing: scoring reorders and packing are
+    /// *placement-only* decisions (they choose between colorings, or
+    /// relabel one, without changing any coloring's cut structure), which
+    /// the domain-aware estimator prices faithfully. Handing the topology
+    /// to the candidates instead (e.g.
+    /// [`CpLevelAware::with_topology`]) changes the cut structure they
+    /// produce — the sweep crosses workers freely within a domain — and
+    /// while that wins on wavefront pipelines, its free intra-domain
+    /// crossings under-model the steal-discovery cost the simulator
+    /// charges for moving execution between workers, so a tuned candidate
+    /// can win the estimate yet lose the simulation on irregular
+    /// dataflow. Callers who want topology-tuned candidates can pass them
+    /// to [`new`](Self::new) explicitly.
+    pub fn with_topology(self, topo: Topology) -> Self {
+        AutoSelect {
+            topology: Some(topo),
+            ..self
+        }
     }
 
     /// Disables the shape pre-filter: every candidate runs and is scored.
@@ -255,11 +324,23 @@ impl AutoSelect {
     }
 
     /// Runs the portfolio and returns the winning assignment plus the
-    /// per-candidate report. Panics if `workers == 0`, or if every
-    /// candidate was disqualified (a portfolio of only-buggy assigners).
+    /// per-candidate report. If every candidate is disqualified (a
+    /// portfolio of only-buggy assigners), selection falls back to
+    /// [`BlockContiguous`] — always valid by construction — and records
+    /// the fallback in the report instead of aborting. Panics if
+    /// `workers == 0`.
     pub fn select(&self, graph: &TaskGraph, workers: usize) -> (Vec<Color>, SelectionReport) {
         assert!(workers > 0, "need at least one worker");
         self.cost.assert_valid();
+        let topo = self
+            .topology
+            .clone()
+            .unwrap_or_else(|| Topology::per_worker(workers));
+        assert!(
+            topo.cores() >= workers,
+            "topology with {} cores cannot place {workers} workers",
+            topo.cores()
+        );
         let shape = GraphShape::of(graph, workers);
 
         // Degenerate machine: every assigner returns the monochrome
@@ -268,6 +349,7 @@ impl AutoSelect {
             let report = SelectionReport {
                 workers,
                 cost: self.cost.clone(),
+                topology: topo,
                 shape,
                 candidates: self
                     .candidates
@@ -275,6 +357,8 @@ impl AutoSelect {
                     .map(|c| (c.name(), CandidateOutcome::Skipped))
                     .collect(),
                 chosen: None,
+                fallback: false,
+                packed_estimate: None,
             };
             return (vec![Color(0); graph.node_count()], report);
         }
@@ -303,10 +387,13 @@ impl AutoSelect {
                     .iter()
                     .map(|&i| {
                         let cand = &self.candidates[i];
+                        let topo = &topo;
                         s.spawn(move || {
                             let colors = cand.assign(graph, workers);
-                            estimate_makespan_colored_strict(graph, &colors, workers, &self.cost)
-                                .map(|est| (colors, est))
+                            estimate_makespan_colored_strict_on(
+                                graph, &colors, workers, &self.cost, topo,
+                            )
+                            .map(|est| (colors, est))
                         })
                     })
                     .collect();
@@ -347,16 +434,48 @@ impl AutoSelect {
                 .collect();
             ingest(&rescued, &mut best);
         }
-        let (_, chosen, colors) = best.expect(
-            "every portfolio candidate produced an invalid assignment — \
-             nothing left to select",
-        );
+        let mut fallback = false;
+        if best.is_none() {
+            // Every portfolio candidate produced an invalid assignment.
+            // Rather than aborting the caller, degrade to the one
+            // assigner that cannot be invalid — BlockContiguous emits
+            // in-range colors by construction — and record the fallback.
+            let colors = BlockContiguous.assign(graph, workers);
+            let est =
+                estimate_makespan_colored_strict_on(graph, &colors, workers, &self.cost, &topo)
+                    .expect("BlockContiguous emits in-range colors by construction");
+            outcomes.push((BlockContiguous.name(), CandidateOutcome::Estimated(est)));
+            best = Some((est, outcomes.len() - 1, colors));
+            fallback = true;
+        }
+        let (est, chosen, mut colors) = best.expect("fallback guarantees a winner");
+
+        // Domain-packing post-pass: on a multi-core-per-domain machine,
+        // permuting colors onto domains is free parallelism-wise but
+        // changes which cut edges cross domains. Keep the permutation
+        // only when the domain-aware estimate strictly improves.
+        let mut packed_estimate = None;
+        if topo.cores_per_domain() > 1 && topo.domains() > 1 {
+            let packed = pack_domains(graph, &colors, workers, &topo);
+            if packed != colors {
+                let packed_est =
+                    estimate_makespan_colored_strict_on(graph, &packed, workers, &self.cost, &topo)
+                        .expect("packing permutes a valid assignment");
+                if packed_est < est {
+                    colors = packed;
+                    packed_estimate = Some(packed_est);
+                }
+            }
+        }
         let report = SelectionReport {
             workers,
             cost: self.cost.clone(),
+            topology: topo,
             shape,
             candidates: outcomes,
             chosen: Some(chosen),
+            fallback,
+            packed_estimate,
         };
         (colors, report)
     }
@@ -531,10 +650,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nothing left to select")]
-    fn all_invalid_portfolio_panics() {
+    fn all_invalid_portfolio_falls_back_to_block_contiguous() {
+        // A portfolio of only-buggy assigners must not abort the caller:
+        // selection degrades to BlockContiguous (valid by construction)
+        // and says so in the report.
         let g = generate::chain(4, 1, 1);
-        let _ = AutoSelect::new(vec![Box::new(AlwaysInvalid)]).select(&g, 2);
+        let (colors, rep) = AutoSelect::new(vec![Box::new(AlwaysInvalid)]).select(&g, 2);
+        assert!(assignment_is_valid(&colors, 2));
+        assert!(rep.fallback);
+        assert_eq!(rep.chosen_name(), "block-contiguous");
+        assert_eq!(rep.candidates.len(), 2, "{rep:?}");
+        assert!(matches!(rep.candidates[0].1, CandidateOutcome::Rejected(_)));
+        assert!(matches!(
+            rep.candidates[1].1,
+            CandidateOutcome::Estimated(_)
+        ));
+        // The returned colors are BlockContiguous's, at its estimate.
+        assert_eq!(colors, BlockContiguous.assign(&g, 2));
+        assert_eq!(
+            rep.chosen_estimate(),
+            estimate_makespan_colored(&g, &colors, 2, &rep.cost)
+        );
     }
 
     #[test]
@@ -585,6 +721,89 @@ mod tests {
             .without_prefilter()
             .with_cost_model(heavy);
         assert!(!sel.prefilter);
+    }
+
+    #[test]
+    fn non_fallback_selections_report_no_fallback() {
+        let g = generate::wavefront(12, 12, 4, 1);
+        let (_c, rep) = AutoSelect::default().select(&g, 4);
+        assert!(!rep.fallback);
+        assert_eq!(
+            rep.candidates.len(),
+            AutoSelect::default().candidates().len()
+        );
+    }
+
+    #[test]
+    fn with_topology_scores_domain_aware_and_packs_the_winner() {
+        use nabbitc_graph::analysis::estimate_makespan_colored_on;
+        let g = generate::iterated_stencil(8, 48, 5, 1);
+        let p = 8;
+        let topo = Topology::new(2, 4);
+        let sel = AutoSelect::default().with_topology(topo.clone());
+        let (colors, rep) = sel.select(&g, p);
+        assert!(assignment_is_valid(&colors, p));
+        assert_eq!(rep.topology, topo);
+        // The reported estimate is the returned assignment's domain-aware
+        // estimate, whether or not the packing pass fired.
+        assert_eq!(
+            estimate_makespan_colored_on(&g, &colors, p, &rep.cost, &topo),
+            rep.chosen_estimate()
+        );
+        // The domain-aware estimate is never above the per-worker one for
+        // the same assignment: same-domain cuts only remove cost.
+        assert!(
+            rep.chosen_estimate() <= estimate_makespan_colored(&g, &colors, p, &rep.cost),
+            "{rep:?}"
+        );
+        // Default (no topology): the per-worker scoring, and no packing.
+        let (_c2, rep_pw) = AutoSelect::default().select(&g, p);
+        assert_eq!(rep_pw.topology, Topology::per_worker(p));
+        assert_eq!(rep_pw.packed_estimate, None);
+    }
+
+    #[test]
+    fn packing_pass_fires_on_a_domain_hostile_winner() {
+        use crate::domains::inter_domain_traffic;
+        /// An assigner that interleaves domains on purpose: adjacent
+        /// chain segments land in different domains of a 2×2 machine.
+        struct DomainHostile;
+        impl ColorAssigner for DomainHostile {
+            fn name(&self) -> &'static str {
+                "domain-hostile"
+            }
+            fn assign(&self, graph: &TaskGraph, workers: usize) -> Vec<Color> {
+                // Contiguous quarters mapped 0,2,1,3: segment neighbors
+                // (0,2) and (1,3) straddle the 2×2 domain boundary.
+                let n = graph.node_count();
+                let map = [0usize, 2, 1, 3];
+                graph
+                    .nodes()
+                    .map(|u| {
+                        let q = (u as usize * workers / n).min(workers - 1);
+                        Color::from(map[q % 4])
+                    })
+                    .collect()
+            }
+        }
+        let g = generate::chain(64, 2, 1); // heavy chain: all traffic serial
+        let topo = Topology::new(2, 2);
+        let sel = AutoSelect::new(vec![Box::new(DomainHostile)]).with_topology(topo.clone());
+        let (colors, rep) = sel.select(&g, 4);
+        // The packing pass re-labeled the quarters so chain neighbors
+        // share domains where possible.
+        assert!(rep.packed_estimate.is_some(), "{rep:?}");
+        let raw = DomainHostile.assign(&g, 4);
+        assert!(
+            inter_domain_traffic(&g, &colors, &topo) < inter_domain_traffic(&g, &raw, &topo),
+            "packing must reduce inter-domain traffic"
+        );
+        assert!(
+            rep.chosen_estimate() < {
+                use nabbitc_graph::analysis::estimate_makespan_colored_on;
+                estimate_makespan_colored_on(&g, &raw, 4, &rep.cost, &topo)
+            }
+        );
     }
 
     #[test]

@@ -22,12 +22,16 @@
 //! The `auto` row is the `AutoSelect` meta-assigner: it should match the
 //! best individual strategy of each workload (cp-level-aware on sw,
 //! recursive-bisection on heat) — that is its acceptance property. The
-//! per-candidate estimates behind each pick go to stderr.
+//! selection is **domain-aware**: candidates are scored against the same
+//! truncated paper topology (8 NUMA domains × 10 workers) the simulator
+//! runs, so same-domain cut edges are priced at local bandwidth and the
+//! winner is domain-packed before simulation. The per-candidate estimates
+//! behind each pick go to stderr.
 //!
 //! `cargo run -p nabbitc-bench --bin autocolor_vs_hand --release`
 
 use nabbitc_autocolor::{all_strategies, AutoSelect, CandidateOutcome};
-use nabbitc_bench::{cost_from_env, f1, f2, scale_from_env, Report};
+use nabbitc_bench::{cost_from_env, f1, f2, paper_cost_topology, scale_from_env, Report};
 use nabbitc_color::Color;
 use nabbitc_graph::analysis::{
     color_balance, edge_cut, edge_cut_fraction, level_profile, level_serialization, LevelProfile,
@@ -98,7 +102,11 @@ fn main() {
         "speedup-vs-hand > 1: the automatic coloring beats the hand coloring; \
          cut% is the fraction of dependence edges crossing colors; lvl-ser is \
          the weighted-mean max single-color share per dependency level (1/P \
-         ideal, 1.0 = levels serialized).\n",
+         ideal, 1.0 = levels serialized). The auto row selects and \
+         domain-packs against the truncated 8x10 paper topology (same-domain \
+         cut edges priced at local bandwidth); all rows are one simulator \
+         seed — tests/makespan_regression.rs holds the seed-averaged \
+         never-worse property.\n",
     );
     rep.header(&[
         "bench",
@@ -155,11 +163,20 @@ fn main() {
                 );
             }
 
-            // The meta-assigner's row, plus the per-candidate estimates
-            // behind its pick (stderr, next to the progress line).
+            // The meta-assigner's row, scored against the same machine
+            // the simulator runs (the truncated paper topology), plus
+            // the per-candidate estimates behind its pick (stderr, next
+            // to the progress line).
             let (auto_colors, selection) = AutoSelect::default()
                 .with_cost_model(cost.clone())
+                .with_topology(paper_cost_topology(p))
                 .select(&bare.graph, p);
+            if let Some(packed) = selection.packed_estimate {
+                eprintln!(
+                    "autocolor_vs_hand: {} P={p} domain packing improved the winner (est {packed})",
+                    id.name(),
+                );
+            }
             for (name, outcome) in &selection.candidates {
                 let verdict = match outcome {
                     CandidateOutcome::Estimated(e) => format!("est {e}"),

@@ -23,12 +23,14 @@ pub const NUMA_CORES: [usize; 4] = [20, 40, 60, 80];
 /// runs).
 pub const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
 
-/// Reads the scale from `NABBITC_SCALE` (small | medium | paper);
-/// default medium.
+/// Reads the scale from `NABBITC_SCALE` (tiny | small | medium | paper);
+/// default medium. `tiny` exists for CI smoke runs of the regeneration
+/// binaries.
 pub fn scale_from_env() -> Scale {
     match std::env::var("NABBITC_SCALE").as_deref() {
         Ok("paper") => Scale::Paper,
         Ok("small") => Scale::Small,
+        Ok("tiny") => Scale::Tiny,
         _ => Scale::Medium,
     }
 }
@@ -38,16 +40,34 @@ pub fn scale_from_env() -> Scale {
 /// remote/local byte-cost ratio. The same model prices the simulator and
 /// the `AutoSelect` scoring in the harnesses that select colorings, so a
 /// ratio sweep exercises estimator and simulator consistently.
+///
+/// The value is trimmed before parsing (`" 3.0"` is a shell-quoting
+/// accident, not an error) and non-finite or non-positive values are
+/// rejected *here*, with a message naming the variable — not three layers
+/// down inside `CostModel` construction.
 pub fn cost_from_env() -> CostModel {
     match std::env::var("NABBITC_REMOTE_RATIO") {
         Ok(v) => {
             let ratio: f64 = v
+                .trim()
                 .parse()
                 .unwrap_or_else(|_| panic!("NABBITC_REMOTE_RATIO not a float: {v:?}"));
+            assert!(
+                ratio.is_finite() && ratio > 0.0,
+                "NABBITC_REMOTE_RATIO must be a finite positive float, got {v:?}"
+            );
             CostModel::default().with_remote_ratio(ratio)
         }
         Err(_) => CostModel::default(),
     }
+}
+
+/// The trimmed cost-topology view of the first `p` cores of the paper
+/// machine (8 NUMA domains × 10 workers) — what the harnesses hand to
+/// `AutoSelect::with_topology` so the selection prices the same machine
+/// `WsConfig::nabbitc(p)` simulates.
+pub fn paper_cost_topology(p: usize) -> nabbitc_cost::Topology {
+    NumaTopology::paper_machine().truncated(p).cost_view()
 }
 
 /// A scheduling strategy under comparison.
@@ -215,6 +235,58 @@ pub fn f2(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Guards every test that touches the process environment: libtest
+    /// runs tests on parallel threads, and `set_var` concurrent with any
+    /// `getenv` elsewhere is undefined behavior on glibc. Any future test
+    /// reading or writing env vars must lock this first.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn cost_from_env_trims_validates_and_names_the_variable() {
+        let _env = ENV_LOCK.lock().unwrap();
+        const VAR: &str = "NABBITC_REMOTE_RATIO";
+        let check_panic = |value: &str, needle: &str| {
+            std::env::set_var(VAR, value);
+            let err = std::panic::catch_unwind(cost_from_env).expect_err("must reject");
+            std::env::remove_var(VAR);
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("NABBITC_REMOTE_RATIO") && msg.contains(needle),
+                "{value:?}: panic message {msg:?} lacks {needle:?}"
+            );
+        };
+
+        std::env::remove_var(VAR);
+        assert_eq!(cost_from_env(), CostModel::default());
+
+        // Whitespace is trimmed, not rejected.
+        std::env::set_var(VAR, " 3.5 ");
+        let m = cost_from_env();
+        std::env::remove_var(VAR);
+        assert_eq!(m.remote_ratio(), 3.5);
+
+        // Non-floats, non-finite, and non-positive values fail at the
+        // parse site with the variable named.
+        check_panic("ratio", "not a float");
+        check_panic("inf", "finite positive");
+        check_panic("-inf", "finite positive");
+        check_panic("nan", "finite positive");
+        check_panic("0", "finite positive");
+        check_panic("-2.0", "finite positive");
+    }
+
+    #[test]
+    fn paper_cost_topology_tracks_the_truncated_machine() {
+        let t = paper_cost_topology(20);
+        assert_eq!((t.domains(), t.cores_per_domain()), (2, 10));
+        assert_eq!(paper_cost_topology(80).domains(), 8);
+        assert_eq!(paper_cost_topology(4).domains(), 1);
+    }
 
     #[test]
     fn report_finish_propagates_write_errors() {

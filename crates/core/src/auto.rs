@@ -65,10 +65,13 @@ impl StaticExecutor {
     /// strategy choice that [`execute_autocolored`] pushes onto the
     /// caller.
     ///
-    /// Candidates are scored with the executor's cost model
-    /// ([`ExecOptions::cost`](crate::ExecOptions)) — override it via
+    /// Candidates are scored with the executor's cost model and topology
+    /// ([`ExecOptions::cost`](crate::ExecOptions) /
+    /// [`ExecOptions::topology`](crate::ExecOptions)) — override them via
     /// [`with_options`](StaticExecutor::with_options) to select under a
-    /// different machine pricing (e.g. a heavier remote-byte ratio).
+    /// different machine pricing (e.g. a heavier remote-byte ratio, or
+    /// the paper's 8×10 NUMA topology, where same-domain cut edges are
+    /// priced at local bandwidth and the winner is domain-packed).
     ///
     /// Returns the execution report, the recolored graph (reuse it when
     /// executing repeatedly — selection is the expensive part), and the
@@ -83,7 +86,10 @@ impl StaticExecutor {
     where
         K: Fn(NodeId, usize) + Send + Sync + 'static,
     {
-        let select = AutoSelect::default().with_cost_model(self.options().cost.clone());
+        let mut select = AutoSelect::default().with_cost_model(self.options().cost.clone());
+        if let Some(topo) = &self.options().topology {
+            select = select.with_topology(topo.clone());
+        }
         let (colors, selection) = select.select(graph, self.pool().workers());
         let mut recolored = graph.clone();
         apply_assignment(&mut recolored, &colors);
@@ -254,6 +260,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn execute_auto_plumbs_the_topology_into_the_selection() {
+        use nabbitc_graph::analysis::estimate_makespan_colored_on;
+        use nabbitc_runtime::NumaTopology;
+        let workers = 4;
+        let topo = NumaTopology::new(2, 2).cost_view();
+        let graph = Arc::new(generate::iterated_stencil(6, 32, 2, 1));
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(workers)));
+        let exec = StaticExecutor::new(pool).with_options(ExecOptions {
+            topology: Some(topo.clone()),
+            ..ExecOptions::default()
+        });
+        let (_report, recolored, selection) =
+            exec.execute_auto(&graph, Arc::new(|_u: NodeId, _w: usize| {}));
+        assert_eq!(selection.topology, topo);
+        // The reported estimate is the recolored graph's domain-aware
+        // estimate under the plumbed topology.
+        let colors: Vec<Color> = recolored.nodes().map(|u| recolored.color(u)).collect();
+        assert_eq!(
+            estimate_makespan_colored_on(&recolored, &colors, workers, &selection.cost, &topo),
+            selection.chosen_estimate()
+        );
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub struct ExecOptions {
     /// bandwidth plus steal latency). The threaded execution itself runs
     /// on wall clock and ignores it.
     pub cost: nabbitc_cost::CostModel,
+    /// Worker→domain topology used wherever this executor prices a
+    /// schedule: with `Some(topo)`,
+    /// [`execute_auto`](StaticExecutor::execute_auto) scores candidates
+    /// domain-aware (same-domain cut edges move bytes at local bandwidth)
+    /// and runs the domain-packing post-pass on the winner. `None` (the
+    /// default) prices every worker as its own domain. Like `cost`, the
+    /// threaded execution itself ignores it — use e.g.
+    /// `NumaTopology::paper_machine().truncated(p).cost_view()` to select
+    /// for the paper machine.
+    pub topology: Option<nabbitc_cost::Topology>,
 }
 
 /// Result of one static execution.
@@ -99,6 +109,7 @@ impl StaticExecutor {
                 record_trace: false,
                 count_remote: true,
                 cost: nabbitc_cost::CostModel::default(),
+                topology: None,
             },
         }
     }

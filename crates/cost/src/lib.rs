@@ -29,6 +29,104 @@
 //! (typical 2-hop QPI ratio on the paper's Westmere-EX generation),
 //! scheduling costs are small relative to node work, and barriers cost on
 //! the order of a few thousand cycles.
+//!
+//! Whether a byte is *local* or *remote* is a property of the machine, not
+//! of the model: [`Topology`] is the trimmed worker→domain view the cost
+//! consumers share (the paper machine groups 10 workers per NUMA domain,
+//! so a cut edge between two workers of the same domain moves its bytes at
+//! *local* bandwidth). [`Topology::per_worker`] — every worker its own
+//! domain — is the conservative default the estimators used before the
+//! domain-aware extension, and remains the default everywhere a topology
+//! is not supplied explicitly.
+
+/// A trimmed logical NUMA topology: `domains × cores_per_domain` workers,
+/// mapped to domains by contiguous blocks (worker ids in pinning order).
+///
+/// This is the view the cost consumers — the makespan estimators in
+/// `nabbitc-graph::analysis`, the autocolor objectives, and the domain
+/// packing pass — need to answer "is this worker pair remote?". The full
+/// color-aware topology (`nabbitc-runtime::NumaTopology`) carries the same
+/// mapping plus the §V-B color-set machinery and converts into this type
+/// via its `cost_view` method.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    domains: usize,
+    cores_per_domain: usize,
+}
+
+impl Topology {
+    /// Creates a topology. Panics if either dimension is zero.
+    pub fn new(domains: usize, cores_per_domain: usize) -> Self {
+        assert!(domains > 0 && cores_per_domain > 0, "degenerate topology");
+        Topology {
+            domains,
+            cores_per_domain,
+        }
+    }
+
+    /// Every worker its own domain: the conservative pre-domain-aware
+    /// model, where *any* cross-worker edge is priced remote. This is the
+    /// default wherever a topology is not supplied. Panics if `workers`
+    /// is zero (the workspace-wide worker-count contract).
+    pub fn per_worker(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Topology::new(workers, 1)
+    }
+
+    /// The paper's evaluation machine: 8 Xeon E7-8860 sockets × 10 cores.
+    pub fn paper_machine() -> Self {
+        Topology::new(8, 10)
+    }
+
+    /// A single-domain topology of `cores` cores (UMA): nothing is remote.
+    pub fn uma(cores: usize) -> Self {
+        Topology::new(1, cores)
+    }
+
+    /// Number of domains.
+    #[inline]
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// Cores per domain.
+    #[inline]
+    pub fn cores_per_domain(&self) -> usize {
+        self.cores_per_domain
+    }
+
+    /// Total cores.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.domains * self.cores_per_domain
+    }
+
+    /// Domain of a worker id (contiguous block mapping; ids past the last
+    /// core clamp to the last domain, mirroring
+    /// `NumaTopology::domain_of_worker`).
+    #[inline]
+    pub fn domain_of(&self, worker: usize) -> usize {
+        (worker / self.cores_per_domain).min(self.domains - 1)
+    }
+
+    /// Whether two workers share a NUMA domain — i.e. whether a cut edge
+    /// between them moves its bytes at local bandwidth.
+    #[inline]
+    pub fn same_domain(&self, a: usize, b: usize) -> bool {
+        self.domain_of(a) == self.domain_of(b)
+    }
+
+    /// Restricts the topology to the first `p` cores, preserving the
+    /// domain granularity — how the paper scales core counts (1–10 cores
+    /// fit in one domain, 20 cores span two, ...). Panics if `p` is zero.
+    pub fn truncated(&self, p: usize) -> Topology {
+        assert!(p > 0, "need at least one worker");
+        Topology {
+            domains: p.div_ceil(self.cores_per_domain).min(self.domains),
+            cores_per_domain: self.cores_per_domain,
+        }
+    }
+}
 
 /// Cost parameters, in integer "ticks".
 ///
@@ -150,6 +248,29 @@ impl CostModel {
         ((self.remote_byte - self.local_byte).max(0.0) * bytes as f64).round() as u64
     }
 
+    /// Extra ticks a cut edge carrying `bytes` costs under `topo`: the
+    /// full [`remote_excess`](Self::remote_excess) when the producing and
+    /// consuming workers sit in different NUMA domains, zero when they
+    /// share one (the bytes move at local bandwidth). With
+    /// [`Topology::per_worker`] every cross-worker pair is remote, which
+    /// reproduces the pre-domain-aware pricing.
+    ///
+    /// This is the one-edge form, for callers pricing edges
+    /// independently. The estimators and the `CpLevelAware` sweep
+    /// instead *accumulate* a node's cross-domain bytes and price the
+    /// total once through [`node_ticks`](Self::node_ticks) /
+    /// [`remote_excess`](Self::remote_excess) (one rounding per node,
+    /// not per edge), so they branch on [`Topology::same_domain`]
+    /// directly — the rule is the same, the rounding granularity is not.
+    #[inline]
+    pub fn cut_excess(&self, topo: &Topology, producer: usize, consumer: usize, bytes: u64) -> u64 {
+        if topo.same_domain(producer, consumer) {
+            0
+        } else {
+            self.remote_excess(bytes)
+        }
+    }
+
     /// Latency of handing a task across workers — one steal probe plus
     /// one entry transfer. The estimators charge this on the *ready time*
     /// of a cross-worker dependence (it delays the consumer but does not
@@ -205,6 +326,73 @@ mod tests {
             ..CostModel::default()
         };
         assert_eq!(m.remote_excess(1000), 0);
+    }
+
+    #[test]
+    fn topology_maps_workers_to_contiguous_domains() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.cores(), 80);
+        assert_eq!(t.domains(), 8);
+        assert_eq!(t.domain_of(0), 0);
+        assert_eq!(t.domain_of(9), 0);
+        assert_eq!(t.domain_of(10), 1);
+        assert_eq!(t.domain_of(79), 7);
+        assert_eq!(t.domain_of(200), 7, "past-the-end ids clamp");
+        assert!(t.same_domain(3, 7));
+        assert!(!t.same_domain(9, 10));
+    }
+
+    #[test]
+    fn per_worker_topology_isolates_every_worker() {
+        let t = Topology::per_worker(6);
+        assert_eq!(t.domains(), 6);
+        assert_eq!(t.cores_per_domain(), 1);
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(t.same_domain(a, b), a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn uma_topology_is_never_remote() {
+        let t = Topology::uma(8);
+        assert!(t.same_domain(0, 7));
+        assert_eq!(CostModel::default().cut_excess(&t, 0, 7, 1000), 0);
+    }
+
+    #[test]
+    fn truncation_matches_paper_scaling() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.truncated(10).domains(), 1);
+        assert_eq!(t.truncated(11).domains(), 2);
+        assert_eq!(t.truncated(20).domains(), 2);
+        assert_eq!(t.truncated(80).domains(), 8);
+    }
+
+    #[test]
+    fn cut_excess_prices_only_cross_domain_pairs() {
+        let m = CostModel::default();
+        let t = Topology::new(2, 2);
+        // Workers 0,1 share domain 0; workers 2,3 share domain 1.
+        assert_eq!(m.cut_excess(&t, 0, 1, 1000), 0);
+        assert_eq!(m.cut_excess(&t, 1, 2, 1000), m.remote_excess(1000));
+        // Per-worker topology reproduces the old "any cross pair is
+        // remote" pricing.
+        let pw = Topology::per_worker(4);
+        assert_eq!(m.cut_excess(&pw, 0, 1, 1000), m.remote_excess(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_domain_topology_panics() {
+        Topology::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn per_worker_zero_workers_panics() {
+        Topology::per_worker(0);
     }
 
     #[test]

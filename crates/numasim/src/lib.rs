@@ -177,6 +177,49 @@ mod recolor_tests {
     }
 
     #[test]
+    fn domain_aware_estimator_matches_the_simulators_domain_pricing() {
+        // Two colorings that are pure permutations of each other — same
+        // per-worker cut structure, same loads — differ only in how the
+        // colors land on NUMA domains. The per-worker estimator is
+        // permutation-invariant and cannot separate them; the simulator
+        // (which prices accesses through `NumaTopology::domain_of_color`)
+        // and the domain-aware estimator (which prices the same mapping
+        // through `cost_view()`) must both prefer the domain-friendly
+        // labeling.
+        use nabbitc_graph::analysis::{estimate_makespan_colored, estimate_makespan_colored_on};
+        let p = 20;
+        let g = generate::iterated_stencil(10, p, 2, 1); // memory-bound
+        let friendly: Vec<Color> = g.nodes().map(|u| Color::from(u as usize % p)).collect();
+        // Interleave the two domains of the truncated paper machine:
+        // adjacent blocks always cross the domain boundary.
+        let hostile: Vec<Color> = friendly
+            .iter()
+            .map(|c| Color::from((c.index() % 2) * 10 + c.index() / 2))
+            .collect();
+        let cfg = WsConfig::nabbitc(p);
+        let topo = cfg.topology.cost_view();
+        assert_eq!(topo.domains(), 2);
+        let est_pw_f = estimate_makespan_colored(&g, &friendly, p, &cfg.cost);
+        let est_pw_h = estimate_makespan_colored(&g, &hostile, p, &cfg.cost);
+        assert_eq!(
+            est_pw_f, est_pw_h,
+            "per-worker estimates are permutation-invariant"
+        );
+        let est_f = estimate_makespan_colored_on(&g, &friendly, p, &cfg.cost, &topo);
+        let est_h = estimate_makespan_colored_on(&g, &hostile, p, &cfg.cost, &topo);
+        let sim_f = simulate_ws_recolored(&g, &friendly, &cfg).makespan;
+        let sim_h = simulate_ws_recolored(&g, &hostile, &cfg).makespan;
+        assert!(
+            sim_f < sim_h,
+            "simulator: friendly {sim_f} !< hostile {sim_h}"
+        );
+        assert!(
+            est_f < est_h,
+            "estimator: friendly {est_f} !< hostile {est_h}"
+        );
+    }
+
+    #[test]
     fn recoloring_changes_remote_rate() {
         // Same graph, hand colors (block-aligned) vs a scrambled coloring:
         // the scrambled placement must look worse (or equal) to the

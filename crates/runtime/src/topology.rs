@@ -95,6 +95,16 @@ impl NumaTopology {
         }
     }
 
+    /// The trimmed [`nabbitc_cost::Topology`] view of this topology — the
+    /// same worker→domain block mapping without the color-set machinery.
+    /// This is what the cost consumers (the domain-aware makespan
+    /// estimators, the autocolor objectives, and the domain packing pass)
+    /// take, so a simulation config's topology can price the matching
+    /// estimate: `estimate_makespan_colored_on(..., &cfg.topology.cost_view())`.
+    pub fn cost_view(&self) -> nabbitc_cost::Topology {
+        nabbitc_cost::Topology::new(self.domains, self.cores_per_domain)
+    }
+
     /// Restricts the topology to the first `p` cores, preserving the domain
     /// granularity — how the paper scales core counts (1–10 cores fit in one
     /// domain, 20 cores span two domains, ...).
@@ -170,5 +180,16 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_domains_panics() {
         NumaTopology::new(0, 4);
+    }
+
+    #[test]
+    fn cost_view_preserves_the_domain_mapping() {
+        let t = NumaTopology::paper_machine().truncated(20);
+        let v = t.cost_view();
+        assert_eq!(v.domains(), t.domains());
+        assert_eq!(v.cores_per_domain(), t.cores_per_domain());
+        for w in 0..t.cores() {
+            assert_eq!(v.domain_of(w), t.domain_of_worker(w));
+        }
     }
 }

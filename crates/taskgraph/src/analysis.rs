@@ -14,7 +14,7 @@
 
 use crate::{NodeId, TaskGraph};
 use nabbitc_color::{Color, ColorSet};
-use nabbitc_cost::CostModel;
+use nabbitc_cost::{CostModel, Topology};
 use std::collections::HashMap;
 
 /// Summary of the Theorem 1 quantities for a graph.
@@ -391,6 +391,14 @@ pub fn level_serialization(g: &TaskGraph, profile: &LevelProfile) -> LevelSerial
 /// [`CostModel::node_ticks`] over its work and (local) footprint, so the
 /// estimate and the NUMA simulator price nodes identically.
 ///
+/// **Domains.** This entry prices every worker as its own NUMA domain
+/// ([`Topology::per_worker`]) — any cross-worker edge is remote. That is
+/// the conservative default and ranks identically to the domain-aware
+/// variant on 1-worker-per-domain machines; to price a machine that
+/// groups workers into domains (the paper's 8×10 Xeon), use
+/// [`estimate_makespan_colored_on`] with its topology, which charges the
+/// bandwidth term only on *cross-domain* edges.
+///
 /// This is the objective the makespan-aware refinement gain optimizes and
 /// the `AutoSelect` meta-assigner scores with: it is O(V + E),
 /// deterministic, and ranks colorings the same way the full work-stealing
@@ -404,7 +412,37 @@ pub fn estimate_makespan_colored(
     cost: &CostModel,
 ) -> u64 {
     assert!(workers > 0, "need at least one worker");
+    estimate_makespan_colored_on(g, colors, workers, cost, &Topology::per_worker(workers))
+}
+
+/// Domain-aware variant of [`estimate_makespan_colored`]: workers are
+/// grouped into NUMA domains by `topo`, and a cut edge whose endpoints
+/// share a domain moves its bytes at *local* bandwidth —
+/// [`CostModel::remote_excess`] is charged only when
+/// [`Topology::domain_of`] differs for the two workers (the same rule the
+/// NUMA simulator applies through `NumaTopology::domain_of_color`). The
+/// steal hand-off latency ([`CostModel::cross_edge_latency`]) is still
+/// charged on every cross-*worker* edge: the task changes hands even when
+/// the data does not change domains.
+///
+/// With [`Topology::per_worker`] this is exactly
+/// [`estimate_makespan_colored`]. Panics unless `topo` covers every
+/// worker (`topo.cores() >= workers`); the overflow worker that absorbs
+/// invalid colors is treated as remote to every real domain.
+pub fn estimate_makespan_colored_on(
+    g: &TaskGraph,
+    colors: &[Color],
+    workers: usize,
+    cost: &CostModel,
+    topo: &Topology,
+) -> u64 {
+    assert!(workers > 0, "need at least one worker");
     assert_eq!(colors.len(), g.node_count(), "one color per node");
+    assert!(
+        topo.cores() >= workers,
+        "topology with {} cores cannot place {workers} workers",
+        topo.cores()
+    );
     cost.assert_valid();
     let latency = cost.cross_edge_latency();
     let worker_of = |c: Color| -> usize {
@@ -412,6 +450,15 @@ pub fn estimate_makespan_colored(
             c.index()
         } else {
             workers // overflow worker
+        }
+    };
+    // The overflow worker lives in a phantom domain of its own, remote to
+    // every real worker (invalid placements must never look local).
+    let domain_of = |w: usize| -> usize {
+        if w < workers {
+            topo.domain_of(w)
+        } else {
+            usize::MAX
         }
     };
     // Hoisted footprints: `footprint()` sums a node's access list, and
@@ -428,16 +475,22 @@ pub fn estimate_makespan_colored(
     let mut makespan = 0u64;
     for &u in g.topo_order() {
         let w = worker_of(colors[u as usize]);
+        let d = domain_of(w);
         let mut ready = 0u64;
         let mut remote_bytes = 0u64;
         for &p in g.predecessors(u) {
             let mut t = finish[p as usize];
             // Charge by executing *worker*, not raw color: two distinct
             // out-of-range colors share the overflow worker, so no
-            // transfer occurs between them.
-            if worker_of(colors[p as usize]) != w {
+            // transfer occurs between them. The hand-off latency applies
+            // to every cross-worker edge; the bandwidth term only when
+            // the edge also crosses domains.
+            let pw = worker_of(colors[p as usize]);
+            if pw != w {
                 t += latency;
-                remote_bytes += traffic(p, u);
+                if domain_of(pw) != d {
+                    remote_bytes += traffic(p, u);
+                }
             }
             ready = ready.max(t);
         }
@@ -497,6 +550,21 @@ pub fn estimate_makespan_colored_strict(
     cost: &CostModel,
 ) -> Result<u64, InvalidColoring> {
     assert!(workers > 0, "need at least one worker");
+    estimate_makespan_colored_strict_on(g, colors, workers, cost, &Topology::per_worker(workers))
+}
+
+/// Domain-aware variant of [`estimate_makespan_colored_strict`]: the same
+/// validity check, scored with [`estimate_makespan_colored_on`] under
+/// `topo`. This is what `AutoSelect` scores candidates with when given a
+/// machine topology.
+pub fn estimate_makespan_colored_strict_on(
+    g: &TaskGraph,
+    colors: &[Color],
+    workers: usize,
+    cost: &CostModel,
+    topo: &Topology,
+) -> Result<u64, InvalidColoring> {
+    assert!(workers > 0, "need at least one worker");
     assert_eq!(colors.len(), g.node_count(), "one color per node");
     cost.assert_valid();
     for u in g.nodes() {
@@ -511,14 +579,26 @@ pub fn estimate_makespan_colored_strict(
     }
     // Every color is a real worker, so the lenient estimator's overflow
     // worker is unreachable and the two estimates coincide.
-    Ok(estimate_makespan_colored(g, colors, workers, cost))
+    Ok(estimate_makespan_colored_on(g, colors, workers, cost, topo))
 }
 
-/// [`estimate_makespan_colored`] over the graph's own colors.
+/// [`estimate_makespan_colored`] over the graph's own colors
+/// (per-worker-domain pricing; see [`estimate_makespan_on`]).
 pub fn estimate_makespan(g: &TaskGraph, workers: usize, cost: &CostModel) -> u64 {
     assert!(workers > 0, "need at least one worker");
+    estimate_makespan_on(g, workers, cost, &Topology::per_worker(workers))
+}
+
+/// [`estimate_makespan_colored_on`] over the graph's own colors.
+pub fn estimate_makespan_on(
+    g: &TaskGraph,
+    workers: usize,
+    cost: &CostModel,
+    topo: &Topology,
+) -> u64 {
+    assert!(workers > 0, "need at least one worker");
     let colors: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
-    estimate_makespan_colored(g, &colors, workers, cost)
+    estimate_makespan_colored_on(g, &colors, workers, cost, topo)
 }
 
 /// Checks whether the sink is reachable from every node and every node is
@@ -813,6 +893,96 @@ mod tests {
     }
 
     #[test]
+    fn domain_aware_estimate_prices_same_domain_cuts_local() {
+        // Two-node chain, 1200 bytes each, works 1, split across workers
+        // 0 and 1. On a per-worker topology the consumer's 1200 bytes are
+        // remote; on a 2-cores-per-domain topology workers 0 and 1 share
+        // a domain and the bytes move at local bandwidth — only the
+        // steal hand-off latency remains.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 1200);
+        b.add_simple_node(1, Color(1), 1200);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let colors = vec![Color(0), Color(1)];
+        let cost = work_and_latency(7);
+        let legacy = estimate_makespan_colored(&g, &colors, 4, &cost);
+        assert_eq!(legacy, 2 * 1201 + 2 * 1200 + 7);
+        // Per-worker topology reproduces the legacy entry exactly.
+        assert_eq!(
+            estimate_makespan_colored_on(&g, &colors, 4, &cost, &Topology::per_worker(4)),
+            legacy
+        );
+        // Same domain: the bandwidth term vanishes, the latency stays.
+        let paired = Topology::new(2, 2);
+        assert_eq!(
+            estimate_makespan_colored_on(&g, &colors, 4, &cost, &paired),
+            2 * 1201 + 7
+        );
+        // Cross domain (workers 0 and 2): full remote pricing again.
+        let split = vec![Color(0), Color(2)];
+        assert_eq!(
+            estimate_makespan_colored_on(&g, &split, 4, &cost, &paired),
+            2 * 1201 + 2 * 1200 + 7
+        );
+        // UMA: nothing is ever remote.
+        assert_eq!(
+            estimate_makespan_colored_on(&g, &split, 4, &cost, &Topology::uma(4)),
+            2 * 1201 + 7
+        );
+    }
+
+    #[test]
+    fn domain_aware_overflow_worker_is_remote_to_every_domain() {
+        // An out-of-range color lands on the overflow worker, which must
+        // never look local to a real domain — even on UMA, where every
+        // *real* pair is local.
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 900);
+        b.add_simple_node(1, Color(9), 900); // out of range for 4 workers
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let colors: Vec<Color> = g.nodes().map(|u| g.color(u)).collect();
+        let cost = work_only();
+        assert_eq!(
+            estimate_makespan_colored_on(&g, &colors, 4, &cost, &Topology::uma(4)),
+            2 * 901 + 2 * 900
+        );
+    }
+
+    #[test]
+    fn strict_domain_aware_matches_lenient_and_rejects_invalid() {
+        let g = chain(&[5, 7, 3]);
+        let colors = vec![Color(0), Color(1), Color(0)];
+        let cost = CostModel::default();
+        let topo = Topology::new(2, 2);
+        let strict = estimate_makespan_colored_strict_on(&g, &colors, 4, &cost, &topo)
+            .expect("valid coloring accepted");
+        assert_eq!(
+            strict,
+            estimate_makespan_colored_on(&g, &colors, 4, &cost, &topo)
+        );
+        let bad = vec![Color(0), Color::INVALID, Color(0)];
+        let err = estimate_makespan_colored_strict_on(&g, &bad, 4, &cost, &topo)
+            .expect_err("INVALID must be rejected");
+        assert_eq!(err.node, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn domain_aware_estimate_requires_a_covering_topology() {
+        let g = chain(&[1, 1]);
+        let colors = vec![Color(0), Color(1)];
+        estimate_makespan_colored_on(
+            &g,
+            &colors,
+            8,
+            &CostModel::default(),
+            &Topology::new(2, 2), // only 4 cores
+        );
+    }
+
+    #[test]
     fn makespan_estimate_bandwidth_occupies_the_worker() {
         // The tentpole distinction: bandwidth is charged on *execution*
         // (it occupies the consumer), latency on *readiness* (a busy
@@ -940,6 +1110,30 @@ mod tests {
                 "estimate_makespan_colored_strict",
                 Box::new(|| {
                     let _ = estimate_makespan_colored_strict(&g, &colors, 0, &cost);
+                }),
+            ),
+            (
+                "estimate_makespan_colored_on",
+                Box::new(|| {
+                    estimate_makespan_colored_on(&g, &colors, 0, &cost, &Topology::paper_machine());
+                }),
+            ),
+            (
+                "estimate_makespan_colored_strict_on",
+                Box::new(|| {
+                    let _ = estimate_makespan_colored_strict_on(
+                        &g,
+                        &colors,
+                        0,
+                        &cost,
+                        &Topology::paper_machine(),
+                    );
+                }),
+            ),
+            (
+                "estimate_makespan_on",
+                Box::new(|| {
+                    estimate_makespan_on(&g, 0, &cost, &Topology::paper_machine());
                 }),
             ),
             (

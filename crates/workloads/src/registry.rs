@@ -94,6 +94,9 @@ pub enum Scale {
     Medium,
     /// ~1/16 (quick runs, tests).
     Small,
+    /// ~1/64 (CI smoke runs of the results-regeneration binaries; not a
+    /// scale to report numbers from).
+    Tiny,
 }
 
 impl Scale {
@@ -103,6 +106,7 @@ impl Scale {
             Scale::Paper => 1,
             Scale::Medium => 4,
             Scale::Small => 16,
+            Scale::Tiny => 64,
         }
     }
 }

@@ -112,8 +112,19 @@
 //! latency-bound wavefronts (where pipeline serialization dominates) rank
 //! correctly under the same model.
 //!
+//! Whether a cut edge's bytes are *remote* is a property of the machine:
+//! under a [`Topology`](cost::Topology) (the paper's 8-NUMA-domain ×
+//! 10-worker Xeon: `NumaTopology::paper_machine().truncated(p).cost_view()`),
+//! two colors in the same domain exchange bytes at **local** bandwidth,
+//! and only cross-domain edges pay the premium. The domain-aware
+//! estimator variants (`estimate_makespan_colored_on` and friends) price
+//! exactly what the simulator charges through `domain_of_color`;
+//! `AutoSelect::with_topology` scores with them and domain-packs the
+//! winner (`autocolor::pack_domains`). Without a topology, every worker
+//! is its own domain — the conservative default.
+//!
 //! ```
-//! use nabbitc::cost::CostModel;
+//! use nabbitc::cost::{CostModel, Topology};
 //!
 //! // The default machine: remote DRAM 3x local.
 //! let cost = CostModel::default();
@@ -121,12 +132,18 @@
 //! // Ablation knob — validated: NaN/negative/zero terms panic.
 //! let heavy = CostModel::default().with_remote_ratio(8.0);
 //! assert_eq!(heavy.remote_excess(100), 700); // (8 - 1) x 100 bytes
+//! // Domain awareness: workers 0 and 9 share the paper machine's first
+//! // domain, so a cut edge between them moves bytes at local bandwidth.
+//! let topo = Topology::paper_machine();
+//! assert_eq!(heavy.cut_excess(&topo, 0, 9, 100), 0);
+//! assert_eq!(heavy.cut_excess(&topo, 9, 10, 100), 700);
 //! ```
 //!
 //! Consumers take the model explicitly: `estimate_makespan_colored(&g,
-//! &colors, workers, &cost)`, `WsConfig { cost, .. }` for the simulator,
-//! `AutoSelect::default().with_cost_model(cost)` (or
-//! `ExecOptions { cost, .. }` through `execute_auto`).
+//! &colors, workers, &cost)` (or `estimate_makespan_colored_on(...,
+//! &topo)`), `WsConfig { cost, .. }` for the simulator,
+//! `AutoSelect::default().with_cost_model(cost).with_topology(topo)` (or
+//! `ExecOptions { cost, topology, .. }` through `execute_auto`).
 
 pub use nabbitc_autocolor as autocolor;
 pub use nabbitc_color as color;
@@ -148,6 +165,7 @@ pub mod prelude {
     pub use nabbitc_core::{
         AutoColoredSpec, ColoringMode, DynamicExecutor, ExecOptions, StaticExecutor, TaskSpec,
     };
+    pub use nabbitc_cost::Topology;
     pub use nabbitc_graph::{GraphBuilder, NodeAccess, NodeId, TaskGraph};
     pub use nabbitc_numasim::{
         simulate_omp, simulate_ws, CostModel, OmpSchedule, SimResult, WsConfig,

@@ -6,7 +6,7 @@
 //! `cargo test --release`); everything here is deterministic.
 
 use nabbitc::cost::CostModel;
-use nabbitc::graph::analysis::estimate_makespan_colored;
+use nabbitc::graph::analysis::{estimate_makespan_colored, estimate_makespan_colored_on};
 use nabbitc::graph::{generate, TaskGraph};
 use nabbitc::numasim::{simulate_ws_recolored, WsConfig};
 use nabbitc::prelude::*;
@@ -130,6 +130,175 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Domain-aware rank agreement on the full paper topology (8 NUMA
+    /// domains × 10 workers): over random graphs and colorings that
+    /// differ in *domain placement* as well as cut structure, the
+    /// domain-aware estimator must order colorings the way the 80-core
+    /// simulator does — whenever the simulator sees a clear gap (>= 30%),
+    /// the estimator must not prefer the simulator's loser by more than
+    /// 5%. (The per-worker-domain estimator cannot even express the
+    /// difference between the blocked coloring and its domain-interleaved
+    /// permutation; see
+    /// `per_worker_estimator_misranks_a_same_domain_heavy_coloring`.)
+    #[test]
+    fn domain_aware_estimator_ranks_like_the_paper_machine_simulator(
+        layers in 6usize..10,
+        width in 80usize..140,
+        max_preds in 1usize..4,
+        work_hi in 100u64..400,
+        seed in 0u64..10_000,
+    ) {
+        let p = 80;
+        let g = generate::layered_random(layers, width, max_preds, (1, work_hi), 1, seed);
+        let cfg = WsConfig::nabbitc(p); // the paper machine, untruncated
+        let topo = cfg.topology.cost_view();
+        prop_assert_eq!((topo.domains(), topo.cores_per_domain()), (8, 10));
+        let blocked = blocked_colors(&g, p);
+        // The same partition with domains interleaved: color c -> worker
+        // (c mod 8)·10 + c/8, a bijection that moves every adjacent color
+        // pair into different domains.
+        let interleaved: Vec<Color> = blocked
+            .iter()
+            .map(|c| Color::from((c.index() % 8) * 10 + c.index() / 8))
+            .collect();
+        let candidates = [blocked, interleaved, scrambled_colors(&g, p, seed)];
+        let measured: Vec<(u64, u64)> = candidates
+            .iter()
+            .map(|colors| {
+                (
+                    simulate_ws_recolored(&g, colors, &cfg).makespan,
+                    estimate_makespan_colored_on(&g, colors, p, &cfg.cost, &topo),
+                )
+            })
+            .collect();
+        for (i, &(sim_a, est_a)) in measured.iter().enumerate() {
+            for &(sim_b, est_b) in measured.iter().skip(i + 1) {
+                if (sim_a as f64) * 1.3 < sim_b as f64 {
+                    prop_assert!(
+                        est_a as f64 <= est_b as f64 * 1.05,
+                        "simulator says A << B ({sim_a} vs {sim_b}) but estimator \
+                         prefers B ({est_a} vs {est_b})"
+                    );
+                }
+                if (sim_b as f64) * 1.3 < sim_a as f64 {
+                    prop_assert!(
+                        est_b as f64 <= est_a as f64 * 1.05,
+                        "simulator says B << A ({sim_b} vs {sim_a}) but estimator \
+                         prefers A ({est_b} vs {est_a})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The mis-rank the domain-aware tentpole exists for, pinned as a
+/// regression on the full 8×10 paper machine. A memory-bound stencil
+/// (160 blocks, 2 per worker) admits two colorings:
+///
+/// * **fine** — blocks interleaved *within* each NUMA domain (worker
+///   `10·d + (b mod 10)`): nearly every block boundary is a cut edge
+///   (159 of them), but only the 7 domain boundaries cross domains;
+/// * **hostile** — contiguous block pairs per worker, with the color →
+///   worker labeling interleaved *across* domains: far fewer cut edges
+///   (79), every one of them cross-domain.
+///
+/// The per-worker-domain estimator (PR 4's scorer) sees only cut bytes,
+/// so it strictly prefers `hostile` — a provable mis-rank: the 8×10
+/// simulator clearly prefers `fine` (its cuts are domain-local reads),
+/// and the domain-aware estimator agrees with the simulator.
+#[test]
+fn per_worker_estimator_misranks_a_same_domain_heavy_coloring() {
+    let p = 80;
+    let blocks = 160;
+    let bpw = blocks / p; // 2 blocks per worker
+    let g = generate::iterated_stencil(30, blocks, 2, 1); // memory-bound
+    let fine: Vec<Color> = g
+        .nodes()
+        .map(|u| {
+            let b = u as usize % blocks;
+            let domain = b / (10 * bpw);
+            Color::from(10 * domain + (b % 10))
+        })
+        .collect();
+    let hostile: Vec<Color> = g
+        .nodes()
+        .map(|u| {
+            let c = (u as usize % blocks) / bpw; // contiguous pairs
+            Color::from((c % 8) * 10 + c / 8) // domains interleaved
+        })
+        .collect();
+
+    // Ground truth: the paper-machine simulator clearly prefers the
+    // same-domain-heavy fine coloring.
+    let cfg = WsConfig::nabbitc(p);
+    let sim_fine = simulate_ws_recolored(&g, &fine, &cfg).makespan;
+    let sim_hostile = simulate_ws_recolored(&g, &hostile, &cfg).makespan;
+    assert!(
+        (sim_fine as f64) * 1.1 < sim_hostile as f64,
+        "simulator must clearly prefer fine: {sim_fine} vs {sim_hostile}"
+    );
+
+    // The mis-rank this test pins: the per-worker-domain estimator
+    // charges fine's intra-domain cuts at the remote premium and strictly
+    // prefers the all-remote hostile coloring.
+    let est_pw_fine = estimate_makespan_colored(&g, &fine, p, &cfg.cost);
+    let est_pw_hostile = estimate_makespan_colored(&g, &hostile, p, &cfg.cost);
+    assert!(
+        est_pw_hostile < est_pw_fine,
+        "the per-worker mis-ranking this test pins has vanished: \
+         hostile {est_pw_hostile} vs fine {est_pw_fine}"
+    );
+
+    // The domain-aware estimator prices the same machine the simulator
+    // runs and ranks like it, with no calibration.
+    let topo = cfg.topology.cost_view();
+    let est_fine = estimate_makespan_colored_on(&g, &fine, p, &cfg.cost, &topo);
+    let est_hostile = estimate_makespan_colored_on(&g, &hostile, p, &cfg.cost, &topo);
+    assert!(
+        est_fine < est_hostile,
+        "domain-aware estimator must prefer fine: {est_fine} vs {est_hostile}"
+    );
+}
+
+/// The permutation blind spot, pinned separately: two colorings that are
+/// pure color permutations of each other have *identical* per-worker
+/// estimates (the estimator is permutation-invariant by construction), so
+/// PR 4's scorer can never choose the domain-friendly labeling — while
+/// the simulator shows a clear gap and the domain-aware estimator ranks
+/// it correctly. This is exactly the freedom the `autocolor::pack_domains`
+/// post-pass exploits.
+#[test]
+fn domain_placement_is_invisible_to_the_per_worker_estimator() {
+    let p = 80;
+    let g = generate::iterated_stencil(20, p, 2, 1); // memory-bound
+    let friendly: Vec<Color> = g.nodes().map(|u| Color::from(u as usize % p)).collect();
+    let interleaved: Vec<Color> = friendly
+        .iter()
+        .map(|c| Color::from((c.index() % 8) * 10 + c.index() / 8))
+        .collect();
+    let cfg = WsConfig::nabbitc(p);
+    assert_eq!(
+        estimate_makespan_colored(&g, &friendly, p, &cfg.cost),
+        estimate_makespan_colored(&g, &interleaved, p, &cfg.cost),
+        "per-worker estimates are permutation-invariant"
+    );
+    let sim_f = simulate_ws_recolored(&g, &friendly, &cfg).makespan;
+    let sim_i = simulate_ws_recolored(&g, &interleaved, &cfg).makespan;
+    assert!(
+        (sim_f as f64) * 1.05 < sim_i as f64,
+        "simulator must clearly prefer the domain-friendly labeling: {sim_f} vs {sim_i}"
+    );
+    let topo = cfg.topology.cost_view();
+    assert!(
+        estimate_makespan_colored_on(&g, &friendly, p, &cfg.cost, &topo)
+            < estimate_makespan_colored_on(&g, &interleaved, p, &cfg.cost, &topo)
+    );
 }
 
 /// The regression the tentpole exists for (ROADMAP's resolved known
