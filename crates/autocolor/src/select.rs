@@ -140,7 +140,10 @@ pub enum CandidateOutcome {
 
 /// Per-candidate record of one [`AutoSelect::select`] run, for benches
 /// and debugging ("why did auto pick that?").
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores [`elapsed`](Self::elapsed) (wall-clock noise): two
+/// reports are equal when they record the same selection decisions.
+#[derive(Debug, Clone)]
 pub struct SelectionReport {
     /// Machine size the selection targeted.
     pub workers: usize,
@@ -169,6 +172,23 @@ pub struct SelectionReport {
     /// when the pass did not run (per-worker or single-domain topology)
     /// or did not improve.
     pub packed_estimate: Option<u64>,
+    /// Wall-clock cost of the whole selection (candidate `assign` runs,
+    /// scoring, and the packing post-pass) — what choosing a coloring
+    /// automatically actually costs, next to the execution time it buys.
+    pub elapsed: std::time::Duration,
+}
+
+impl PartialEq for SelectionReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.workers == other.workers
+            && self.cost == other.cost
+            && self.topology == other.topology
+            && self.shape == other.shape
+            && self.candidates == other.candidates
+            && self.chosen == other.chosen
+            && self.fallback == other.fallback
+            && self.packed_estimate == other.packed_estimate
+    }
 }
 
 impl SelectionReport {
@@ -331,6 +351,7 @@ impl AutoSelect {
     /// `workers == 0`.
     pub fn select(&self, graph: &TaskGraph, workers: usize) -> (Vec<Color>, SelectionReport) {
         assert!(workers > 0, "need at least one worker");
+        let selection_started = std::time::Instant::now();
         self.cost.assert_valid();
         let topo = self
             .topology
@@ -359,6 +380,7 @@ impl AutoSelect {
                 chosen: None,
                 fallback: false,
                 packed_estimate: None,
+                elapsed: selection_started.elapsed(),
             };
             return (vec![Color(0); graph.node_count()], report);
         }
@@ -476,6 +498,7 @@ impl AutoSelect {
             chosen: Some(chosen),
             fallback,
             packed_estimate,
+            elapsed: selection_started.elapsed(),
         };
         (colors, report)
     }

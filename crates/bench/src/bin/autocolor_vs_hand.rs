@@ -33,6 +33,7 @@
 use nabbitc_autocolor::{all_strategies, AutoSelect, CandidateOutcome};
 use nabbitc_bench::{cost_from_env, f1, f2, paper_cost_topology, scale_from_env, Report};
 use nabbitc_color::Color;
+use nabbitc_core::report::format_selection;
 use nabbitc_graph::analysis::{
     color_balance, edge_cut, edge_cut_fraction, level_profile, level_serialization, LevelProfile,
 };
@@ -171,6 +172,13 @@ fn main() {
                 .with_cost_model(cost.clone())
                 .with_topology(paper_cost_topology(p))
                 .select(&bare.graph, p);
+            // The one-line selection summary (same formatting the unified
+            // RunReport prints), before the per-candidate breakdown.
+            eprintln!(
+                "autocolor_vs_hand: {} P={p} {}",
+                id.name(),
+                format_selection(&selection)
+            );
             if let Some(packed) = selection.packed_estimate {
                 eprintln!(
                     "autocolor_vs_hand: {} P={p} domain packing improved the winner (est {packed})",

@@ -1,0 +1,100 @@
+//! Wall-clock bench harness: runs the real executor over the workload
+//! registry and emits one versioned `BENCH_<workload>.json` per workload.
+//!
+//! ```text
+//! cargo run -p nabbitc-bench --bin wallclock --release
+//! cargo run -p nabbitc-bench --bin wallclock -- --validate
+//! ```
+//!
+//! Environment:
+//! * `NABBITC_SCALE` — problem scale (tiny | small | medium | paper),
+//!   default medium; unrecognized values abort.
+//! * `NABBITC_REMOTE_RATIO` — remote/local byte-cost ratio for the
+//!   simulator predictions, default 3.0.
+//! * `NABBITC_BENCH_DIR` — output/validation directory, default `.`
+//!   (the repo root keeps the committed `BENCH_*.json` files).
+//!
+//! `--validate` parses each expected `BENCH_*.json` in the output
+//! directory and checks the schema (workload, P sweep, measured and
+//! predicted speedups, trace schema version), exiting non-zero with the
+//! problem list on failure — this is the CI contract that the committed
+//! files stay well-formed.
+
+use nabbitc_bench::json::{parse, validate_bench_json, Json};
+use nabbitc_bench::wallclock::{bench_path, run_workload, write_doc, REPS, SWEEP_P, WORKLOADS};
+use nabbitc_bench::{cost_from_env, scale_from_env};
+use std::path::PathBuf;
+
+fn bench_dir() -> PathBuf {
+    std::env::var_os("NABBITC_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn validate(dir: &std::path::Path) -> i32 {
+    let mut failures = 0;
+    for id in WORKLOADS {
+        let path = bench_path(dir, id);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("wallclock: FAIL {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let doc = match parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("wallclock: FAIL {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let mut problems = validate_bench_json(&doc);
+        if doc.get("workload").and_then(Json::as_str) != Some(id.name()) {
+            problems.push(format!(
+                "workload key does not match file name {}",
+                id.name()
+            ));
+        }
+        if problems.is_empty() {
+            println!("wallclock: OK   {}", path.display());
+        } else {
+            failures += 1;
+            eprintln!("wallclock: FAIL {}:", path.display());
+            for p in &problems {
+                eprintln!("  - {p}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("wallclock: {failures} file(s) failed validation");
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = bench_dir();
+
+    if args.iter().any(|a| a == "--validate") {
+        std::process::exit(validate(&dir));
+    }
+    if let Some(unknown) = args.iter().find(|a| *a != "--validate") {
+        eprintln!("wallclock: unknown argument {unknown:?} (accepted: --validate)");
+        std::process::exit(2);
+    }
+
+    let scale = scale_from_env();
+    let cost = cost_from_env();
+    eprintln!(
+        "wallclock: scale {scale:?}, remote ratio {:.1}, P sweep {SWEEP_P:?}, {REPS} reps",
+        cost.remote_ratio()
+    );
+    for id in WORKLOADS {
+        let doc = run_workload(id, scale, &cost, &SWEEP_P, REPS);
+        let path = write_doc(&dir, id, &doc).expect("failed to write BENCH json");
+        println!("wallclock: wrote {}", path.display());
+    }
+}

@@ -1,0 +1,523 @@
+//! A minimal JSON value type for the wallclock harness.
+//!
+//! The workspace has no serde (external dependencies are vendored shims),
+//! and the `BENCH_*.json` schema is small and flat, so a hand-rolled
+//! writer plus a recursive-descent parser is the whole story. The parser
+//! exists for the `--validate` mode of the wallclock binary and for tests:
+//! it accepts exactly the JSON this module's writer emits (objects,
+//! arrays, strings, finite numbers, booleans, null) — no exotic escapes
+//! beyond the standard set, no surrogate-pair decoding (`\uXXXX` is kept
+//! as the replacement character for non-BMP halves; the harness never
+//! writes any).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order (a `Vec`, not a map) so
+/// emitted files are stable and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // JSON has no Infinity/NaN; a harness bug must not emit an
+                // unparseable file.
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document. Errors carry a byte offset and a short message.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe via the original text).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number {text:?}")))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Validates a `BENCH_<workload>.json` document against the schema the
+/// wallclock harness emits (see the README's Observability section).
+/// Returns the list of problems; empty means valid.
+///
+/// Required shape:
+/// * top-level `schema_version` (number), `trace_schema_version` (number),
+///   `workload` (string), `scale` (string), `results` (non-empty array);
+/// * every `results` entry has numeric `p`, `serial_s`, and a non-empty
+///   `modes` array;
+/// * every mode entry has a `mode` string plus numeric `seconds` and
+///   `measured_speedup`, and numeric `predicted_speedup` unless the mode
+///   is `serial` (the baseline predicts nothing).
+pub fn validate_bench_json(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let need_num =
+        |v: Option<&Json>, what: &str, problems: &mut Vec<String>| match v.and_then(Json::as_num) {
+            Some(n) if n.is_finite() => Some(n),
+            Some(_) => {
+                problems.push(format!("{what} is not finite"));
+                None
+            }
+            None => {
+                problems.push(format!("{what} missing or not a number"));
+                None
+            }
+        };
+
+    need_num(doc.get("schema_version"), "schema_version", &mut problems);
+    need_num(
+        doc.get("trace_schema_version"),
+        "trace_schema_version",
+        &mut problems,
+    );
+    if doc.get("workload").and_then(Json::as_str).is_none() {
+        problems.push("workload missing or not a string".to_string());
+    }
+    if doc.get("scale").and_then(Json::as_str).is_none() {
+        problems.push("scale missing or not a string".to_string());
+    }
+
+    let results = match doc.get("results").and_then(Json::as_arr) {
+        Some([]) | None => {
+            problems.push("results missing or empty".to_string());
+            return problems;
+        }
+        Some(r) => r,
+    };
+
+    for (i, entry) in results.iter().enumerate() {
+        let at = format!("results[{i}]");
+        need_num(entry.get("p"), &format!("{at}.p"), &mut problems);
+        need_num(
+            entry.get("serial_s"),
+            &format!("{at}.serial_s"),
+            &mut problems,
+        );
+        let modes = match entry.get("modes").and_then(Json::as_arr) {
+            Some([]) | None => {
+                problems.push(format!("{at}.modes missing or empty"));
+                continue;
+            }
+            Some(m) => m,
+        };
+        for (j, mode) in modes.iter().enumerate() {
+            let at = format!("{at}.modes[{j}]");
+            let name = mode.get("mode").and_then(Json::as_str);
+            if name.is_none() {
+                problems.push(format!("{at}.mode missing or not a string"));
+            }
+            need_num(mode.get("seconds"), &format!("{at}.seconds"), &mut problems);
+            need_num(
+                mode.get("measured_speedup"),
+                &format!("{at}.measured_speedup"),
+                &mut problems,
+            );
+            if name != Some("serial") {
+                need_num(
+                    mode.get("predicted_speedup"),
+                    &format!("{at}.predicted_speedup"),
+                    &mut problems,
+                );
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_pretty_and_parse() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("heat \"2d\"\n".to_string())),
+            ("n", Json::Num(42.0)),
+            ("half", Json::Num(0.5)),
+            ("neg", Json::Num(-3.25)),
+            ("ok", Json::Bool(true)),
+            ("nothing", Json::Null),
+            (
+                "list",
+                Json::Arr(vec![
+                    Json::Num(1.0),
+                    Json::Str("two".into()),
+                    Json::Arr(vec![]),
+                ]),
+            ),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let text = doc.pretty();
+        let back = parse(&text).expect("must parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(Json::Num(3.0).pretty(), "3\n");
+        assert_eq!(Json::Num(0.25).pretty(), "0.25\n");
+        // Non-finite values degrade to null rather than corrupting the file.
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn parser_rejects_garbage_with_offsets() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "{} {}"] {
+            let err = parse(bad).expect_err(bad);
+            assert!(err.contains("json parse error at byte"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_the_emitted_schema() {
+        let doc = sample_doc(true);
+        assert_eq!(validate_bench_json(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validator_names_missing_keys() {
+        let doc = sample_doc(false);
+        let problems = validate_bench_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("predicted_speedup")),
+            "{problems:?}"
+        );
+
+        let empty = Json::Obj(vec![]);
+        let problems = validate_bench_json(&empty);
+        for needle in ["schema_version", "workload", "results"] {
+            assert!(problems.iter().any(|p| p.contains(needle)), "{problems:?}");
+        }
+    }
+
+    fn sample_doc(with_predicted: bool) -> Json {
+        let mut static_mode = vec![
+            ("mode", Json::Str("static".into())),
+            ("seconds", Json::Num(0.5)),
+            ("measured_speedup", Json::Num(2.0)),
+        ];
+        if with_predicted {
+            static_mode.push(("predicted_speedup", Json::Num(2.2)));
+        }
+        Json::obj(vec![
+            ("schema_version", Json::Num(1.0)),
+            ("trace_schema_version", Json::Num(1.0)),
+            ("workload", Json::Str("heat".into())),
+            ("scale", Json::Str("Tiny".into())),
+            (
+                "results",
+                Json::Arr(vec![Json::obj(vec![
+                    ("p", Json::Num(2.0)),
+                    ("serial_s", Json::Num(1.0)),
+                    (
+                        "modes",
+                        Json::Arr(vec![
+                            Json::obj(vec![
+                                ("mode", Json::Str("serial".into())),
+                                ("seconds", Json::Num(1.0)),
+                                ("measured_speedup", Json::Num(1.0)),
+                            ]),
+                            Json::obj(static_mode),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+}

@@ -13,6 +13,9 @@ use nabbitc_workloads::{registry, BenchId, Scale};
 use std::fmt::Write as _;
 use std::io::Write as _;
 
+pub mod json;
+pub mod wallclock;
+
 /// Core counts used throughout the paper's sweeps.
 pub const SWEEP_CORES: [usize; 8] = [1, 2, 4, 10, 20, 40, 60, 80];
 
@@ -24,14 +27,26 @@ pub const NUMA_CORES: [usize; 4] = [20, 40, 60, 80];
 pub const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
 
 /// Reads the scale from `NABBITC_SCALE` (tiny | small | medium | paper);
-/// default medium. `tiny` exists for CI smoke runs of the regeneration
-/// binaries.
+/// default medium when unset. `tiny` exists for CI smoke runs of the
+/// regeneration binaries.
+///
+/// Unrecognized values abort with the accepted names, like
+/// [`cost_from_env`]: a typo'd `NABBITC_SCALE=papr` silently falling back
+/// to medium would report quarter-scale numbers as paper-scale. The value
+/// is trimmed first (shell-quoting accidents are not errors).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("NABBITC_SCALE").as_deref() {
-        Ok("paper") => Scale::Paper,
-        Ok("small") => Scale::Small,
-        Ok("tiny") => Scale::Tiny,
-        _ => Scale::Medium,
+    match std::env::var("NABBITC_SCALE") {
+        Ok(v) => match v.trim() {
+            "paper" => Scale::Paper,
+            "medium" => Scale::Medium,
+            "small" => Scale::Small,
+            "tiny" => Scale::Tiny,
+            other => panic!(
+                "NABBITC_SCALE unrecognized: {other:?} (accepted: tiny | small | medium | paper)"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => Scale::Medium,
+        Err(e @ std::env::VarError::NotUnicode(_)) => panic!("NABBITC_SCALE unreadable: {e}"),
     }
 }
 
@@ -278,6 +293,39 @@ mod tests {
         check_panic("nan", "finite positive");
         check_panic("0", "finite positive");
         check_panic("-2.0", "finite positive");
+    }
+
+    #[test]
+    fn scale_from_env_is_strict_and_names_the_accepted_values() {
+        let _env = ENV_LOCK.lock().unwrap();
+        const VAR: &str = "NABBITC_SCALE";
+
+        std::env::remove_var(VAR);
+        assert_eq!(scale_from_env(), Scale::Medium);
+
+        for (value, expect) in [
+            ("tiny", Scale::Tiny),
+            ("small", Scale::Small),
+            ("medium", Scale::Medium),
+            ("paper", Scale::Paper),
+            (" tiny ", Scale::Tiny), // trimmed, not rejected
+        ] {
+            std::env::set_var(VAR, value);
+            assert_eq!(scale_from_env(), expect, "{value:?}");
+        }
+
+        // Typos abort with the variable and the accepted names — they must
+        // not silently report medium-scale numbers as something else.
+        for bad in ["papr", "TINY", "huge", ""] {
+            std::env::set_var(VAR, bad);
+            let err = std::panic::catch_unwind(scale_from_env).expect_err(bad);
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("NABBITC_SCALE") && msg.contains("tiny | small | medium | paper"),
+                "{bad:?}: panic message {msg:?}"
+            );
+        }
+        std::env::remove_var(VAR);
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Wall-clock bench harness: the *real* executor (threads, steals, event
+//! rings) timed against the simulator's prediction, per workload and
+//! worker count, emitted as a versioned `BENCH_<workload>.json`.
+//!
+//! Everything else in this crate regenerates the paper's figures from the
+//! *simulated* machine. This module closes the loop: it runs the same
+//! task graphs through [`StaticExecutor`]/[`DynamicExecutor`] on a live
+//! [`Pool`] with a synthetic spin kernel (`work(u)` wrapping multiplies
+//! per node), measures wall-clock speedup over a serial topological walk,
+//! and places the simulator's predicted speedup next to the measured one.
+//! A gap between the two columns is a scheduling effect the simulator
+//! does not model (or a container with fewer cores than `P` — measured
+//! speedup saturates at the physical core count while the prediction
+//! assumes `P` real cores; the JSON records both so the reader can tell).
+//!
+//! Modes per worker count:
+//! * `serial` — the baseline: one thread walking `topo_order`, no pool.
+//! * `static` — [`StaticExecutor`] on the hand (paper) coloring.
+//! * `auto` — [`StaticExecutor::execute_auto`] on the uncolored graph:
+//!   the `AutoSelect` portfolio picks the coloring; its selection summary
+//!   and coloring wall-clock ride along in the JSON.
+//! * `ondemand` — [`DynamicExecutor`] discovering the same graph lazily
+//!   through a virtual sink over `graph.sinks()` (the full Nabbit
+//!   protocol, node table and all).
+//!
+//! See the README's Observability section for the key-by-key schema;
+//! [`crate::json::validate_bench_json`] is the machine-checkable version.
+
+use crate::json::Json;
+use nabbitc_color::Color;
+use nabbitc_core::{DynamicExecutor, ExecOptions, StaticExecutor, TaskSpec};
+use nabbitc_graph::{NodeId, TaskGraph};
+use nabbitc_numasim::{predicted_speedup, predicted_speedup_recolored, CostModel, WsConfig};
+use nabbitc_runtime::{NumaTopology, Pool, PoolConfig, TraceConfig};
+use nabbitc_workloads::{registry, BenchId, Scale};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` layout (top-level `schema_version`).
+/// Bump on any key rename or semantic change; the runtime event-trace
+/// schema is versioned separately (`trace_schema_version`).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The workloads the harness sweeps: one per structural family — regular
+/// stencil (heat), 2-D wavefront (sw), irregular power-law dataflow
+/// (page-uk-2002).
+pub const WORKLOADS: [BenchId; 3] = [BenchId::Heat, BenchId::Sw, BenchId::PageUk2002];
+
+/// Worker counts swept (real threads, so far smaller than the simulated
+/// machine's 80 cores).
+pub const SWEEP_P: [usize; 4] = [1, 2, 4, 8];
+
+/// Timing repetitions per mode; the minimum is reported (wall-clock noise
+/// is one-sided).
+pub const REPS: usize = 3;
+
+/// Spins the synthetic kernel for one node: `ticks` wrapping multiplies
+/// (the simulator's unit of work, realized as ALU latency).
+#[inline]
+fn spin(ticks: u64) {
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..ticks {
+        x = black_box(
+            x.wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407),
+        );
+    }
+    black_box(x);
+}
+
+/// The on-demand adapter: exposes a pre-built [`TaskGraph`] through the
+/// [`TaskSpec`] discovery protocol. A virtual sink key (`NodeId::MAX`)
+/// depends on every real sink so the executor's single-sink entry point
+/// covers multi-sink graphs; it computes nothing.
+struct GraphSpec {
+    graph: Arc<TaskGraph>,
+}
+
+const VIRTUAL_SINK: NodeId = NodeId::MAX;
+
+impl TaskSpec for GraphSpec {
+    type Key = NodeId;
+
+    fn predecessors(&self, key: &NodeId) -> Vec<NodeId> {
+        if *key == VIRTUAL_SINK {
+            self.graph.sinks()
+        } else {
+            self.graph.predecessors(*key).to_vec()
+        }
+    }
+
+    fn color(&self, key: &NodeId) -> Color {
+        if *key == VIRTUAL_SINK {
+            // Inherit a real sink's color so the final steal is local.
+            self.graph
+                .sinks()
+                .first()
+                .map(|&s| self.graph.color(s))
+                .unwrap_or(Color(0))
+        } else {
+            self.graph.color(*key)
+        }
+    }
+
+    fn compute(&self, key: &NodeId, _worker: usize) {
+        if *key != VIRTUAL_SINK {
+            spin(self.graph.work(*key));
+        }
+    }
+}
+
+/// Serial baseline: walk the topological order on the calling thread.
+fn serial_seconds(graph: &TaskGraph, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        for &u in graph.topo_order() {
+            spin(graph.work(u));
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One workload, full sweep → the `BENCH_<workload>.json` document.
+/// Pure with respect to the filesystem and environment; the binary layers
+/// env handling and file output on top.
+pub fn run_workload(
+    id: BenchId,
+    scale: Scale,
+    cost: &CostModel,
+    sweep: &[usize],
+    reps: usize,
+) -> Json {
+    let mut results = Vec::new();
+
+    for &p in sweep {
+        eprintln!("wallclock: {} P={p} ...", id.name());
+        let hand = registry::build(id, scale, p);
+        let hand_graph = Arc::new(hand.graph);
+        let bare = registry::build_uncolored(id, scale, p);
+
+        let ws_cfg = WsConfig {
+            cost: cost.clone(),
+            ..WsConfig::nabbitc(p)
+        };
+        let serial_s = serial_seconds(&hand_graph, reps);
+        let pool = Arc::new(Pool::new(
+            PoolConfig::nabbitc(p).with_topology(NumaTopology::paper_machine().truncated(p)),
+        ));
+
+        let mut modes = vec![Json::obj(vec![
+            ("mode", Json::Str("serial".into())),
+            ("seconds", Json::Num(serial_s)),
+            ("measured_speedup", Json::Num(1.0)),
+        ])];
+
+        // static: the hand coloring through the real executor.
+        let exec = StaticExecutor::new(pool.clone());
+        let kernel = {
+            let g = hand_graph.clone();
+            Arc::new(move |u: NodeId, _w: usize| spin(g.work(u)))
+        };
+        let mut static_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let report = exec.execute(&hand_graph, kernel.clone());
+            static_s = static_s.min(report.seconds());
+        }
+        modes.push(Json::obj(vec![
+            ("mode", Json::Str("static".into())),
+            ("seconds", Json::Num(static_s)),
+            ("measured_speedup", Json::Num(serial_s / static_s)),
+            (
+                "predicted_speedup",
+                Json::Num(predicted_speedup(&hand_graph, &ws_cfg)),
+            ),
+        ]));
+
+        // auto: select once (first run), then re-execute the recolored
+        // graph — selection is the expensive part and per-run timing
+        // should price execution, not re-selection.
+        let exec = StaticExecutor::new(pool.clone()).with_options(ExecOptions {
+            count_remote: true,
+            cost: cost.clone(),
+            topology: Some(crate::paper_cost_topology(p)),
+            ..ExecOptions::default()
+        });
+        let kernel = {
+            let g = Arc::new(bare.graph.clone());
+            Arc::new(move |u: NodeId, _w: usize| spin(g.work(u)))
+        };
+        let (first, recolored) = exec.execute_auto(&bare.graph, kernel.clone());
+        let mut auto_s = first.seconds();
+        for _ in 1..reps.max(1) {
+            let report = exec.execute(&recolored, kernel.clone());
+            auto_s = auto_s.min(report.seconds());
+        }
+        let auto_colors: Vec<Color> = recolored.nodes().map(|u| recolored.color(u)).collect();
+        modes.push(Json::obj(vec![
+            ("mode", Json::Str("auto".into())),
+            ("seconds", Json::Num(auto_s)),
+            ("measured_speedup", Json::Num(serial_s / auto_s)),
+            (
+                "predicted_speedup",
+                Json::Num(predicted_speedup_recolored(
+                    &bare.graph,
+                    &auto_colors,
+                    &ws_cfg,
+                )),
+            ),
+            (
+                "coloring_s",
+                Json::Num(
+                    first
+                        .coloring_elapsed
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0),
+                ),
+            ),
+            (
+                "selection",
+                first
+                    .selection_summary()
+                    .map(Json::Str)
+                    .unwrap_or(Json::Null),
+            ),
+        ]));
+
+        // ondemand: same graph, discovered lazily (the Nabbit protocol).
+        // The simulator has no model of discovery overhead, so the
+        // prediction is the static one — the gap *is* the protocol cost.
+        let spec = Arc::new(GraphSpec {
+            graph: hand_graph.clone(),
+        });
+        let dyn_exec = DynamicExecutor::new(pool.clone(), spec);
+        let mut ondemand_s = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let report = dyn_exec.execute(VIRTUAL_SINK);
+            assert_eq!(
+                report.nodes_executed,
+                hand_graph.node_count() as u64 + 1,
+                "on-demand discovery must cover the whole graph plus the virtual sink"
+            );
+            ondemand_s = ondemand_s.min(report.elapsed.as_secs_f64());
+        }
+        modes.push(Json::obj(vec![
+            ("mode", Json::Str("ondemand".into())),
+            ("seconds", Json::Num(ondemand_s)),
+            ("measured_speedup", Json::Num(serial_s / ondemand_s)),
+            (
+                "predicted_speedup",
+                Json::Num(predicted_speedup(&hand_graph, &ws_cfg)),
+            ),
+        ]));
+
+        results.push(Json::obj(vec![
+            ("p", Json::Num(p as f64)),
+            ("nodes", Json::Num(hand_graph.node_count() as f64)),
+            ("serial_s", Json::Num(serial_s)),
+            ("modes", Json::Arr(modes)),
+        ]));
+    }
+
+    // One traced run at the widest sweep point: event-ring totals prove
+    // the tracing path works on this workload and give the reader steal
+    // counts to hold against the speedup columns.
+    let trace = traced_run(id, scale, sweep.last().copied().unwrap_or(1));
+
+    Json::obj(vec![
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        (
+            "trace_schema_version",
+            Json::Num(nabbitc_runtime::trace::SCHEMA_VERSION as f64),
+        ),
+        ("workload", Json::Str(id.name().to_string())),
+        ("scale", Json::Str(format!("{scale:?}"))),
+        ("results", Json::Arr(results)),
+        ("trace", trace),
+    ])
+}
+
+/// One run with event tracing enabled; returns the ring totals. `execs`
+/// counts scheduler *task* executions, not graph nodes — the static
+/// executor runs a chain of single-ready successors inside one task, so
+/// `execs ≤ nodes + 1` (the `+1` is the root task) with equality only on
+/// fanout-everywhere shapes.
+fn traced_run(id: BenchId, scale: Scale, p: usize) -> Json {
+    let built = registry::build(id, scale, p);
+    let graph = Arc::new(built.graph);
+    let pool = Arc::new(Pool::new(
+        PoolConfig::nabbitc(p).with_trace(TraceConfig::enabled()),
+    ));
+    let exec = StaticExecutor::new(pool);
+    let kernel = {
+        let g = graph.clone();
+        Arc::new(move |u: NodeId, _w: usize| spin(g.work(u)))
+    };
+    let report = exec.execute(&graph, kernel);
+    let rt = report
+        .runtime_trace
+        .expect("pool was built with tracing enabled");
+    let (mut execs, mut attempts, mut successes) = (0u64, 0u64, 0u64);
+    for s in rt.summaries() {
+        execs += s.execs;
+        attempts += s.steal_attempts;
+        successes += s.steal_successes;
+    }
+    Json::obj(vec![
+        ("p", Json::Num(p as f64)),
+        ("nodes", Json::Num(graph.node_count() as f64)),
+        ("events_recorded", Json::Num(rt.total_recorded() as f64)),
+        ("events_dropped", Json::Num(rt.total_dropped() as f64)),
+        ("execs", Json::Num(execs as f64)),
+        ("steal_attempts", Json::Num(attempts as f64)),
+        ("steal_successes", Json::Num(successes as f64)),
+    ])
+}
+
+/// `BENCH_<workload>.json` path under `dir`.
+pub fn bench_path(dir: &std::path::Path, id: BenchId) -> std::path::PathBuf {
+    dir.join(format!("BENCH_{}.json", id.name()))
+}
+
+/// Writes the document for `id` under `dir`, creating the directory.
+pub fn write_doc(
+    dir: &std::path::Path,
+    id: BenchId,
+    doc: &Json,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = bench_path(dir, id);
+    std::fs::write(&path, doc.pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, validate_bench_json};
+
+    #[test]
+    fn tiny_heat_sweep_emits_a_valid_document() {
+        let doc = run_workload(
+            BenchId::Heat,
+            Scale::Tiny,
+            &CostModel::default(),
+            &[1, 2],
+            1,
+        );
+        assert_eq!(validate_bench_json(&doc), Vec::<String>::new());
+        assert_eq!(doc.get("workload").and_then(Json::as_str), Some("heat"));
+        assert_eq!(doc.get("scale").and_then(Json::as_str), Some("Tiny"));
+
+        // The traced run recorded the job: task executions are bounded by
+        // the node count plus the root task (the static executor chains
+        // single-ready successors through one task, so execs < nodes on
+        // chain-heavy shapes like the stencil).
+        let trace = doc.get("trace").expect("trace section");
+        let execs = trace.get("execs").and_then(Json::as_num).unwrap();
+        let nodes = trace.get("nodes").and_then(Json::as_num).unwrap();
+        assert!(
+            execs >= 1.0 && execs <= nodes + 1.0,
+            "task execs {execs} out of range for {nodes} nodes"
+        );
+
+        // Written form round-trips through the parser and still validates.
+        let text = doc.pretty();
+        let back = parse(&text).expect("emitted JSON must parse");
+        assert_eq!(validate_bench_json(&back), Vec::<String>::new());
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn ondemand_adapter_covers_multi_sink_graphs() {
+        // sw's wavefront has one sink; heat's iterated stencil collapses
+        // too. Use a bare two-sink fan: the virtual sink must pull both.
+        let mut b = nabbitc_graph::GraphBuilder::new();
+        let root = b.add_node(10, Color(0), vec![]);
+        let left = b.add_node(10, Color(0), vec![]);
+        let right = b.add_node(10, Color(1), vec![]);
+        b.add_edge(root, left);
+        b.add_edge(root, right);
+        let g = b.build().expect("valid fan graph");
+        let spec = Arc::new(GraphSpec { graph: Arc::new(g) });
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(2)));
+        let report = DynamicExecutor::new(pool, spec).execute(VIRTUAL_SINK);
+        assert_eq!(report.nodes_executed, 4, "3 real nodes + virtual sink");
+    }
+}

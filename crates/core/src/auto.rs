@@ -26,13 +26,13 @@
 //! *which* color a task carries, never the stealing protocol.
 
 use crate::dynamic::TaskSpec;
-use crate::static_exec::{StaticExecutor, StaticReport};
-use nabbitc_autocolor::{
-    apply_assignment, autocolor, AutoSelect, ColorAssigner, OnlineAssigner, SelectionReport,
-};
+use crate::report::RunReport;
+use crate::static_exec::StaticExecutor;
+use nabbitc_autocolor::{apply_assignment, autocolor, AutoSelect, ColorAssigner, OnlineAssigner};
 use nabbitc_color::Color;
 use nabbitc_graph::{NodeId, TaskGraph};
 use std::sync::Arc;
+use std::time::Instant;
 
 impl StaticExecutor {
     /// Executes `graph` under colors inferred by `assigner` (for this
@@ -41,19 +41,25 @@ impl StaticExecutor {
     /// placement), so the remote-access report prices the inferred
     /// placement.
     ///
-    /// Returns the report plus the recolored graph, which callers should
-    /// reuse when executing repeatedly (assignment is the expensive part).
+    /// Returns the report (with
+    /// [`coloring_elapsed`](RunReport::coloring_elapsed) set to the
+    /// assignment's wall-clock cost) plus the recolored graph, which
+    /// callers should reuse when executing repeatedly (assignment is the
+    /// expensive part).
     pub fn execute_autocolored<K>(
         &self,
         graph: &TaskGraph,
         assigner: &dyn ColorAssigner,
         kernel: Arc<K>,
-    ) -> (StaticReport, Arc<TaskGraph>)
+    ) -> (RunReport, Arc<TaskGraph>)
     where
         K: Fn(NodeId, usize) + Send + Sync + 'static,
     {
+        let coloring_started = Instant::now();
         let recolored = Arc::new(autocolor(graph, assigner, self.pool().workers()));
-        let report = self.execute(&recolored, kernel);
+        let coloring_elapsed = coloring_started.elapsed();
+        let mut report = self.execute(&recolored, kernel);
+        report.coloring_elapsed = Some(coloring_elapsed);
         (report, recolored)
     }
 
@@ -73,19 +79,20 @@ impl StaticExecutor {
     /// the paper's 8×10 NUMA topology, where same-domain cut edges are
     /// priced at local bandwidth and the winner is domain-packed).
     ///
-    /// Returns the execution report, the recolored graph (reuse it when
-    /// executing repeatedly — selection is the expensive part), and the
-    /// [`SelectionReport`] saying which candidate won and why.
+    /// Returns the execution report and the recolored graph (reuse it
+    /// when executing repeatedly — selection is the expensive part). The
+    /// report's [`selection`](RunReport::selection) says which candidate
+    /// won and why (including the fallback flag and the selection's own
+    /// wall-clock cost), and
+    /// [`coloring_elapsed`](RunReport::coloring_elapsed) covers the whole
+    /// coloring phase (selection plus applying the winner).
     ///
     /// [`execute_autocolored`]: StaticExecutor::execute_autocolored
-    pub fn execute_auto<K>(
-        &self,
-        graph: &TaskGraph,
-        kernel: Arc<K>,
-    ) -> (StaticReport, Arc<TaskGraph>, SelectionReport)
+    pub fn execute_auto<K>(&self, graph: &TaskGraph, kernel: Arc<K>) -> (RunReport, Arc<TaskGraph>)
     where
         K: Fn(NodeId, usize) + Send + Sync + 'static,
     {
+        let coloring_started = Instant::now();
         let mut select = AutoSelect::default().with_cost_model(self.options().cost.clone());
         if let Some(topo) = &self.options().topology {
             select = select.with_topology(topo.clone());
@@ -94,8 +101,11 @@ impl StaticExecutor {
         let mut recolored = graph.clone();
         apply_assignment(&mut recolored, &colors);
         let recolored = Arc::new(recolored);
-        let report = self.execute(&recolored, kernel);
-        (report, recolored, selection)
+        let coloring_elapsed = coloring_started.elapsed();
+        let mut report = self.execute(&recolored, kernel);
+        report.coloring_elapsed = Some(coloring_elapsed);
+        report.selection = Some(selection);
+        (report, recolored)
     }
 }
 
@@ -237,12 +247,16 @@ mod tests {
         let counts: Arc<Vec<AtomicU32>> =
             Arc::new((0..graph.node_count()).map(|_| AtomicU32::new(0)).collect());
         let c2 = counts.clone();
-        let (_report, recolored, selection) = exec.execute_auto(
+        let (report, recolored) = exec.execute_auto(
             &graph,
             Arc::new(move |u: NodeId, _w: usize| {
                 c2[u as usize].fetch_add(1, Ordering::SeqCst);
             }),
         );
+        let selection = report.selection.as_ref().expect("execute_auto selects");
+        assert!(!selection.fallback);
+        assert!(report.coloring_elapsed.expect("coloring timed") >= selection.elapsed);
+        assert!(report.selection_summary().is_some());
         assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
         // The graph actually carries the winning candidate's colors.
         let colors: Vec<Color> = recolored.nodes().map(|u| recolored.color(u)).collect();
@@ -274,8 +288,8 @@ mod tests {
             topology: Some(topo.clone()),
             ..ExecOptions::default()
         });
-        let (_report, recolored, selection) =
-            exec.execute_auto(&graph, Arc::new(|_u: NodeId, _w: usize| {}));
+        let (report, recolored) = exec.execute_auto(&graph, Arc::new(|_u: NodeId, _w: usize| {}));
+        let selection = report.selection.as_ref().expect("execute_auto selects");
         assert_eq!(selection.topology, topo);
         // The reported estimate is the recolored graph's domain-aware
         // estimate under the plumbed topology.

@@ -30,6 +30,7 @@ pub mod auto;
 pub mod coloring;
 pub mod dynamic;
 pub mod metrics;
+pub mod report;
 pub mod spawn;
 pub mod static_exec;
 
@@ -37,4 +38,5 @@ pub use auto::AutoColoredSpec;
 pub use coloring::ColoringMode;
 pub use dynamic::{DynamicExecutor, DynamicReport, TaskSpec};
 pub use metrics::{RemoteAccessReport, RemoteCounters};
-pub use static_exec::{ExecOptions, StaticExecutor, StaticReport};
+pub use report::RunReport;
+pub use static_exec::{ExecOptions, StaticExecutor};

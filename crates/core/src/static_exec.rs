@@ -16,12 +16,13 @@
 //! paper's baseline which runs the same task graph under plain Cilk
 //! stealing).
 
-use crate::metrics::{RemoteAccessReport, RemoteCounters};
+use crate::metrics::RemoteCounters;
+use crate::report::RunReport;
 use crate::spawn::{spawn_colors, ColoredItem};
 use nabbitc_color::{Color, ColorSet};
 use nabbitc_graph::trace::{Trace, TraceEvent};
 use nabbitc_graph::{NodeId, TaskGraph};
-use nabbitc_runtime::{Pool, PoolStats, WorkerContext};
+use nabbitc_runtime::{Pool, WorkerContext};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,19 +52,6 @@ pub struct ExecOptions {
     /// `NumaTopology::paper_machine().truncated(p).cost_view()` to select
     /// for the paper machine.
     pub topology: Option<nabbitc_cost::Topology>,
-}
-
-/// Result of one static execution.
-#[derive(Debug)]
-pub struct StaticReport {
-    /// Wall-clock execution time.
-    pub elapsed: std::time::Duration,
-    /// Remote-access accounting (zeros unless `count_remote`).
-    pub remote: RemoteAccessReport,
-    /// Scheduler statistics for this run (steals, first-work waits, ...).
-    pub stats: PoolStats,
-    /// Execution trace (empty unless `record_trace`).
-    pub trace: Trace,
 }
 
 struct ExecState<K: ?Sized> {
@@ -133,7 +121,12 @@ impl StaticExecutor {
     /// Executes `graph`, invoking `kernel(node, worker_id)` once per node
     /// with all dependences satisfied. Blocks until the whole graph is
     /// done.
-    pub fn execute<K>(&self, graph: &Arc<TaskGraph>, kernel: Arc<K>) -> StaticReport
+    ///
+    /// The returned [`RunReport`] covers this run only: statistics are
+    /// reset on entry, and when the pool was built with event tracing
+    /// enabled, so are the event rings — `runtime_trace` is then the
+    /// run's own event stream.
+    pub fn execute<K>(&self, graph: &Arc<TaskGraph>, kernel: Arc<K>) -> RunReport
     where
         K: Fn(NodeId, usize) + Send + Sync + 'static,
     {
@@ -159,6 +152,7 @@ impl StaticExecutor {
         let executed = Arc::new(AtomicU64::new(0));
 
         self.pool.reset_stats();
+        self.pool.reset_trace();
         let started = Instant::now();
         {
             let state = state.clone();
@@ -194,8 +188,9 @@ impl StaticExecutor {
             },
             None => Trace::default(),
         };
-        StaticReport {
+        RunReport {
             elapsed,
+            coloring_elapsed: None,
             remote: state
                 .remote
                 .as_ref()
@@ -203,6 +198,11 @@ impl StaticExecutor {
                 .unwrap_or_default(),
             stats: self.pool.stats(),
             trace,
+            runtime_trace: self
+                .pool
+                .tracing_enabled()
+                .then(|| self.pool.trace_snapshot()),
+            selection: None,
         }
     }
 }
@@ -284,7 +284,7 @@ mod tests {
     use nabbitc_runtime::{NumaTopology, PoolConfig, StealPolicy};
     use std::sync::atomic::AtomicU32 as A32;
 
-    fn run_and_check(graph: TaskGraph, pool: Pool) -> StaticReport {
+    fn run_and_check(graph: TaskGraph, pool: Pool) -> RunReport {
         let graph = Arc::new(graph);
         let pool = Arc::new(pool);
         let exec = StaticExecutor::new(pool).with_options(ExecOptions {

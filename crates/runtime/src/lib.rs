@@ -33,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod task;
 pub mod topology;
+pub mod trace;
 
 pub use deque::{ColoredDeque, Steal};
 pub use policy::StealPolicy;
@@ -40,3 +41,6 @@ pub use pool::{Pool, PoolConfig, WorkerContext};
 pub use stats::{PoolStats, WorkerStatsSnapshot};
 pub use task::Task;
 pub use topology::NumaTopology;
+pub use trace::{
+    RuntimeTrace, TraceConfig, TraceEventKind, TraceRecord, WorkerTrace, WorkerTraceSummary,
+};

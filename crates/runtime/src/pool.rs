@@ -26,6 +26,7 @@ use crate::rng::XorShift64;
 use crate::stats::{PoolStats, WorkerStats};
 use crate::task::Task;
 use crate::topology::NumaTopology;
+use crate::trace::{RuntimeTrace, TraceConfig, TraceEventKind, Tracer};
 use crossbeam_utils::Backoff;
 use nabbitc_color::{Color, ColorSet};
 use parking_lot::{Condvar, Mutex};
@@ -46,6 +47,8 @@ pub struct PoolConfig {
     pub policy: StealPolicy,
     /// Seed for per-worker victim-selection RNGs.
     pub seed: u64,
+    /// Event tracing (off by default; see [`TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl PoolConfig {
@@ -64,6 +67,7 @@ impl PoolConfig {
             topology: NumaTopology::uma(workers),
             policy: StealPolicy::nabbitc(),
             seed: 0xC0FFEE,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -93,6 +97,12 @@ impl PoolConfig {
         self.seed = s;
         self
     }
+
+    /// Sets the trace configuration (builder style).
+    pub fn with_trace(mut self, t: TraceConfig) -> Self {
+        self.trace = t;
+        self
+    }
 }
 
 struct PoolInner {
@@ -101,6 +111,11 @@ struct PoolInner {
     topology: NumaTopology,
     policy: StealPolicy,
     workers: usize,
+    /// Event rings, present only when tracing is enabled — the disabled
+    /// path pays one `Option` branch per would-be event.
+    tracer: Option<Tracer>,
+    /// Trace task-id allocator (ids start at 1; 0 = untraced).
+    task_seq: AtomicU64,
 
     /// Outstanding (spawned but unfinished) tasks of the current job.
     pending: AtomicUsize,
@@ -121,6 +136,52 @@ struct PoolInner {
     job_cv: Condvar,
     done_lock: Mutex<()>,
     done_cv: Condvar,
+}
+
+impl PoolInner {
+    /// Records one trace event into `worker`'s ring, if tracing is on.
+    /// The caller must be `worker`'s own thread (single-writer rings).
+    #[inline]
+    fn record(
+        &self,
+        worker: usize,
+        kind: TraceEventKind,
+        colored: bool,
+        colors: &ColorSet,
+        arg: u64,
+    ) {
+        if let Some(tracer) = &self.tracer {
+            tracer.ring(worker).push(
+                self.origin.elapsed().as_nanos() as u64,
+                kind,
+                colored,
+                singleton_color(colors),
+                arg,
+            );
+        }
+    }
+
+    /// Allocates a trace task id (0 when tracing is off).
+    #[inline]
+    fn next_task_id(&self) -> u64 {
+        if self.tracer.is_some() {
+            self.task_seq.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            0
+        }
+    }
+}
+
+/// The singleton member of `colors`, or `None` for empty / multi-color
+/// sets (a morphing-continuation batch spans several colors; the trace
+/// records the ambiguity rather than picking one).
+#[inline]
+fn singleton_color(colors: &ColorSet) -> Option<u16> {
+    let mut it = colors.iter();
+    match (it.next(), it.next()) {
+        (Some(c), None) => Some(c.0),
+        _ => None,
+    }
 }
 
 /// Handle to a running worker pool.
@@ -149,6 +210,11 @@ impl Pool {
             topology: config.topology.clone(),
             policy: config.policy.clone(),
             workers: config.workers,
+            tracer: config
+                .trace
+                .enabled
+                .then(|| Tracer::new(config.workers, &config.trace)),
+            task_seq: AtomicU64::new(0),
             pending: AtomicUsize::new(0),
             active: AtomicUsize::new(0),
             injector: Mutex::new(VecDeque::new()),
@@ -219,7 +285,7 @@ impl Pool {
         inner.pending.store(1, Ordering::SeqCst);
         {
             let mut inj = inner.injector.lock();
-            inj.push_back(Task::new(colors, root));
+            inj.push_back(Task::new(colors, root).with_id(inner.next_task_id()));
             inner.injector_len.store(inj.len(), Ordering::SeqCst);
         }
         inner
@@ -252,6 +318,30 @@ impl Pool {
     pub fn reset_stats(&self) {
         for s in &self.inner.stats {
             s.reset();
+        }
+    }
+
+    /// Whether event tracing was enabled at construction.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.tracer.is_some()
+    }
+
+    /// Drains the per-worker event rings into a [`RuntimeTrace`]
+    /// (empty when tracing is disabled). Safe to call mid-run: slots a
+    /// worker is concurrently overwriting are skipped, not read torn.
+    pub fn trace_snapshot(&self) -> RuntimeTrace {
+        match &self.inner.tracer {
+            Some(t) => t.snapshot(|w| self.inner.topology.domain_of_worker(w)),
+            None => RuntimeTrace::default(),
+        }
+    }
+
+    /// Clears the event rings and the task-id allocator. Call only
+    /// between jobs (workers must be quiescent).
+    pub fn reset_trace(&self) {
+        if let Some(t) = &self.inner.tracer {
+            t.reset();
+            self.inner.task_seq.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -313,8 +403,11 @@ impl<'a> WorkerContext<'a> {
     where
         F: FnOnce(&mut WorkerContext<'_>) + Send + 'static,
     {
+        let id = self.inner.next_task_id();
+        self.inner
+            .record(self.worker, TraceEventKind::Spawn, false, &colors, id);
         self.inner.pending.fetch_add(1, Ordering::SeqCst);
-        self.inner.deques[self.worker].push(Box::new(Task::new(colors, f)), colors);
+        self.inner.deques[self.worker].push(Box::new(Task::new(colors, f).with_id(id)), colors);
     }
 
     /// Uniform random value below `n` from the worker's RNG (exposed for
@@ -367,7 +460,11 @@ fn run_job_loop(inner: &PoolInner, worker: usize, seed: u64) {
     let job_start = inner.job_start_ns.load(Ordering::SeqCst);
     let mut acquired_any = false;
     let mut first_steal_pending = inner.policy.force_first_colored;
+    // Tracks the idle-enter/idle-exit trace pair: set on first entering
+    // the steal loop, cleared when work is acquired again.
+    let mut is_idle = false;
     let backoff = Backoff::new();
+    let none = ColorSet::empty();
 
     let record_first = |acquired_any: &mut bool| {
         if !*acquired_any {
@@ -396,6 +493,10 @@ fn run_job_loop(inner: &PoolInner, worker: usize, seed: u64) {
                 t
             };
             if let Some(task) = task {
+                if is_idle {
+                    is_idle = false;
+                    inner.record(worker, TraceEventKind::IdleExit, false, &none, 0);
+                }
                 record_first(&mut acquired_any);
                 backoff.reset();
                 execute(inner, &mut ctx, task);
@@ -407,6 +508,10 @@ fn run_job_loop(inner: &PoolInner, worker: usize, seed: u64) {
             break;
         }
 
+        if !is_idle {
+            is_idle = true;
+            inner.record(worker, TraceEventKind::IdleEnter, false, &none, 0);
+        }
         let idle_started = Instant::now();
         let got = steal_round(inner, &mut ctx, &accept, &mut first_steal_pending);
         stats
@@ -414,6 +519,8 @@ fn run_job_loop(inner: &PoolInner, worker: usize, seed: u64) {
             .fetch_add(idle_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         match got {
             Some(task) => {
+                is_idle = false;
+                inner.record(worker, TraceEventKind::IdleExit, false, &none, 0);
                 record_first(&mut acquired_any);
                 backoff.reset();
                 execute(inner, &mut ctx, *task);
@@ -425,6 +532,10 @@ fn run_job_loop(inner: &PoolInner, worker: usize, seed: u64) {
                 backoff.snooze();
             }
         }
+    }
+    if is_idle {
+        // Close the open idle span so the Chrome export stays balanced.
+        inner.record(worker, TraceEventKind::IdleExit, false, &none, 0);
     }
 
     if !acquired_any {
@@ -441,7 +552,10 @@ fn execute(inner: &PoolInner, ctx: &mut WorkerContext<'_>, task: Task) {
     inner.stats[ctx.worker]
         .tasks_executed
         .fetch_add(1, Ordering::Relaxed);
+    let (id, colors) = (task.id, task.colors);
+    inner.record(ctx.worker, TraceEventKind::ExecBegin, false, &colors, id);
     let result = catch_unwind(AssertUnwindSafe(|| task.run(ctx)));
+    inner.record(ctx.worker, TraceEventKind::ExecEnd, false, &colors, id);
     if result.is_err() {
         inner.job_panicked.store(true, Ordering::SeqCst);
     }
@@ -472,6 +586,8 @@ fn steal_round(
     // `victim` below returns `Some`.
     let pick = |rng: &mut XorShift64| rng.victim(workers, me).expect("workers >= 2");
 
+    let none = ColorSet::empty();
+
     if *first_steal_pending {
         // Forced first colored steal: only colored attempts until one
         // succeeds (bounded by the policy's escape hatch).
@@ -482,8 +598,14 @@ fn steal_round(
             let checks = stats.first_steal_checks.fetch_add(1, Ordering::Relaxed) + 1;
             stats.colored_steal_attempts.fetch_add(1, Ordering::Relaxed);
             let v = pick(&mut ctx.rng);
+            inner.record(me, TraceEventKind::StealAttempt, true, &none, v as u64);
             if let Steal::Success(t) = inner.deques[v].steal_if_any(accept) {
-                stats.colored_steals.fetch_add(1, Ordering::Relaxed);
+                // Release pairs with the Acquire load in
+                // `WorkerStats::snapshot`: a snapshot that sees this
+                // success also sees the attempt increment above, keeping
+                // mid-run snapshots at steals <= attempts.
+                stats.colored_steals.fetch_add(1, Ordering::Release);
+                inner.record(me, TraceEventKind::StealSuccess, true, &t.colors, v as u64);
                 *first_steal_pending = false;
                 return Some(t);
             }
@@ -502,16 +624,20 @@ fn steal_round(
     for _ in 0..inner.policy.colored_attempts {
         stats.colored_steal_attempts.fetch_add(1, Ordering::Relaxed);
         let v = pick(&mut ctx.rng);
+        inner.record(me, TraceEventKind::StealAttempt, true, &none, v as u64);
         if let Steal::Success(t) = inner.deques[v].steal_if_any(accept) {
-            stats.colored_steals.fetch_add(1, Ordering::Relaxed);
+            stats.colored_steals.fetch_add(1, Ordering::Release);
+            inner.record(me, TraceEventKind::StealSuccess, true, &t.colors, v as u64);
             return Some(t);
         }
     }
 
     stats.random_steal_attempts.fetch_add(1, Ordering::Relaxed);
     let v = pick(&mut ctx.rng);
+    inner.record(me, TraceEventKind::StealAttempt, false, &none, v as u64);
     if let Steal::Success(t) = inner.deques[v].steal() {
-        stats.random_steals.fetch_add(1, Ordering::Relaxed);
+        stats.random_steals.fetch_add(1, Ordering::Release);
+        inner.record(me, TraceEventKind::StealSuccess, false, &t.colors, v as u64);
         return Some(t);
     }
     None

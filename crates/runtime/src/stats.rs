@@ -5,7 +5,10 @@
 //! steal), and the steal-overhead discussion in §V-C.
 
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed},
+};
 
 /// Live atomic counters for one worker (runtime-internal).
 #[derive(Default)]
@@ -37,12 +40,20 @@ impl WorkerStats {
     }
 
     pub(crate) fn snapshot(&self) -> WorkerStatsSnapshot {
+        // Success counters are loaded with Acquire *before* their attempt
+        // counters: each success increment is a Release that happens after
+        // its own attempt increment on the same worker thread, so any
+        // success this snapshot observes implies the matching attempt is
+        // visible too. Mid-run snapshots therefore always satisfy
+        // steals <= attempts, per kind.
+        let colored_steals = self.colored_steals.load(Acquire);
+        let random_steals = self.random_steals.load(Acquire);
         WorkerStatsSnapshot {
             tasks_executed: self.tasks_executed.load(Relaxed),
             colored_steal_attempts: self.colored_steal_attempts.load(Relaxed),
-            colored_steals: self.colored_steals.load(Relaxed),
+            colored_steals,
             random_steal_attempts: self.random_steal_attempts.load(Relaxed),
-            random_steals: self.random_steals.load(Relaxed),
+            random_steals,
             first_steal_checks: self.first_steal_checks.load(Relaxed),
             first_work_wait_ns: self.first_work_wait_ns.load(Relaxed),
             idle_ns: self.idle_ns.load(Relaxed),

@@ -13,19 +13,30 @@ use nabbitc_color::ColorSet;
 pub struct Task {
     /// Colors available inside this task (for colored steals).
     pub colors: ColorSet,
+    /// Trace identity: a pool-unique id assigned at spawn when event
+    /// tracing is enabled, `0` otherwise. Correlates the spawn /
+    /// exec-begin / exec-end events of one task across worker rings.
+    pub id: u64,
     func: Box<dyn FnOnce(&mut WorkerContext<'_>) + Send>,
 }
 
 impl Task {
-    /// Creates a task.
+    /// Creates a task (trace id `0`, i.e. untraced).
     pub fn new(
         colors: ColorSet,
         func: impl FnOnce(&mut WorkerContext<'_>) + Send + 'static,
     ) -> Self {
         Task {
             colors,
+            id: 0,
             func: Box::new(func),
         }
+    }
+
+    /// Sets the trace id (builder style).
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
     }
 
     /// Runs the task on a worker.
@@ -38,6 +49,7 @@ impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Task")
             .field("colors", &self.colors)
+            .field("id", &self.id)
             .finish()
     }
 }

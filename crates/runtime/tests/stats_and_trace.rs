@@ -1,0 +1,236 @@
+//! Integration tests for the pool's observability surface: statistics
+//! reset semantics, mid-run snapshot consistency, and event tracing.
+
+use nabbitc_color::ColorSet;
+use nabbitc_runtime::{Pool, PoolConfig, TraceConfig, TraceEventKind, WorkerContext};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Runs a job that executes exactly `1 + leaves` tasks (root + spawned
+/// leaves), returning how many leaf bodies ran.
+fn run_fanout(pool: &Pool, leaves: u64) -> u64 {
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = counter.clone();
+    let colors = ColorSet::all(pool.workers());
+    pool.run(colors, move |ctx: &mut WorkerContext<'_>| {
+        for _ in 0..leaves {
+            let c2 = c.clone();
+            ctx.spawn(colors, move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    counter.load(Ordering::SeqCst)
+}
+
+#[test]
+fn stats_do_not_bleed_between_runs() {
+    let pool = Pool::new(PoolConfig::nabbitc(2));
+    assert_eq!(run_fanout(&pool, 64), 64);
+    let first = pool.stats();
+    // Task counts are deterministic: the root plus 64 leaves.
+    assert_eq!(first.total_tasks(), 65);
+
+    pool.reset_stats();
+    let cleared = pool.stats();
+    for w in &cleared.workers {
+        assert_eq!(*w, Default::default(), "reset left residue: {w:?}");
+    }
+
+    // A second identical run on the reused pool must report exactly the
+    // same totals — no bleed-through from the first run's counters
+    // (tasks, steal counts, idle_ns, first_work_wait_ns).
+    assert_eq!(run_fanout(&pool, 64), 64);
+    let second = pool.stats();
+    assert_eq!(second.total_tasks(), 65);
+    for w in &second.workers {
+        assert!(
+            w.colored_steals <= w.colored_steal_attempts,
+            "colored {w:?}"
+        );
+        assert!(w.random_steals <= w.random_steal_attempts, "random {w:?}");
+    }
+}
+
+#[test]
+fn reset_between_runs_clears_time_counters() {
+    let pool = Pool::new(PoolConfig::nabbitc(2));
+    run_fanout(&pool, 32);
+    // Multi-worker runs accrue some idle or first-work wait time. After a
+    // reset both must read zero until the next run.
+    pool.reset_stats();
+    let s = pool.stats();
+    assert!(s.workers.iter().all(|w| w.idle_ns == 0));
+    assert!(s.workers.iter().all(|w| w.first_work_wait_ns == 0));
+    assert_eq!(s.avg_first_work_wait_s(), 0.0);
+}
+
+#[test]
+fn mid_run_snapshots_are_internally_consistent() {
+    // Poll stats while a job is executing: per worker and per steal kind,
+    // an observed success must never outrun its attempt counter (the
+    // Release/Acquire pairing between steal_round and snapshot()).
+    let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+    let done = Arc::new(AtomicBool::new(false));
+    let runner = {
+        let pool = pool.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            for _ in 0..20 {
+                run_fanout(&pool, 500);
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    let mut polls = 0u32;
+    while !done.load(Ordering::SeqCst) {
+        let s = pool.stats();
+        for w in &s.workers {
+            assert!(
+                w.colored_steals <= w.colored_steal_attempts,
+                "mid-run: colored steals {} > attempts {}",
+                w.colored_steals,
+                w.colored_steal_attempts
+            );
+            assert!(
+                w.random_steals <= w.random_steal_attempts,
+                "mid-run: random steals {} > attempts {}",
+                w.random_steals,
+                w.random_steal_attempts
+            );
+        }
+        polls += 1;
+        // Keep the 1-CPU container's runner thread making progress.
+        std::thread::yield_now();
+    }
+    assert!(polls > 0);
+    runner.join().unwrap();
+}
+
+#[test]
+fn disabled_tracing_yields_empty_snapshot() {
+    let pool = Pool::new(PoolConfig::nabbitc(2));
+    assert!(!pool.tracing_enabled());
+    run_fanout(&pool, 16);
+    let trace = pool.trace_snapshot();
+    assert_eq!(trace.total_events(), 0);
+    assert!(trace.workers.is_empty());
+}
+
+#[test]
+fn enabled_tracing_records_the_job() {
+    let pool = Pool::new(PoolConfig::nabbitc(2).with_trace(TraceConfig::enabled()));
+    assert!(pool.tracing_enabled());
+    run_fanout(&pool, 64);
+    let trace = pool.trace_snapshot();
+    assert_eq!(trace.workers.len(), 2);
+    assert_eq!(trace.total_dropped(), 0, "default capacity must not wrap");
+
+    // Execution events: root + 64 leaves, each with a begin and an end.
+    let execs: Vec<_> = trace
+        .workers
+        .iter()
+        .flat_map(|w| &w.events)
+        .filter(|e| e.kind == TraceEventKind::ExecBegin)
+        .collect();
+    let ends = trace
+        .workers
+        .iter()
+        .flat_map(|w| &w.events)
+        .filter(|e| e.kind == TraceEventKind::ExecEnd)
+        .count();
+    assert_eq!(execs.len(), 65);
+    assert_eq!(ends, 65);
+
+    // Every executed task carries a distinct nonzero id, and the spawned
+    // ones were announced by a Spawn event with the same id.
+    let mut ids: Vec<u64> = execs.iter().map(|e| e.arg).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 65, "task ids must be unique");
+    assert!(ids.iter().all(|&id| id > 0));
+    let spawns = trace
+        .workers
+        .iter()
+        .flat_map(|w| &w.events)
+        .filter(|e| e.kind == TraceEventKind::Spawn)
+        .count();
+    assert_eq!(spawns, 64, "one spawn event per leaf");
+
+    // Summaries agree with the event stream and stats.
+    let summaries = trace.summaries();
+    let total_execs: u64 = summaries.iter().map(|s| s.execs).sum();
+    assert_eq!(total_execs, 65);
+    assert_eq!(total_execs, pool.stats().total_tasks());
+
+    // Steal events are per-worker-ordered and attempt-covered: within a
+    // ring, successes never outnumber prior attempts.
+    for w in &trace.workers {
+        let mut attempts = 0u64;
+        let mut successes = 0u64;
+        for e in &w.events {
+            match e.kind {
+                TraceEventKind::StealAttempt => attempts += 1,
+                TraceEventKind::StealSuccess => {
+                    successes += 1;
+                    assert!(successes <= attempts, "success before attempt in ring");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // The Chrome export round-trips the basics.
+    let json = pool.trace_snapshot().chrome_trace_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"name\":\"task\""));
+
+    // Reset clears the rings and restarts task ids from 1.
+    pool.reset_trace();
+    assert_eq!(pool.trace_snapshot().total_events(), 0);
+    run_fanout(&pool, 4);
+    let again = pool.trace_snapshot();
+    let max_id = again
+        .workers
+        .iter()
+        .flat_map(|w| &w.events)
+        .filter(|e| e.kind == TraceEventKind::ExecBegin)
+        .map(|e| e.arg)
+        .max()
+        .unwrap();
+    assert!(max_id <= 5, "task ids must restart after reset_trace");
+}
+
+#[test]
+fn timestamps_are_monotonic_within_a_worker() {
+    let pool = Pool::new(PoolConfig::nabbitc(2).with_trace(TraceConfig::with_capacity(1 << 12)));
+    run_fanout(&pool, 128);
+    let trace = pool.trace_snapshot();
+    for w in &trace.workers {
+        for pair in w.events.windows(2) {
+            assert!(
+                pair[0].ts_ns <= pair[1].ts_ns,
+                "worker {} timestamps out of order",
+                w.worker
+            );
+        }
+        // Domain annotation comes from the pool topology (UMA here).
+        assert!(w.events.iter().all(|e| e.domain == 0));
+    }
+}
+
+#[test]
+fn tiny_ring_drops_oldest_but_keeps_counting() {
+    let pool = Pool::new(PoolConfig::nabbitc(1).with_trace(TraceConfig::with_capacity(16)));
+    run_fanout(&pool, 200);
+    let trace = pool.trace_snapshot();
+    // 200 spawns + 201 begin/end pairs overflow a 16-slot ring many times
+    // over; the recorded total still counts every event.
+    assert!(trace.total_recorded() > 400);
+    assert_eq!(trace.total_events(), 16);
+    assert_eq!(
+        trace.total_dropped(),
+        trace.total_recorded() - 16,
+        "dropped must account for everything not retained"
+    );
+}

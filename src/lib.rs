@@ -60,9 +60,10 @@
 //! makespan estimator for this pool's worker count, applies the winner
 //! (edge-cut bisection on stencils, level-aware partitioning on
 //! wavefronts — no single objective wins both), and re-homes the data
-//! accordingly. The returned
-//! [`SelectionReport`](autocolor::SelectionReport) says which candidate
-//! won and what each one scored.
+//! accordingly. The returned report's
+//! [`selection`](core::RunReport::selection) field is the
+//! [`SelectionReport`](autocolor::SelectionReport) saying which candidate
+//! won, what each one scored, and what the selection cost.
 //!
 //! ```
 //! use nabbitc::prelude::*;
@@ -76,7 +77,7 @@
 //! let exec = StaticExecutor::new(pool);
 //! let done = Arc::new(AtomicU64::new(0));
 //! let d = done.clone();
-//! let (_report, recolored, selection) = exec.execute_auto(
+//! let (report, recolored) = exec.execute_auto(
 //!     &graph,
 //!     Arc::new(move |_node, _worker| {
 //!         d.fetch_add(1, Ordering::SeqCst);
@@ -85,6 +86,7 @@
 //! assert_eq!(done.load(Ordering::SeqCst), 100);
 //! // Both workers received a share of the inferred coloring.
 //! assert!(recolored.nodes().any(|u| recolored.color(u) != recolored.color(0)));
+//! let selection = report.selection.as_ref().unwrap();
 //! println!("selected strategy: {}", selection.chosen_name());
 //! ```
 //!
@@ -144,6 +146,63 @@
 //! &topo)`), `WsConfig { cost, .. }` for the simulator,
 //! `AutoSelect::default().with_cost_model(cost).with_topology(topo)` (or
 //! `ExecOptions { cost, topology, .. }` through `execute_auto`).
+//!
+//! ## Observability
+//!
+//! Every executor run returns one [`RunReport`](core::RunReport):
+//! execution wall-clock (`elapsed`), coloring wall-clock
+//! (`coloring_elapsed`, autocolored paths only), the §V-B remote-access
+//! percentages (`remote`), per-worker scheduler counters (`stats`), the
+//! per-node execution trace (`trace`, behind
+//! [`ExecOptions::record_trace`](core::ExecOptions)), the runtime event
+//! trace (`runtime_trace`, see below), and the autocolor
+//! [`SelectionReport`](autocolor::SelectionReport) (`selection`,
+//! `execute_auto` only).
+//!
+//! **Event tracing.** Build the pool with
+//! [`TraceConfig`](runtime::TraceConfig) enabled and every worker records
+//! timestamped spawn / exec-begin / exec-end / steal-attempt /
+//! steal-success / idle-enter / idle-exit events into a fixed-capacity
+//! lock-free ring (drop-oldest, no allocation on the hot path; with
+//! tracing off — the default — the pool allocates no rings and each
+//! record site is one branch). Snapshots
+//! ([`Pool::trace_snapshot`](runtime::Pool::trace_snapshot)) aggregate
+//! into per-worker summaries
+//! ([`RuntimeTrace::summaries`](runtime::RuntimeTrace::summaries)) and
+//! export as Chrome `trace_event` JSON
+//! ([`RuntimeTrace::chrome_trace_json`](runtime::RuntimeTrace::chrome_trace_json))
+//! loadable in `chrome://tracing` or Perfetto.
+//!
+//! ```
+//! use nabbitc::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let pool = Arc::new(Pool::new(
+//!     PoolConfig::nabbitc(2).with_trace(TraceConfig::enabled()),
+//! ));
+//! let exec = StaticExecutor::new(pool);
+//! let graph = Arc::new(nabbitc::graph::generate::wavefront(8, 8, 1, 2));
+//! let report = exec.execute(&graph, Arc::new(|_node, _worker| {}));
+//! let trace = report.runtime_trace.unwrap();
+//! // Execs count scheduler *tasks*, not graph nodes: the executor runs
+//! // chains of single-ready successors inside one task, so a 64-node
+//! // wavefront is anywhere from 1 task (pure chaining) to 65 (root +
+//! // one task per node), depending on how stealing went.
+//! let execs: u64 = trace.summaries().iter().map(|s| s.execs).sum();
+//! assert!((1..=65).contains(&execs));
+//! assert!(trace.total_recorded() >= 2 * execs); // begin + end per task
+//! let chrome_json = trace.chrome_trace_json(); // chrome://tracing-loadable
+//! assert!(chrome_json.starts_with("{\"traceEvents\":["));
+//! ```
+//!
+//! **Wall-clock benchmarks.** `cargo run --release -p nabbitc-bench --bin
+//! wallclock` sweeps the real executor (serial / static / auto /
+//! on-demand × P) over the workload registry and writes one versioned
+//! `BENCH_<workload>.json` per workload at the repo root, recording
+//! measured speedup next to the NUMA simulator's predicted speedup (the
+//! estimator-drift trajectory). `wallclock --validate` re-parses the
+//! emitted files and checks the schema; see the README's Observability
+//! section for the key-by-key schema.
 
 pub use nabbitc_autocolor as autocolor;
 pub use nabbitc_color as color;
@@ -163,7 +222,8 @@ pub mod prelude {
     };
     pub use nabbitc_color::{Color, ColorSet};
     pub use nabbitc_core::{
-        AutoColoredSpec, ColoringMode, DynamicExecutor, ExecOptions, StaticExecutor, TaskSpec,
+        AutoColoredSpec, ColoringMode, DynamicExecutor, ExecOptions, RunReport, StaticExecutor,
+        TaskSpec,
     };
     pub use nabbitc_cost::Topology;
     pub use nabbitc_graph::{GraphBuilder, NodeAccess, NodeId, TaskGraph};
@@ -171,5 +231,7 @@ pub mod prelude {
         simulate_omp, simulate_ws, CostModel, OmpSchedule, SimResult, WsConfig,
     };
     pub use nabbitc_parfor::{Schedule, Team};
-    pub use nabbitc_runtime::{NumaTopology, Pool, PoolConfig, StealPolicy};
+    pub use nabbitc_runtime::{
+        NumaTopology, Pool, PoolConfig, RuntimeTrace, StealPolicy, TraceConfig,
+    };
 }
