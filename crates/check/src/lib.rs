@@ -1,0 +1,28 @@
+//! Model-check harness for the nabbitc runtime.
+//!
+//! Ports the six invariants of the WorkStealing.tla spec into executable
+//! checks over the real `nabbitc-runtime` data structures, explored
+//! exhaustively on bounded configurations by the workspace `loom` shim:
+//!
+//! | invariant | meaning | where checked |
+//! |-----------|---------|---------------|
+//! | W1 | no lost tasks | `model::check_accounting` |
+//! | W2 | no double execution | `model::check_accounting` |
+//! | W3 | LIFO local pops, FIFO steals | `model::check_accounting` + `tests/invariants.rs` |
+//! | W4 | operations linearizable | [`lin`] (Wing–Gong) via `model::check_linearizable` |
+//! | W5 | progress: work left ⇒ someone runs | `model::run_injector_progress` |
+//! | W6 | steal attempts bounded per idle episode | `model::check_accounting` |
+//!
+//! The deque/injector under test are compiled with
+//! `--cfg nabbitc_check`, which swaps their atomics for the loom shim's
+//! instrumented TSO model (see `nabbitc_runtime::sync`); the `model`
+//! module (scenarios + checks) only exists under that cfg, which is why
+//! the table references it as plain text. The [`spec`] and [`lin`]
+//! modules are plain sequential code and are unit-tested in the
+//! ordinary tier-1 build as well.
+
+pub mod lin;
+pub mod spec;
+
+#[cfg(nabbitc_check)]
+pub mod model;

@@ -1,0 +1,143 @@
+//! Wing–Gong linearizability checker (invariant W4).
+//!
+//! Takes a concurrent history of deque operations — each with an
+//! invocation and response timestamp from the model's logical clock —
+//! and searches for a linearization: a total order that (a) respects
+//! real-time precedence (if op A responded before op B was invoked, A
+//! linearizes first) and (b) replays correctly against the sequential
+//! [`SeqDeque`]. Exponential in the worst case, fine for the
+//! bounded histories (≤ ~16 operations) the model configs produce.
+
+use crate::spec::{Op, SeqDeque};
+
+/// One completed operation of a concurrent history.
+#[derive(Clone, Copy, Debug)]
+pub struct Record {
+    pub op: Op,
+    /// Value returned (None for pushes and empty pops/steals).
+    pub ret: Option<u64>,
+    /// Logical-clock timestamp taken immediately before the operation.
+    pub invoke: u64,
+    /// Logical-clock timestamp taken immediately after it returned.
+    pub response: u64,
+}
+
+impl Record {
+    pub fn new(op: Op, ret: Option<u64>, invoke: u64, response: u64) -> Self {
+        debug_assert!(invoke <= response, "response before invocation");
+        Self {
+            op,
+            ret,
+            invoke,
+            response,
+        }
+    }
+}
+
+/// Returns true iff `history` is linearizable against a fresh
+/// [`SeqDeque`].
+pub fn linearizable(history: &[Record]) -> bool {
+    let mut taken = vec![false; history.len()];
+    search(history, &mut taken, history.len(), &SeqDeque::new())
+}
+
+fn search(history: &[Record], taken: &mut [bool], left: usize, state: &SeqDeque) -> bool {
+    if left == 0 {
+        return true;
+    }
+    for i in 0..history.len() {
+        if taken[i] || !minimal(history, taken, i) {
+            continue;
+        }
+        let mut next = state.clone();
+        if next.apply(history[i].op) != history[i].ret {
+            continue;
+        }
+        taken[i] = true;
+        if search(history, taken, left - 1, &next) {
+            taken[i] = false;
+            return true;
+        }
+        taken[i] = false;
+    }
+    false
+}
+
+/// An untaken op is minimal when no other untaken op responded strictly
+/// before it was invoked — only minimal ops may linearize next.
+fn minimal(history: &[Record], taken: &[bool], i: usize) -> bool {
+    history
+        .iter()
+        .enumerate()
+        .all(|(j, r)| j == i || taken[j] || r.response >= history[i].invoke)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(op: Op, ret: Option<u64>, at: u64) -> Record {
+        Record::new(op, ret, at, at)
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let h = [
+            seq(Op::Push(1), None, 1),
+            seq(Op::Push(2), None, 2),
+            seq(Op::Steal, Some(1), 3),
+            seq(Op::Pop, Some(2), 4),
+            seq(Op::Pop, None, 5),
+        ];
+        assert!(linearizable(&h));
+    }
+
+    #[test]
+    fn overlapping_pop_and_steal_may_commute() {
+        // One element; a pop and a steal overlap in real time. Either one
+        // may win — the history where the steal got the element and the
+        // pop came up empty is valid.
+        let h = [
+            seq(Op::Push(7), None, 1),
+            Record::new(Op::Pop, None, 2, 6),
+            Record::new(Op::Steal, Some(7), 3, 5),
+        ];
+        assert!(linearizable(&h));
+    }
+
+    #[test]
+    fn double_take_is_rejected() {
+        // W2 in miniature: one pushed value returned by both a steal and
+        // a pop can never linearize.
+        let h = [
+            seq(Op::Push(7), None, 1),
+            Record::new(Op::Steal, Some(7), 2, 4),
+            Record::new(Op::Pop, Some(7), 3, 5),
+        ];
+        assert!(!linearizable(&h));
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // The pop responds before the push is invoked, so it cannot have
+        // seen the pushed value.
+        let h = [
+            Record::new(Op::Pop, Some(3), 1, 2),
+            Record::new(Op::Push(3), None, 4, 5),
+        ];
+        assert!(!linearizable(&h));
+    }
+
+    #[test]
+    fn fifo_steal_order_is_enforced() {
+        // Two non-overlapping steals must take the two values oldest
+        // first; the swapped return order is not linearizable.
+        let h = [
+            seq(Op::Push(1), None, 1),
+            seq(Op::Push(2), None, 2),
+            Record::new(Op::Steal, Some(2), 3, 4),
+            Record::new(Op::Steal, Some(1), 5, 6),
+        ];
+        assert!(!linearizable(&h));
+    }
+}

@@ -1,0 +1,253 @@
+//! Bounded work-stealing scenarios executed under the loom explorer.
+//!
+//! Each scenario is a *fixed-length script* per virtual thread (no
+//! unbounded retry loops), so every execution terminates and the DFS
+//! tree is finite: the owner pushes `tasks` values (popping at a
+//! configured cadence), each thief makes a fixed number of steal
+//! attempts, then the owner joins everyone and drains the leftovers.
+//! The explorer enumerates every interleaving of the visible operations
+//! within the preemption bound, including TSO store-buffer commit
+//! timing.
+//!
+//! Values taken out of the deque are deliberately *leaked* (`mem::forget`)
+//! instead of dropped: under a seeded ordering bug a W2 violation means
+//! two `Box::from_raw` calls on one allocation, and the harness must
+//! report that through invariant accounting, not crash in the allocator.
+//! The leak is a few machine words per execution, reclaimed at process
+//! exit.
+
+use crate::lin::Record;
+use crate::spec::Op;
+use loom::thread;
+use nabbitc_color::{Color, ColorSet};
+use nabbitc_runtime::deque::{ColoredDeque, Steal};
+use nabbitc_runtime::injector::Injector;
+use std::sync::Arc;
+
+/// One bounded scenario configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioCfg {
+    /// Number of thief threads (the owner is the model's root thread).
+    pub thieves: usize,
+    /// Values the owner pushes: `1..=tasks`.
+    pub tasks: u64,
+    /// Owner pops once after every `pop_every` pushes (0 = no
+    /// interleaved pops; the owner still drains at the end).
+    pub pop_every: usize,
+    /// Steal attempts per thief (the W6 idle-episode budget).
+    pub steal_attempts: usize,
+    /// Thieves use the colored steal (`steal_if`) with a color every
+    /// entry carries, exercising the color-word reads on the steal path.
+    pub colored: bool,
+}
+
+/// What one execution observed; the input to the invariant checks.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Values the owner popped, in pop order (interleaved + final drain).
+    pub popped: Vec<u64>,
+    /// Per thief: values stolen, in that thief's steal order.
+    pub stolen: Vec<Vec<u64>>,
+    /// Lost CAS races (`Steal::Retry`) summed over all thieves.
+    pub retries: usize,
+    /// Clock-stamped operation records for the linearizability check.
+    pub history: Vec<Record>,
+}
+
+fn record<R>(history: &mut Vec<Record>, op: Op, f: impl FnOnce() -> (Option<u64>, R)) -> R {
+    let invoke = loom::clock();
+    let (ret, out) = f();
+    history.push(Record::new(op, ret, invoke, loom::clock()));
+    out
+}
+
+/// Runs the scenario once; must be called inside a `loom` execution.
+pub fn run_scenario(cfg: &ScenarioCfg) -> Outcome {
+    let colors = ColorSet::all(2);
+    let deque: Arc<ColoredDeque<u64>> = Arc::new(ColoredDeque::new());
+
+    let thieves: Vec<_> = (0..cfg.thieves)
+        .map(|_| {
+            let deque = deque.clone();
+            let attempts = cfg.steal_attempts;
+            let colored = cfg.colored;
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                let mut hist = Vec::new();
+                let mut retries = 0usize;
+                for _ in 0..attempts {
+                    let steal = record(&mut hist, Op::Steal, || {
+                        let s = if colored {
+                            deque.steal_if(Color(0))
+                        } else {
+                            deque.steal()
+                        };
+                        let v = match &s {
+                            Steal::Success(b) => Some(**b),
+                            _ => None,
+                        };
+                        (v, s)
+                    });
+                    match steal {
+                        Steal::Success(b) => {
+                            got.push(*b);
+                            std::mem::forget(b);
+                        }
+                        Steal::Retry => retries += 1,
+                        Steal::Empty | Steal::ColorMismatch => {}
+                    }
+                }
+                (got, hist, retries)
+            })
+        })
+        .collect();
+
+    let mut out = Outcome::default();
+    for v in 1..=cfg.tasks {
+        record(&mut out.history, Op::Push(v), || {
+            deque.push(Box::new(v), colors);
+            (None, ())
+        });
+        if cfg.pop_every > 0 && v % cfg.pop_every as u64 == 0 {
+            let popped = record(&mut out.history, Op::Pop, || {
+                let p = deque.pop();
+                (p.as_deref().copied(), p)
+            });
+            if let Some(b) = popped {
+                out.popped.push(*b);
+                std::mem::forget(b);
+            }
+        }
+    }
+
+    for t in thieves {
+        let (got, hist, retries) = t.join().expect("thief panicked");
+        out.stolen.push(got);
+        out.history.extend(hist);
+        out.retries += retries;
+    }
+
+    // Owner drains what is left (thieves are done: no concurrency here).
+    loop {
+        let popped = record(&mut out.history, Op::Pop, || {
+            let p = deque.pop();
+            (p.as_deref().copied(), p)
+        });
+        match popped {
+            Some(b) => {
+                out.popped.push(*b);
+                std::mem::forget(b);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Asserts W1, W2, W3 (thief side), and W6 on a completed execution.
+/// W4 (linearizability) is a separate, more expensive call because some
+/// configs produce histories too long to check every execution.
+pub fn check_accounting(cfg: &ScenarioCfg, out: &Outcome, preemption_bound: usize) {
+    // W1 (no lost tasks) + W2 (no double execution): every pushed value
+    // observed exactly once across pops and steals.
+    let mut seen = vec![0u32; cfg.tasks as usize + 1];
+    for &v in out.popped.iter().chain(out.stolen.iter().flatten()) {
+        assert!(v >= 1 && v <= cfg.tasks, "value {v} was never pushed");
+        seen[v as usize] += 1;
+    }
+    for v in 1..=cfg.tasks as usize {
+        assert!(seen[v] != 0, "W1 violation: task {v} lost");
+        assert!(
+            seen[v] == 1,
+            "W2 violation: task {v} executed {} times",
+            seen[v]
+        );
+    }
+
+    // W3, thief side: steals linearize on the `top` CAS, which claims
+    // strictly increasing indices holding values pushed in increasing
+    // order — so every thief's own steal sequence must be strictly
+    // increasing (and, values being unique by W2, the per-thief
+    // sequences interleave into one increasing global CAS order).
+    for (i, got) in out.stolen.iter().enumerate() {
+        for pair in got.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "W3 violation: thief {i} stole {:?} out of FIFO order",
+                got
+            );
+        }
+    }
+
+    // W6: steal attempts are bounded per idle episode by construction
+    // (the fixed budget); the non-vacuous part is that lost CAS races
+    // cannot exceed the preemption bound — a `Retry` requires another
+    // thread to move `top` between the thief's read and CAS, which
+    // costs a preemption.
+    assert!(
+        out.retries <= preemption_bound,
+        "W6 violation: {} retries with preemption bound {}",
+        out.retries,
+        preemption_bound
+    );
+    for (i, got) in out.stolen.iter().enumerate() {
+        assert!(
+            got.len() <= cfg.steal_attempts,
+            "W6 violation: thief {i} exceeded its attempt budget"
+        );
+    }
+}
+
+/// Asserts W4: the recorded history linearizes against the sequential
+/// deque spec.
+///
+/// Failed steals are exempt: Chase–Lev `steal` may report `Empty` from a
+/// stale `bottom` read long after a push completed (on TSO the push's
+/// plain `bottom` store can still sit in the owner's store buffer), so
+/// `Empty` is only a hint. This is the standard relaxed semantics — the
+/// pool treats it exactly that way, retrying and parking through the job
+/// condvar instead of trusting a single `Empty`. Successful operations
+/// and owner pops (which read their own `bottom` and a monotonic `top`)
+/// must linearize strictly.
+pub fn check_linearizable(out: &Outcome) {
+    let strict: Vec<Record> = out
+        .history
+        .iter()
+        .filter(|r| !(r.op == Op::Steal && r.ret.is_none()))
+        .copied()
+        .collect();
+    assert!(
+        crate::lin::linearizable(&strict),
+        "W4 violation: history not linearizable: {:?}",
+        strict
+    );
+}
+
+/// W5 scenario (progress through the injector): a task is pushed into
+/// the injector, then `workers` virtual workers each run one
+/// check-and-take round exactly like `pool.rs`'s idle path (lock-free
+/// `is_empty` hint, then `try_pop`). The push happens-before every
+/// worker start, so the hint may never read stale-empty: if all workers
+/// skip while the injector holds work, workers would park forever in the
+/// real pool — the W5 violation this scenario encodes.
+pub fn run_injector_progress(workers: usize) {
+    let inj: Arc<Injector<u64>> = Arc::new(Injector::new());
+    inj.push(42);
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let inj = inj.clone();
+            thread::spawn(move || if !inj.is_empty() { inj.try_pop() } else { None })
+        })
+        .collect();
+    let taken: Vec<u64> = handles
+        .into_iter()
+        .filter_map(|h| h.join().expect("worker panicked"))
+        .collect();
+    assert_eq!(
+        taken,
+        vec![42],
+        "W5 violation: all workers parked while the injector was non-empty \
+         (or the task was taken more than once)"
+    );
+    assert!(inj.is_empty());
+}

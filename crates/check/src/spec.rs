@@ -1,0 +1,77 @@
+//! Sequential specification of the colored work-stealing deque: the
+//! atomic, single-threaded object the concurrent implementation must be
+//! linearizable against (invariant W4), and the oracle for the LIFO/FIFO
+//! discipline (invariant W3).
+//!
+//! The spec deliberately ignores colors: on the bounded model-check
+//! configs every task carries the full color set, so color filtering
+//! never rejects a steal and the object degenerates to the classic
+//! Chase–Lev deque — owner pushes and pops at the bottom (LIFO), thieves
+//! take from the top (FIFO).
+
+use std::collections::VecDeque;
+
+/// One operation of the deque's sequential interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Owner push of a value (always succeeds).
+    Push(u64),
+    /// Owner pop; returns the *newest* value or None when empty.
+    Pop,
+    /// Thief steal; returns the *oldest* value or None when empty.
+    Steal,
+}
+
+/// The sequential object: a plain double-ended queue.
+#[derive(Clone, Debug, Default)]
+pub struct SeqDeque {
+    items: VecDeque<u64>,
+}
+
+impl SeqDeque {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Applies `op`, returning the value it yields (None for a push or
+    /// an empty pop/steal).
+    pub fn apply(&mut self, op: Op) -> Option<u64> {
+        match op {
+            Op::Push(v) => {
+                self.items.push_back(v);
+                None
+            }
+            Op::Pop => self.items.pop_back(),
+            Op::Steal => self.items.pop_front(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let mut d = SeqDeque::new();
+        for v in 1..=4 {
+            assert_eq!(d.apply(Op::Push(v)), None);
+        }
+        // Thief takes the oldest, owner the newest.
+        assert_eq!(d.apply(Op::Steal), Some(1));
+        assert_eq!(d.apply(Op::Pop), Some(4));
+        assert_eq!(d.apply(Op::Steal), Some(2));
+        assert_eq!(d.apply(Op::Pop), Some(3));
+        assert!(d.is_empty());
+        assert_eq!(d.apply(Op::Pop), None);
+        assert_eq!(d.apply(Op::Steal), None);
+    }
+}

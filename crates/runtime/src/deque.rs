@@ -24,10 +24,9 @@
 //! * retired buffers from growth are kept alive until the deque drops, so
 //!   in-flight thieves can always dereference the buffer they loaded.
 
+use crate::sync::{fence, AtomicIsize, AtomicPtr, AtomicU64, Mutex, Ordering};
 use crossbeam_utils::CachePadded;
 use nabbitc_color::{Color, ColorSet};
-use parking_lot::Mutex;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, Ordering};
 
 /// Result of a steal attempt.
 #[derive(Debug)]
@@ -120,7 +119,13 @@ pub struct ColoredDeque<T> {
 unsafe impl<T: Send> Send for ColoredDeque<T> {}
 unsafe impl<T: Send> Sync for ColoredDeque<T> {}
 
+/// Initial buffer capacity. Under the model checker it drops to 2 so the
+/// bounded configs (3–6 tasks) exercise `grow` — a buffer resize racing
+/// concurrent thieves — without needing 65 pushes per execution.
+#[cfg(not(nabbitc_check))]
 const MIN_CAP: usize = 64;
+#[cfg(nabbitc_check)]
+const MIN_CAP: usize = 2;
 
 impl<T> Default for ColoredDeque<T> {
     fn default() -> Self {
@@ -176,7 +181,16 @@ impl<T> ColoredDeque<T> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         self.bottom.store(b, Ordering::Relaxed);
+        // The load-bearing fence of Chase–Lev: it orders the `bottom`
+        // store above against the `top` load below. Weakening it to
+        // Release lets the store sit in the store buffer while the load
+        // reads a stale `top` — owner and thief can then both take the
+        // last element. `--cfg nabbitc_weak_pop` seeds exactly that bug
+        // so the model checker can prove it catches it (a W2 violation).
+        #[cfg(not(nabbitc_weak_pop))]
         fence(Ordering::SeqCst);
+        #[cfg(nabbitc_weak_pop)]
+        fence(Ordering::Release);
         let t = self.top.load(Ordering::Relaxed);
 
         if t <= b {
@@ -416,6 +430,11 @@ mod tests {
     fn stress_owner_vs_thieves_every_item_once() {
         const ITEMS: usize = 200_000;
         const THIEVES: usize = 6;
+        // Reproducible randomness: the owner's pop cadence comes from a
+        // seeded RNG; set NABBITC_TEST_SEED to replay a failing run (the
+        // seed is part of every assertion message).
+        let seed = crate::rng::XorShift64::test_seed();
+        let mut rng = crate::rng::XorShift64::new(seed);
         let d: Arc<ColoredDeque<usize>> = Arc::new(ColoredDeque::new());
         let seen: Arc<Vec<AtomicUsize>> =
             Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
@@ -452,11 +471,12 @@ mod tests {
             })
             .collect();
 
-        // Owner: pushes everything, popping intermittently.
+        // Owner: pushes everything, popping at a seeded-random cadence so
+        // different seeds exercise different owner/thief phase alignments.
         let mut popped = 0usize;
         for i in 0..ITEMS {
             d.push(Box::new(i), set(&[(i % 7) as u16]));
-            if i % 3 == 0 {
+            if rng.next_below(3) == 0 {
                 if let Some(v) = d.pop() {
                     seen[*v].fetch_add(1, Relaxed);
                     popped += 1;
@@ -470,12 +490,16 @@ mod tests {
         done.store(1, Relaxed);
         let stolen: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
 
-        assert_eq!(popped + stolen, ITEMS);
+        assert_eq!(
+            popped + stolen,
+            ITEMS,
+            "lost or duplicated items; replay with NABBITC_TEST_SEED={seed}"
+        );
         for (i, s) in seen.iter().enumerate() {
             assert_eq!(
                 s.load(Relaxed),
                 1,
-                "item {i} seen {} times",
+                "item {i} seen {} times; replay with NABBITC_TEST_SEED={seed}",
                 s.load(Relaxed)
             );
         }
@@ -485,6 +509,7 @@ mod tests {
     fn stress_colored_thieves_only_take_matching() {
         const ITEMS: usize = 100_000;
         const THIEVES: usize = 4; // colors 0..4
+        let seed = crate::rng::XorShift64::test_seed();
         let d: Arc<ColoredDeque<usize>> = Arc::new(ColoredDeque::new());
         let done = Arc::new(AtomicUsize::new(0));
         let taken = Arc::new(AtomicUsize::new(0));
@@ -523,8 +548,14 @@ mod tests {
             })
             .collect();
 
+        // Seeded-random yields vary the owner/thief interleaving per run;
+        // NABBITC_TEST_SEED replays a failing alignment exactly.
+        let mut rng = crate::rng::XorShift64::new(seed);
         for i in 0..ITEMS {
             d.push(Box::new(i), set(&[(i % THIEVES) as u16]));
+            if rng.next_below(64) == 0 {
+                std::thread::yield_now();
+            }
         }
         // Wait for thieves to drain everything (they cover all colors).
         while taken.load(Relaxed) < ITEMS {
@@ -535,7 +566,7 @@ mod tests {
             assert_eq!(
                 t.join().unwrap(),
                 0,
-                "colored steal took a non-matching item"
+                "colored steal took a non-matching item; replay with NABBITC_TEST_SEED={seed}"
             );
         }
     }

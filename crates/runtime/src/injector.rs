@@ -1,0 +1,91 @@
+//! Root-task injector: the one-shot FIFO queue a job's root enters
+//! before a worker picks it up ("one worker starts out with executing
+//! the root node and all other workers are stealing", §III).
+//!
+//! Split out of `pool.rs` so the queue-plus-length protocol is a single
+//! type that the model checker (`crates/check`) can exercise under
+//! exhaustive interleavings: all synchronization goes through
+//! [`crate::sync`], so `--cfg nabbitc_check` swaps in instrumented
+//! primitives.
+//!
+//! The protocol: `len` is a lock-free mirror of the queue length,
+//! written with `SeqCst` *while holding the queue lock*, read with
+//! `SeqCst` before locking. Workers poll `is_empty()` on their idle path
+//! every round; the mirror keeps that poll from taking the lock when the
+//! injector is (almost always) empty. The mirror may lag a concurrent
+//! push/pop — callers must treat a non-empty hint as a hint and re-check
+//! under the lock (`try_pop` returning `None`), and a false-empty read
+//! is benign because the enqueuer wakes workers through the job condvar
+//! after pushing.
+
+use crate::sync::{AtomicUsize, Mutex, Ordering};
+use std::collections::VecDeque;
+
+/// FIFO multi-producer multi-consumer queue with a lock-free emptiness
+/// fast path.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+    len: AtomicUsize,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues at the back.
+    pub fn push(&self, value: T) {
+        let mut q = self.queue.lock();
+        q.push_back(value);
+        self.len.store(q.len(), Ordering::SeqCst);
+    }
+
+    /// Dequeues from the front; `None` when empty (including when a
+    /// concurrent consumer won the race after a non-empty `len` hint).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut q = self.queue.lock();
+        let v = q.pop_front();
+        self.len.store(q.len(), Ordering::SeqCst);
+        v
+    }
+
+    /// Lock-free length hint (exact once all concurrent ops retire).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// Lock-free emptiness fast path.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(test, not(nabbitc_check)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_len_mirror() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(inj.is_empty());
+        for i in 0..10 {
+            inj.push(i);
+            assert_eq!(inj.len(), (i + 1) as usize);
+        }
+        for i in 0..10 {
+            assert_eq!(inj.try_pop(), Some(i));
+        }
+        assert!(inj.is_empty());
+        assert_eq!(inj.try_pop(), None);
+        assert!(inj.is_empty());
+    }
+}

@@ -27,15 +27,18 @@
 //! of the deque exactly like the Cilk continuation would.
 
 pub mod deque;
+pub mod injector;
 pub mod policy;
 pub mod pool;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod task;
 pub mod topology;
 pub mod trace;
 
 pub use deque::{ColoredDeque, Steal};
+pub use injector::Injector;
 pub use policy::StealPolicy;
 pub use pool::{Pool, PoolConfig, WorkerContext};
 pub use stats::{PoolStats, WorkerStatsSnapshot};

@@ -50,6 +50,24 @@ impl XorShift64 {
         ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
+    /// Seed for randomized tests: honors `NABBITC_TEST_SEED` when set
+    /// (reproducing a reported failure), otherwise derives a fresh seed
+    /// from the clock. Callers must print the returned seed in failure
+    /// messages so every stress-test failure is replayable.
+    #[doc(hidden)]
+    pub fn test_seed() -> u64 {
+        if let Ok(s) = std::env::var("NABBITC_TEST_SEED") {
+            return s
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("NABBITC_TEST_SEED must be a u64, got {s:?}"));
+        }
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15)
+    }
+
     /// Picks a victim worker id uniformly from `0..workers`, excluding
     /// `me`. Returns `None` when `workers < 2`: with `me` excluded the
     /// candidate set is empty, and the old `usize` signature made a

@@ -1,0 +1,26 @@
+//! Synchronization facade for the runtime's lock-free hot paths.
+//!
+//! Normal builds re-export `std::sync::atomic` and `parking_lot::Mutex`
+//! directly — the facade is pure renaming with zero cost. Under
+//! `--cfg nabbitc_check` (set via `RUSTFLAGS`, never a cargo feature, so
+//! feature unification can't leak it into regular builds) the same names
+//! resolve to the workspace `loom` shim's instrumented primitives, which
+//! route every operation through an exhaustive-interleaving model
+//! checker with a TSO weak-memory model. `crates/check` builds the
+//! runtime this way to verify the WorkStealing.tla invariants (W1–W6)
+//! against the real deque and injector code, not a transliteration.
+//!
+//! Only code that must run under the checker goes through this module:
+//! `deque.rs` and `injector.rs`. The rest of the pool (parking,
+//! condvars, stats) uses std/parking_lot directly and is exercised by
+//! the model harness through the public deque/injector API instead.
+
+#[cfg(not(nabbitc_check))]
+pub use parking_lot::Mutex;
+#[cfg(not(nabbitc_check))]
+pub use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(nabbitc_check)]
+pub use loom::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+#[cfg(nabbitc_check)]
+pub use loom::sync::Mutex;

@@ -171,14 +171,21 @@ fn unpack_payload(p: u64) -> Option<(TraceEventKind, bool, Option<u16>, u64)> {
 
 /// A single-writer, multi-reader event ring. The owning worker is the
 /// only pusher; snapshots from other threads are safe at any time.
-pub(crate) struct EventRing {
+///
+/// Public but `doc(hidden)`: the type is runtime-internal, exposed only
+/// so the integration property tests can drive the seqlock protocol
+/// directly (concurrent writer vs. snapshotter) without a pool around
+/// it. Not a stable API.
+#[doc(hidden)]
+pub struct EventRing {
     slots: Box<[Slot]>,
     /// Total events ever pushed (not wrapped); written only by the owner.
     head: AtomicU64,
 }
 
 impl EventRing {
-    fn new(capacity: usize) -> EventRing {
+    #[doc(hidden)]
+    pub fn new(capacity: usize) -> EventRing {
         let cap = capacity.max(16).next_power_of_two();
         EventRing {
             slots: (0..cap)
@@ -194,7 +201,8 @@ impl EventRing {
 
     /// Records one event. Must only be called by the ring's owning worker
     /// (single-writer invariant of the per-slot seqlock).
-    pub(crate) fn push(
+    #[doc(hidden)]
+    pub fn push(
         &self,
         ts_ns: u64,
         kind: TraceEventKind,
@@ -217,13 +225,15 @@ impl EventRing {
     }
 
     /// Events recorded so far (monotonic).
-    fn recorded(&self) -> u64 {
+    #[doc(hidden)]
+    pub fn recorded(&self) -> u64 {
         self.head.load(Ordering::Acquire)
     }
 
     /// Drains the retained window, oldest first. Slots caught mid-write
     /// (a racing owner) are skipped rather than read torn.
-    fn snapshot(&self, worker: usize, domain: usize) -> WorkerTrace {
+    #[doc(hidden)]
+    pub fn snapshot(&self, worker: usize, domain: usize) -> WorkerTrace {
         let head = self.recorded();
         let cap = self.slots.len() as u64;
         let start = head.saturating_sub(cap);

@@ -1,0 +1,135 @@
+//! Differential tests for the two small lock-protected / lock-free
+//! helpers on the pool's idle path: the global [`Injector`] (checked
+//! against a plain `VecDeque` FIFO model) and [`XorShift64::victim`]
+//! (checked against the "never self, always in range" contract for every
+//! pool size the runtime supports).
+
+use nabbitc_runtime::rng::XorShift64;
+use nabbitc_runtime::Injector;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Differential check: an arbitrary push/pop sequence on the
+    /// injector behaves exactly like a `VecDeque` FIFO — same popped
+    /// values, same length, same emptiness at every step.
+    #[test]
+    fn injector_matches_a_fifo_model(ops in proptest::collection::vec(0u8..5, 1..250)) {
+        let inj: Injector<u64> = Injector::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for op in ops {
+            if op < 3 {
+                // Bias toward pushes so pops regularly hit a non-empty queue.
+                inj.push(next);
+                model.push_back(next);
+                next += 1;
+            } else {
+                prop_assert_eq!(inj.try_pop(), model.pop_front());
+            }
+            prop_assert_eq!(inj.len(), model.len());
+            prop_assert_eq!(inj.is_empty(), model.is_empty());
+        }
+        // Drain: the remaining values come out in push order.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(inj.try_pop(), Some(expect));
+        }
+        prop_assert_eq!(inj.try_pop(), None);
+    }
+}
+
+/// FIFO order survives a pusher racing a single drainer: the consumer
+/// must observe the values strictly increasing (the order they were
+/// pushed) and lose none of them — the property the pool relies on when
+/// one woken worker drains queued jobs.
+#[test]
+fn single_drainer_sees_pushes_in_fifo_order() {
+    const N: u64 = 20_000;
+    let inj: Arc<Injector<u64>> = Arc::new(Injector::new());
+    let pusher = {
+        let inj = inj.clone();
+        std::thread::spawn(move || {
+            for i in 0..N {
+                inj.push(i);
+                if i % 1024 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    let mut got = Vec::with_capacity(N as usize);
+    while got.len() < N as usize {
+        match inj.try_pop() {
+            Some(v) => got.push(v),
+            None => std::thread::yield_now(),
+        }
+    }
+    pusher.join().unwrap();
+    assert_eq!(got.len() as u64, N);
+    for (i, &v) in got.iter().enumerate() {
+        assert_eq!(v, i as u64, "FIFO order broken at position {i}");
+    }
+    assert!(inj.is_empty());
+    assert_eq!(inj.try_pop(), None);
+}
+
+/// `victim` must never pick the caller itself and must stay in range,
+/// for every pool size the runtime supports (1..=64 workers) and every
+/// caller position. A 1-worker pool has no victims at all.
+#[test]
+fn victim_is_never_self_for_any_pool_size() {
+    let seed = XorShift64::test_seed();
+    let mut rng = XorShift64::new(seed);
+    for workers in 1..=64usize {
+        for me in 0..workers {
+            if workers < 2 {
+                assert_eq!(
+                    rng.victim(workers, me),
+                    None,
+                    "1-worker pool returned a victim (seed {seed})"
+                );
+                continue;
+            }
+            for _ in 0..256 {
+                let v = rng
+                    .victim(workers, me)
+                    .unwrap_or_else(|| panic!("no victim with {workers} workers (seed {seed})"));
+                assert_ne!(v, me, "victim picked self (workers {workers}, seed {seed})");
+                assert!(
+                    v < workers,
+                    "victim {v} out of range for {workers} workers (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Every other worker is reachable as a victim — the steal path must not
+/// systematically shadow any index (the off-by-one in the skip-self
+/// remap would do exactly that).
+#[test]
+fn victim_eventually_covers_every_other_worker() {
+    let seed = XorShift64::test_seed();
+    let mut rng = XorShift64::new(seed);
+    for workers in [2usize, 3, 8, 33, 64] {
+        for me in [0, workers / 2, workers - 1] {
+            let mut seen = vec![false; workers];
+            for _ in 0..workers * 64 {
+                seen[rng.victim(workers, me).unwrap()] = true;
+            }
+            for (i, &s) in seen.iter().enumerate() {
+                if i == me {
+                    assert!(!s, "self was picked (workers {workers}, seed {seed})");
+                } else {
+                    assert!(
+                        s,
+                        "worker {i} never picked as victim (workers {workers}, me {me}, seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+}

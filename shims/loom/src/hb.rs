@@ -1,0 +1,113 @@
+//! Happens-before history recorded by the instrumented primitives, plus
+//! the coherence (SC-per-location) check the explorer runs after every
+//! completed execution.
+//!
+//! The model deliberately does *not* require full sequential consistency
+//! — TSO legitimately exhibits store-buffering (each thread reads its own
+//! store before the other's). What every hardware model does guarantee is
+//! coherence: for each single location, all threads observe the same
+//! total order of writes, and no load reads a value that was already
+//! overwritten *from the reader's own viewpoint*. Violations here would
+//! indicate a bug in the checker itself, so the check doubles as a
+//! self-test of the memory model.
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Load of a committed (or own-buffered) value; `rf` is the event id
+    /// of the store it read from (0 = the location's initial value).
+    Load,
+    /// Store committed directly to memory (SeqCst).
+    Store,
+    /// Store that entered the issuing thread's store buffer.
+    BufferedStore,
+    /// Atomic read-modify-write (always commits directly).
+    Rmw,
+    /// SeqCst fence that drained the issuing thread's buffer.
+    Fence,
+    LockAcquire,
+    LockRelease,
+}
+
+/// One entry of the per-execution operation history.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Global sequence number (the model's logical clock, 1-based).
+    pub seq: u64,
+    /// Virtual thread id that performed the operation.
+    pub thread: usize,
+    pub kind: EventKind,
+    /// Memory location (or lock id for lock events).
+    pub loc: u64,
+    pub value: u64,
+    /// For loads: event id (`seq`) of the store read from; 0 = initial.
+    pub rf: Option<u64>,
+}
+
+/// Checks coherence of a completed execution: per location, each
+/// thread's reads-from sequence must be a (stuttering) subsequence of
+/// the commit order — a thread may read the same store twice and may
+/// skip stores, but must never go *backwards* in the commit order.
+///
+/// `commit_orders` maps location → committed store event ids in commit
+/// order (own-buffer-forwarded loads are exempt: they legitimately read
+/// ahead of the commit order).
+pub fn check_coherence(
+    history: &[Event],
+    commit_orders: &std::collections::HashMap<u64, Vec<u64>>,
+) -> Result<(), String> {
+    use std::collections::HashMap;
+    // position of each committed store in its location's commit order;
+    // the initial value (ev 0) sits at position 0, commits shift by 1.
+    let mut pos: HashMap<(u64, u64), usize> = HashMap::new();
+    for (&loc, evs) in commit_orders {
+        pos.insert((loc, 0), 0);
+        for (i, &ev) in evs.iter().enumerate() {
+            pos.insert((loc, ev), i + 1);
+        }
+    }
+    // Buffered-store event ids (reads of these are own-buffer forwards).
+    let buffered: std::collections::HashSet<u64> = history
+        .iter()
+        .filter(|e| e.kind == EventKind::BufferedStore)
+        .map(|e| e.seq)
+        .collect();
+    let committed: std::collections::HashSet<u64> = pos.keys().map(|&(_, ev)| ev).collect();
+
+    let mut last_seen: HashMap<(usize, u64), usize> = HashMap::new();
+    for e in history {
+        if e.kind != EventKind::Load {
+            continue;
+        }
+        let rf = e.rf.unwrap_or(0);
+        if buffered.contains(&rf) && !committed.contains(&rf) {
+            continue; // store-to-load forwarding from the own buffer
+        }
+        // rf == 0 is the location's initial value — position 0 in every
+        // location's commit order, including never-written locations
+        // (which have no commit_orders entry at all).
+        let p = if rf == 0 {
+            0
+        } else {
+            match pos.get(&(e.loc, rf)) {
+                Some(&p) => p,
+                None => {
+                    return Err(format!(
+                        "load (seq {}) on thread {} reads from unknown store {} at loc {}",
+                        e.seq, e.thread, rf, e.loc
+                    ));
+                }
+            }
+        };
+        let key = (e.thread, e.loc);
+        if let Some(&prev) = last_seen.get(&key) {
+            if p < prev {
+                return Err(format!(
+                    "coherence violation at loc {}: thread {} read commit #{} after commit #{} (load seq {})",
+                    e.loc, e.thread, p, prev, e.seq
+                ));
+            }
+        }
+        last_seen.insert(key, p);
+    }
+    Ok(())
+}

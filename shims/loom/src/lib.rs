@@ -1,0 +1,44 @@
+//! Workspace-local, registry-free stand-in for the `loom` model checker.
+//!
+//! Provides just enough of loom's surface for `nabbitc-check`:
+//!
+//! - [`mod@model`] / [`model::check`] / [`model::explore`] — a CHESS-style
+//!   DFS schedule explorer with a preemption bound and iteration caps,
+//!   driven by trail replay rather than state capture.
+//! - [`thread::spawn`] / [`thread::JoinHandle`] / [`thread::yield_now`]
+//!   — virtual threads multiplexed one-at-a-time over OS threads.
+//! - [`sync::atomic`] — instrumented `AtomicUsize` / `AtomicIsize` /
+//!   `AtomicU64` / `AtomicBool` / `AtomicPtr` / `fence` implementing a
+//!   TSO (x86 store-buffer) weak-memory model: non-SeqCst stores buffer
+//!   in the issuing thread and commit nondeterministically, so the
+//!   store→load reordering that the Chase–Lev `pop` fence guards against
+//!   is actually explored.
+//! - [`sync::Mutex`] — a virtual lock (parking_lot-shaped, no
+//!   poisoning) whose acquisition is a schedule point.
+//! - [`hb`] — the per-execution operation history and the coherence
+//!   check the explorer runs as a memory-model self-test.
+//!
+//! Differences from real loom, deliberate for this workspace: the
+//! memory model is TSO rather than full C11 release/acquire (stronger
+//! than the code under test assumes, but weak enough to exhibit the
+//! store-buffering bugs the six WorkStealing invariants target), and
+//! exploration is preemption-bounded DFS rather than DPOR.
+
+pub mod hb;
+pub mod model;
+pub(crate) mod rt;
+pub mod sync;
+pub mod thread;
+
+/// Runs `f` under the explorer with env-tuned defaults, panicking on the
+/// first violation (loom-compatible entry point).
+pub fn model<F: FnMut()>(f: F) {
+    model::check(f);
+}
+
+/// The model's logical clock: a monotonically increasing count of
+/// visible operations in the current execution. Tests use it to
+/// timestamp operation invocation/response for linearizability checks.
+pub fn clock() -> u64 {
+    rt::clock()
+}

@@ -1,0 +1,159 @@
+//! The schedule explorer: depth-first enumeration of the decision tree
+//! recorded by `crate::rt`, CHESS-style (preemption-bounded, with replay
+//! from a decision trail instead of state snapshots).
+//!
+//! Each execution runs the checked closure to completion (or abort) and
+//! records a trail of branch points — `(chosen, enabled)` pairs.
+//! Backtracking rewinds to the deepest entry with an untried
+//! alternative, bumps it, and replays. Identical prefixes re-execute
+//! deterministically because the closure itself must be deterministic
+//! modulo scheduling (no wall clocks, no OS randomness) — which holds
+//! for the runtime code under test.
+
+use crate::rt::{self, Abort, TrailEntry};
+
+/// Exploration limits. `from_env` layers the `NABBITC_CHECK_DEPTH` /
+/// `NABBITC_CHECK_ITERS` knobs over the CI-friendly defaults.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Max involuntary context switches per execution (CHESS bound).
+    pub preemption_bound: usize,
+    /// Max executions before the explorer gives up (coverage cap).
+    pub max_iterations: u64,
+    /// Max scheduler decisions per execution; beyond this the schedule
+    /// counts as unfair and is pruned, not failed.
+    pub max_steps: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_iterations: 200_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Options {
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Some(d) = env_u64("NABBITC_CHECK_DEPTH") {
+            o.preemption_bound = d as usize;
+        }
+        if let Some(i) = env_u64("NABBITC_CHECK_ITERS") {
+            o.max_iterations = i;
+        }
+        o
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// A failing execution: the message plus the decision trail that
+/// reproduces it (replayable by construction).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub message: String,
+    pub trail: Vec<TrailEntry>,
+}
+
+/// Exploration summary. `completed` counts executions that ran to the
+/// end; `pruned` counts schedules cut off by `max_steps`.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub iterations: u64,
+    pub completed: u64,
+    pub pruned: u64,
+    /// True if the explorer stopped because `max_iterations` ran out
+    /// (coverage is partial, not exhaustive-within-bound).
+    pub capped: bool,
+    pub violation: Option<Violation>,
+}
+
+/// Explores `f` under `opts`, returning the full report. Stops at the
+/// first violation.
+pub fn explore<F: FnMut()>(opts: Options, mut f: F) -> Report {
+    let mut report = Report::default();
+    let mut replay: Vec<TrailEntry> = Vec::new();
+    loop {
+        if report.iterations >= opts.max_iterations {
+            report.capped = true;
+            return report;
+        }
+        report.iterations += 1;
+        let out = rt::run_once(
+            opts.preemption_bound,
+            opts.max_steps,
+            replay.clone(),
+            &mut f,
+        );
+        match out.abort {
+            None => {
+                report.completed += 1;
+                // Memory-model self-check: every completed execution must
+                // be coherent, else the checker itself is wrong.
+                if let Err(msg) = crate::hb::check_coherence(&out.history, &out.commit_orders) {
+                    report.violation = Some(Violation {
+                        message: format!("internal memory-model error: {msg}"),
+                        trail: out.decisions,
+                    });
+                    return report;
+                }
+            }
+            Some(Abort::Pruned) => report.pruned += 1,
+            Some(Abort::Violation(message)) => {
+                report.violation = Some(Violation {
+                    message,
+                    trail: out.decisions,
+                });
+                return report;
+            }
+        }
+        // Backtrack: deepest decision with an untried alternative.
+        match next_trail(&out.decisions) {
+            Some(next) => replay = next,
+            None => return report,
+        }
+    }
+}
+
+fn next_trail(decisions: &[TrailEntry]) -> Option<Vec<TrailEntry>> {
+    for i in (0..decisions.len()).rev() {
+        let e = decisions[i];
+        if e.chosen + 1 < e.enabled {
+            let mut next = decisions[..i].to_vec();
+            next.push(TrailEntry {
+                chosen: e.chosen + 1,
+                enabled: e.enabled,
+            });
+            return Some(next);
+        }
+    }
+    None
+}
+
+/// Explores `f` with env-tuned defaults and panics on any violation,
+/// printing the reproducing trail. This is the `loom::model`-shaped
+/// entry point the checker tests use.
+pub fn check<F: FnMut()>(f: F) -> Report {
+    let report = explore(Options::from_env(), f);
+    if let Some(v) = &report.violation {
+        panic!(
+            "model check failed after {} executions ({} completed, {} pruned):\n  {}\n  trail: {:?}",
+            report.iterations,
+            report.completed,
+            report.pruned,
+            v.message,
+            v.trail.iter().map(|e| e.chosen).collect::<Vec<_>>()
+        );
+    }
+    assert!(
+        report.completed > 0,
+        "model check explored no complete execution ({} pruned) — raise max_steps",
+        report.pruned
+    );
+    report
+}

@@ -1,0 +1,286 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` and a
+//! virtual `Mutex`, routing every operation through the model runtime
+//! (`crate::rt`). All values travel as `u64` internally; typed wrappers
+//! convert at the boundary.
+//!
+//! Atomics must be created *inside* a `loom::model` run (they register a
+//! memory location with the active execution). That matches the runtime
+//! under test, which constructs its deques and injector at pool-build
+//! time inside the checked closure.
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! int_atomic {
+        ($name:ident, $ty:ty) => {
+            #[derive(Debug)]
+            pub struct $name {
+                loc: u64,
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0 as $ty)
+                }
+            }
+
+            impl $name {
+                pub fn new(v: $ty) -> Self {
+                    Self {
+                        loc: rt::alloc_loc(v as u64),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    rt::load(self.loc, order) as $ty
+                }
+
+                pub fn store(&self, val: $ty, order: Ordering) {
+                    rt::store(self.loc, val as u64, order);
+                }
+
+                pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                    let (old, _) = rt::rmw(self.loc, order, |_| Some(val as u64));
+                    old as $ty
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    let (old, applied) = rt::rmw(self.loc, success, |v| {
+                        if v == current as u64 {
+                            Some(new as u64)
+                        } else {
+                            None
+                        }
+                    });
+                    if applied.is_some() {
+                        Ok(old as $ty)
+                    } else {
+                        Err(old as $ty)
+                    }
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    // No spurious failures in the model: they only widen
+                    // the schedule space the explorer already covers.
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                    let (old, _) = rt::rmw(self.loc, order, |v| Some(v.wrapping_add(val as u64)));
+                    old as $ty
+                }
+
+                pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                    let (old, _) = rt::rmw(self.loc, order, |v| Some(v.wrapping_sub(val as u64)));
+                    old as $ty
+                }
+
+                pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                    let (old, _) = rt::rmw(self.loc, order, |v| Some(v | val as u64));
+                    old as $ty
+                }
+
+                pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                    let (old, _) = rt::rmw(self.loc, order, |v| Some(v & val as u64));
+                    old as $ty
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicIsize, isize);
+    int_atomic!(AtomicU64, u64);
+    int_atomic!(AtomicU32, u32);
+
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        loc: u64,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self {
+                loc: crate::rt::alloc_loc(v as u64),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            rt::load(self.loc, order) != 0
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            rt::store(self.loc, val as u64, order);
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            let (old, _) = rt::rmw(self.loc, order, |_| Some(val as u64));
+            old != 0
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            let (old, applied) = rt::rmw(self.loc, success, |v| {
+                if (v != 0) == current {
+                    Some(new as u64)
+                } else {
+                    None
+                }
+            });
+            if applied.is_some() {
+                Ok(old != 0)
+            } else {
+                Err(old != 0)
+            }
+        }
+    }
+
+    pub struct AtomicPtr<T> {
+        loc: u64,
+        _marker: std::marker::PhantomData<*mut T>,
+    }
+
+    // The pointer value lives in the model's memory map; the wrapper
+    // itself holds no data, so sharing it is as safe as the std type.
+    unsafe impl<T> Send for AtomicPtr<T> {}
+    unsafe impl<T> Sync for AtomicPtr<T> {}
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("AtomicPtr").field("loc", &self.loc).finish()
+        }
+    }
+
+    impl<T> AtomicPtr<T> {
+        pub fn new(p: *mut T) -> Self {
+            Self {
+                loc: rt::alloc_loc(p as usize as u64),
+                _marker: std::marker::PhantomData,
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> *mut T {
+            rt::load(self.loc, order) as usize as *mut T
+        }
+
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            rt::store(self.loc, p as usize as u64, order);
+        }
+
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+            let (old, _) = rt::rmw(self.loc, order, |_| Some(p as usize as u64));
+            old as usize as *mut T
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            _failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            let (old, applied) = rt::rmw(self.loc, success, |v| {
+                if v == current as usize as u64 {
+                    Some(new as usize as u64)
+                } else {
+                    None
+                }
+            });
+            if applied.is_some() {
+                Ok(old as usize as *mut T)
+            } else {
+                Err(old as usize as *mut T)
+            }
+        }
+    }
+
+    pub fn fence(order: Ordering) {
+        rt::fence(order);
+    }
+}
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+/// Virtual mutex with `parking_lot`-shaped (non-poisoning) API, matching
+/// the facade the runtime uses in normal builds. Acquisition is a
+/// schedule decision point; contention blocks the virtual thread.
+pub struct Mutex<T> {
+    id: u64,
+    data: UnsafeCell<T>,
+}
+
+// Exclusion is enforced by the model's lock table (one owner per lock id)
+// plus the token discipline (one running vthread).
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            id: crate::rt::alloc_lock(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        crate::rt::lock_acquire(self.id);
+        MutexGuard { mutex: self }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        crate::rt::lock_release(self.mutex.id);
+    }
+}

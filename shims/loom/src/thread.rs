@@ -1,0 +1,39 @@
+//! Virtual threads: loom-compatible `spawn` / `JoinHandle` / `yield_now`
+//! backed by real OS threads under the model's one-token scheduler.
+
+use std::sync::{Arc, Mutex};
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(tid: usize, result: Arc<Mutex<Option<std::thread::Result<T>>>>) -> Self {
+        Self { tid, result }
+    }
+
+    /// Blocks the calling virtual thread until the target finishes.
+    pub fn join(self) -> std::thread::Result<T> {
+        crate::rt::join_vthread(self.tid);
+        match self.result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(r) => r,
+            None => Err(Box::new("vthread result unavailable (aborted execution)")
+                as Box<dyn std::any::Any + Send>),
+        }
+    }
+}
+
+/// Spawns a virtual thread participating in the current model execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    crate::rt::spawn_vthread(f)
+}
+
+/// Voluntary reschedule point (no preemption charged).
+pub fn yield_now() {
+    crate::rt::yield_now();
+}
