@@ -10,9 +10,10 @@
 //! point that picks per graph. [`AutoSelect`] is that entry point:
 //!
 //! 1. **Shape pre-filter.** A [`GraphShape`] summary built from one
-//!    [`level_profile`] pass skips candidates whose objective is provably
+//!    [`level_profile`](nabbitc_graph::analysis::level_profile) pass
+//!    skips candidates whose objective is provably
 //!    inert or documented-losing on the graph's structure (see
-//!    [`GraphShape::skips`]); skipped candidates never pay their `assign`
+//!    [`prefilter_skips`]); skipped candidates never pay their `assign`
 //!    cost. Unknown candidate names are never skipped, so custom
 //!    portfolios stay exact.
 //! 2. **Parallel candidacy.** Every surviving candidate runs `assign` on
@@ -52,75 +53,30 @@ use crate::domains::pack_domains;
 use crate::{BfsLocality, BlockContiguous, ColorAssigner, CpLevelAware, RecursiveBisection};
 use nabbitc_color::Color;
 use nabbitc_cost::{CostModel, Topology};
-use nabbitc_graph::analysis::{
-    estimate_makespan_colored_strict_on, level_profile, InvalidColoring, LevelProfile,
-};
+use nabbitc_graph::analysis::{estimate_makespan_colored_strict_on, InvalidColoring};
 use nabbitc_graph::TaskGraph;
 
 /// A portfolio member: any [`ColorAssigner`] that can be shared with the
 /// scoped evaluation threads.
 pub type Candidate = Box<dyn ColorAssigner + Send + Sync>;
 
-/// Cheap structural summary of a graph, relative to a machine size —
-/// everything the candidate pre-filter is allowed to look at. Built from
-/// one [`level_profile`] sweep (O(V + E)), i.e. far cheaper than any
-/// candidate's `assign`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GraphShape {
-    /// Number of dependency levels (earliest-start-time classes).
-    pub levels: usize,
-    /// Widest level — the graph's peak available parallelism.
-    pub max_width: usize,
-    /// Fraction of total level weight sitting in *wide* levels (width ≥
-    /// workers) — how much of the schedule depends on spreading levels.
-    pub wide_weight_frac: f64,
-}
+pub use nabbitc_graph::analysis::GraphShape;
 
-impl GraphShape {
-    /// Profiles `graph` for a `workers`-worker machine.
-    pub fn of(graph: &TaskGraph, workers: usize) -> GraphShape {
-        Self::from_profile(&level_profile(graph), workers)
-    }
-
-    /// As [`of`](Self::of), over an already-computed profile.
-    pub fn from_profile(profile: &LevelProfile, workers: usize) -> GraphShape {
-        let total: u64 = profile.weights.iter().sum();
-        let wide: u64 = profile
-            .widths
-            .iter()
-            .zip(profile.weights.iter())
-            .filter(|(&w, _)| w >= workers)
-            .map(|(_, &wt)| wt)
-            .sum();
-        GraphShape {
-            levels: profile.level_count(),
-            max_width: profile.max_width(),
-            wide_weight_frac: if total == 0 {
-                0.0
-            } else {
-                wide as f64 / total as f64
-            },
-        }
-    }
-
-    /// Whether the pre-filter skips the candidate named `name` on this
-    /// shape. The rule is a conservative heuristic grounded in pinned
-    /// results, not a theorem; candidates the rule does not recognize are
-    /// never skipped, and [`AutoSelect::without_prefilter`] disables the
-    /// pass entirely.
-    ///
-    /// `recursive-bisection` is skipped on deep wavefront pipelines (more
-    /// levels than the widest level, with most weight in wide levels):
-    /// the cut-minimal partition of such a graph is spatially compact and
-    /// serializes whole dependency levels — the failure mode
-    /// `results/autocolor_vs_hand.md` pins on sw (0.45× hand at P=20 vs
-    /// cp-level-aware's 1.48×) — so it cannot win the makespan there, and
-    /// it is the portfolio's most expensive member to run.
-    pub fn skips(&self, name: &str, _workers: usize) -> bool {
-        match name {
-            "recursive-bisection" => self.levels > self.max_width && self.wide_weight_frac >= 0.5,
-            _ => false,
-        }
+/// Whether the pre-filter skips the candidate named `name` on `shape`.
+/// The rule is a conservative heuristic grounded in pinned results, not a
+/// theorem; candidates the rule does not recognize are never skipped, and
+/// [`AutoSelect::without_prefilter`] disables the pass entirely.
+///
+/// `recursive-bisection` is skipped on deep wavefront pipelines
+/// ([`GraphShape::deep_wavefront`]): the cut-minimal partition of such a
+/// graph is spatially compact and serializes whole dependency levels —
+/// the failure mode `results/autocolor_vs_hand.md` pins on sw (0.45× hand
+/// at P=20 vs cp-level-aware's 1.48×) — so it cannot win the makespan
+/// there, and it is the portfolio's most expensive member to run.
+pub fn prefilter_skips(shape: &GraphShape, name: &str) -> bool {
+    match name {
+        "recursive-bisection" => shape.deep_wavefront(),
+        _ => false,
     }
 }
 
@@ -389,7 +345,7 @@ impl AutoSelect {
         // would drop everyone, selection degrades to exhaustive.
         let shortlist: Vec<usize> = if self.prefilter {
             let kept: Vec<usize> = (0..self.candidates.len())
-                .filter(|&i| !shape.skips(self.candidates[i].name(), workers))
+                .filter(|&i| !prefilter_skips(&shape, self.candidates[i].name()))
                 .collect();
             if kept.is_empty() {
                 (0..self.candidates.len()).collect()

@@ -420,6 +420,101 @@ pub fn validate_bench_json(doc: &Json) -> Vec<String> {
     problems
 }
 
+/// Validates one lint report document (`nabbitc_lint::LintReport::to_json`
+/// output — also each element of `graphlint --json`'s array). Returns the
+/// problems found; empty = valid.
+///
+/// Required shape:
+/// * top-level `schema_version` and `workers` (numbers), `target` and
+///   `coloring` (strings);
+/// * a `counts` object with numeric `error`, `warn`, `info`;
+/// * a `diagnostics` array (possibly empty) whose entries carry an
+///   `NL`-prefixed `code` string, a `severity` in `error | warn | info`,
+///   a `message` string, and numeric `nodes` / `colors` arrays;
+/// * the `counts` tallies must equal the per-severity diagnostic counts
+///   (a report whose summary disagrees with its findings is corrupt).
+pub fn validate_lint_json(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let need_num =
+        |v: Option<&Json>, what: &str, problems: &mut Vec<String>| match v.and_then(Json::as_num) {
+            Some(n) if n.is_finite() => Some(n),
+            Some(_) => {
+                problems.push(format!("{what} is not finite"));
+                None
+            }
+            None => {
+                problems.push(format!("{what} missing or not a number"));
+                None
+            }
+        };
+
+    need_num(doc.get("schema_version"), "schema_version", &mut problems);
+    need_num(doc.get("workers"), "workers", &mut problems);
+    for key in ["target", "coloring"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            problems.push(format!("{key} missing or not a string"));
+        }
+    }
+
+    let mut declared = [None; 3]; // error, warn, info
+    match doc.get("counts") {
+        Some(counts) => {
+            for (slot, sev) in ["error", "warn", "info"].into_iter().enumerate() {
+                declared[slot] = need_num(counts.get(sev), &format!("counts.{sev}"), &mut problems);
+            }
+        }
+        None => problems.push("counts missing".to_string()),
+    }
+
+    let diags = match doc.get("diagnostics").and_then(Json::as_arr) {
+        Some(d) => d,
+        None => {
+            problems.push("diagnostics missing or not an array".to_string());
+            return problems;
+        }
+    };
+    let mut tallies = [0usize; 3];
+    for (i, d) in diags.iter().enumerate() {
+        let at = format!("diagnostics[{i}]");
+        match d.get("code").and_then(Json::as_str) {
+            Some(code) if code.starts_with("NL") => {}
+            Some(code) => problems.push(format!("{at}.code {code:?} is not an NL code")),
+            None => problems.push(format!("{at}.code missing or not a string")),
+        }
+        match d.get("severity").and_then(Json::as_str) {
+            Some("error") => tallies[0] += 1,
+            Some("warn") => tallies[1] += 1,
+            Some("info") => tallies[2] += 1,
+            Some(other) => problems.push(format!("{at}.severity {other:?} unknown")),
+            None => problems.push(format!("{at}.severity missing or not a string")),
+        }
+        if d.get("message").and_then(Json::as_str).is_none() {
+            problems.push(format!("{at}.message missing or not a string"));
+        }
+        for key in ["nodes", "colors"] {
+            match d.get(key).and_then(Json::as_arr) {
+                Some(items) => {
+                    if items.iter().any(|v| v.as_num().is_none()) {
+                        problems.push(format!("{at}.{key} has a non-numeric entry"));
+                    }
+                }
+                None => problems.push(format!("{at}.{key} missing or not an array")),
+            }
+        }
+    }
+    for (slot, sev) in ["error", "warn", "info"].into_iter().enumerate() {
+        if let Some(n) = declared[slot] {
+            if n != tallies[slot] as f64 {
+                problems.push(format!(
+                    "counts.{sev} is {n} but diagnostics contain {}",
+                    tallies[slot]
+                ));
+            }
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +579,90 @@ mod tests {
         for needle in ["schema_version", "workload", "results"] {
             assert!(problems.iter().any(|p| p.contains(needle)), "{problems:?}");
         }
+    }
+
+    #[test]
+    fn lint_validator_accepts_a_well_formed_report() {
+        assert_eq!(validate_lint_json(&sample_lint_doc()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_validator_names_missing_keys_and_bad_counts() {
+        let empty = Json::Obj(vec![]);
+        let problems = validate_lint_json(&empty);
+        for needle in [
+            "schema_version",
+            "workers",
+            "target",
+            "coloring",
+            "counts",
+            "diagnostics",
+        ] {
+            assert!(problems.iter().any(|p| p.contains(needle)), "{problems:?}");
+        }
+
+        // A diagnostic with a non-NL code, an unknown severity, and a
+        // declared count that disagrees with the tally all get named.
+        let mut doc = sample_lint_doc();
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                match key.as_str() {
+                    "counts" => {
+                        *value = Json::obj(vec![
+                            ("error", Json::Num(3.0)),
+                            ("warn", Json::Num(0.0)),
+                            ("info", Json::Num(0.0)),
+                        ]);
+                    }
+                    "diagnostics" => {
+                        *value = Json::Arr(vec![Json::obj(vec![
+                            ("code", Json::Str("XX999".into())),
+                            ("severity", Json::Str("fatal".into())),
+                            ("message", Json::Str("m".into())),
+                            ("nodes", Json::Arr(vec![Json::Str("one".into())])),
+                            ("colors", Json::Arr(vec![])),
+                        ])]);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let problems = validate_lint_json(&doc);
+        for needle in [
+            "not an NL code",
+            "severity \"fatal\" unknown",
+            "non-numeric entry",
+            "counts.error is 3",
+        ] {
+            assert!(problems.iter().any(|p| p.contains(needle)), "{problems:?}");
+        }
+    }
+
+    fn sample_lint_doc() -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Num(1.0)),
+            ("target", Json::Str("sw".into())),
+            ("coloring", Json::Str("recursive-bisection".into())),
+            ("workers", Json::Num(20.0)),
+            (
+                "counts",
+                Json::obj(vec![
+                    ("error", Json::Num(0.0)),
+                    ("warn", Json::Num(1.0)),
+                    ("info", Json::Num(0.0)),
+                ]),
+            ),
+            (
+                "diagnostics",
+                Json::Arr(vec![Json::obj(vec![
+                    ("code", Json::Str("NL003".into())),
+                    ("severity", Json::Str("warn".into())),
+                    ("message", Json::Str("level 19 executes serially".into())),
+                    ("nodes", Json::Arr(vec![Json::Num(19.0), Json::Num(178.0)])),
+                    ("colors", Json::Arr(vec![Json::Num(19.0)])),
+                ])]),
+            ),
+        ])
     }
 
     fn sample_doc(with_predicted: bool) -> Json {

@@ -13,6 +13,7 @@ use nabbitc_workloads::{registry, BenchId, Scale};
 use std::fmt::Write as _;
 use std::io::Write as _;
 
+pub mod graphlint;
 pub mod json;
 pub mod wallclock;
 

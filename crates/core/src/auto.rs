@@ -102,10 +102,49 @@ impl StaticExecutor {
         apply_assignment(&mut recolored, &colors);
         let recolored = Arc::new(recolored);
         let coloring_elapsed = coloring_started.elapsed();
+        let lint = self.preflight_lint(&recolored, selection.chosen_name());
         let mut report = self.execute(&recolored, kernel);
         report.coloring_elapsed = Some(coloring_elapsed);
         report.selection = Some(selection);
+        report.lint = lint;
         (report, recolored)
+    }
+
+    /// Runs the [`ExecOptions::lint`](crate::ExecOptions) pre-flight gate
+    /// over `graph` (already carrying the coloring about to execute) and
+    /// returns the report to attach, panicking first when a denying gate
+    /// is tripped. `None` iff the gate is [`LintGate::Off`].
+    fn preflight_lint(
+        &self,
+        graph: &TaskGraph,
+        coloring: &str,
+    ) -> Option<nabbitc_lint::LintReport> {
+        use crate::static_exec::LintGate;
+        let opts = self.options();
+        if opts.lint == LintGate::Off {
+            return None;
+        }
+        let workers = self.pool().workers();
+        let diags = nabbitc_lint::lint_graph(
+            graph,
+            workers,
+            &opts.cost,
+            opts.topology.as_ref(),
+            &nabbitc_lint::LintConfig::default(),
+        );
+        let report = nabbitc_lint::LintReport::new("execute_auto", coloring, workers, diags);
+        let deny = match opts.lint {
+            LintGate::Off | LintGate::Report => false,
+            LintGate::DenyErrors => report.has_errors(),
+            LintGate::DenyWarnings => report.has_warnings(),
+        };
+        assert!(
+            !deny,
+            "schedule lint gate ({:?}) tripped before execution:\n{}",
+            opts.lint,
+            report.render()
+        );
+        Some(report)
     }
 }
 
@@ -310,6 +349,51 @@ mod tests {
             exec.execute_autocolored(&graph, &RecursiveBisection::default(), noop.clone());
         let (_, g_rr) = exec.execute_autocolored(&graph, &RoundRobin, noop);
         assert!(edge_cut(&g_bisect) < edge_cut(&g_rr));
+    }
+
+    #[test]
+    fn lint_gate_off_leaves_report_unpopulated() {
+        let graph = Arc::new(generate::wavefront(16, 16, 2, 1));
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+        let exec = StaticExecutor::new(pool);
+        let (report, _) = exec.execute_auto(&graph, Arc::new(|_u: NodeId, _w: usize| {}));
+        assert!(report.lint.is_none(), "default gate must not lint");
+    }
+
+    #[test]
+    fn lint_gate_report_attaches_preflight_findings() {
+        use crate::static_exec::LintGate;
+        let graph = Arc::new(generate::wavefront(16, 16, 2, 1));
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+        let exec = StaticExecutor::new(pool).with_options(ExecOptions {
+            lint: LintGate::Report,
+            ..ExecOptions::default()
+        });
+        let (report, _) = exec.execute_auto(&graph, Arc::new(|_u: NodeId, _w: usize| {}));
+        let lint = report.lint.as_ref().expect("Report gate attaches findings");
+        assert_eq!(lint.target, "execute_auto");
+        assert_eq!(lint.workers, 4);
+        assert_eq!(
+            lint.coloring,
+            report.selection.as_ref().unwrap().chosen_name(),
+            "lint runs against the portfolio winner's coloring"
+        );
+        assert!(!lint.has_errors(), "a sane auto schedule has no errors");
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule lint gate")]
+    fn lint_gate_deny_warnings_refuses_a_degenerate_schedule() {
+        use crate::static_exec::LintGate;
+        // A chain is width 1 on a 4-worker pool: NL007 (Warn) must trip
+        // the DenyWarnings gate before any node executes.
+        let graph = Arc::new(generate::chain(64, 2, 1));
+        let pool = Arc::new(Pool::new(PoolConfig::nabbitc(4)));
+        let exec = StaticExecutor::new(pool).with_options(ExecOptions {
+            lint: LintGate::DenyWarnings,
+            ..ExecOptions::default()
+        });
+        let _ = exec.execute_auto(&graph, Arc::new(|_u: NodeId, _w: usize| {}));
     }
 
     /// A Pascal-triangle spec with no color function of its own.

@@ -25,6 +25,19 @@
 //! (Table III) coloring strategies; [`auto`] hooks the
 //! `nabbitc-autocolor` subsystem into both executors so graphs and specs
 //! without hand-written colors still schedule locality-aware.
+//!
+//! # Pre-flight schedule linting
+//!
+//! [`ExecOptions::lint`] turns `execute_auto` into a gated pipeline: with
+//! [`LintGate::Report`] the inferred coloring is run through the
+//! `nabbitc-lint` graph/schedule detectors before any task executes and
+//! the findings ride along on [`RunReport::lint`]; the
+//! [`LintGate::DenyErrors`] / [`LintGate::DenyWarnings`] gates make a
+//! degenerate schedule (serialized wide levels, out-of-range colors,
+//! starved workers, ...) a hard stop instead of a slow run. Linting is
+//! opt-in and priced with the same [`ExecOptions::cost`] /
+//! [`ExecOptions::topology`] the selection scored with, so the gate sees
+//! the machine the scheduler sees.
 
 pub mod auto;
 pub mod coloring;
@@ -39,4 +52,4 @@ pub use coloring::ColoringMode;
 pub use dynamic::{DynamicExecutor, DynamicReport, TaskSpec};
 pub use metrics::{RemoteAccessReport, RemoteCounters};
 pub use report::RunReport;
-pub use static_exec::{ExecOptions, StaticExecutor};
+pub use static_exec::{ExecOptions, LintGate, StaticExecutor};

@@ -52,6 +52,33 @@ pub struct ExecOptions {
     /// `NumaTopology::paper_machine().truncated(p).cost_view()` to select
     /// for the paper machine.
     pub topology: Option<nabbitc_cost::Topology>,
+    /// Pre-flight schedule linting for
+    /// [`execute_auto`](StaticExecutor::execute_auto): with a gate other
+    /// than [`LintGate::Off`], the inferred coloring is run through
+    /// [`nabbitc_lint::lint_graph`] (priced with this options struct's
+    /// `cost` and `topology`) before any task executes, and the report is
+    /// attached to [`RunReport::lint`](crate::RunReport::lint). The
+    /// denying gates turn findings into panics, for harnesses that want
+    /// a hard stop on a degenerate schedule. Plain `execute` never lints
+    /// — the caller's own coloring is taken as intended.
+    pub lint: LintGate,
+}
+
+/// What [`execute_auto`](StaticExecutor::execute_auto) does with schedule
+/// lint findings (see [`ExecOptions::lint`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LintGate {
+    /// No linting (the default): zero pre-flight cost.
+    #[default]
+    Off,
+    /// Lint and attach the report to the [`RunReport`]; never fails.
+    Report,
+    /// Lint, attach, and panic if any
+    /// [`Error`](nabbitc_lint::Severity::Error) finding is present.
+    DenyErrors,
+    /// Lint, attach, and panic if any finding of severity
+    /// [`Warn`](nabbitc_lint::Severity::Warn) or worse is present.
+    DenyWarnings,
 }
 
 struct ExecState<K: ?Sized> {
@@ -98,6 +125,7 @@ impl StaticExecutor {
                 count_remote: true,
                 cost: nabbitc_cost::CostModel::default(),
                 topology: None,
+                lint: LintGate::Off,
             },
         }
     }
@@ -203,6 +231,7 @@ impl StaticExecutor {
                 .tracing_enabled()
                 .then(|| self.pool.trace_snapshot()),
             selection: None,
+            lint: None,
         }
     }
 }

@@ -1,0 +1,662 @@
+//! Source-level atomics-ordering audit for the runtime crate.
+//!
+//! The lock-free core (`deque.rs`, `injector.rs`, `pool.rs`, `stats.rs`,
+//! `trace.rs`) is small enough to audit exhaustively: this module scans
+//! the sources, extracts **every** atomic operation site, and checks each
+//! against the committed ordering policy in [`crate::policy`]. The audit
+//! is deliberately strict in both directions:
+//!
+//! * a site the policy does not know about is a failure (new atomics
+//!   must be justified before they land), and
+//! * a policy entry matching no site is a failure (the table cannot rot).
+//!
+//! A site passes only if its ordering *sequence* equals one of the
+//! allowed sequences, so a downgrade (e.g. the seeded `nabbitc_weak_pop`
+//! canary turning the `SeqCst` pop fence into `Release`) is caught
+//! statically, without building or running the weakened code.
+//!
+//! The scanner is a purpose-built lexer, not a Rust parser: it masks
+//! comments, strings, and char literals, truncates each file at its test
+//! module, tracks `fn` names and per-line `#[cfg(...)]` attributes, and
+//! then pattern-matches the seven atomic operations the runtime actually
+//! uses. That is enough to be exact on this codebase, and the
+//! "unknown site" rule means any construct the scanner mis-reads fails
+//! loudly instead of being skipped.
+
+use std::fmt;
+
+/// The five `std::sync::atomic::Ordering` variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOrdering {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl AtomicOrdering {
+    /// Parses an ordering identifier (`"Relaxed"`, `"SeqCst"`, ...).
+    pub fn parse(s: &str) -> Option<AtomicOrdering> {
+        match s {
+            "Relaxed" => Some(AtomicOrdering::Relaxed),
+            "Acquire" => Some(AtomicOrdering::Acquire),
+            "Release" => Some(AtomicOrdering::Release),
+            "AcqRel" => Some(AtomicOrdering::AcqRel),
+            "SeqCst" => Some(AtomicOrdering::SeqCst),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AtomicOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The atomic operations the runtime uses. `orderings()` is how many
+/// ordering arguments each takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    Load,
+    Store,
+    Swap,
+    FetchAdd,
+    FetchSub,
+    CompareExchange,
+    Fence,
+}
+
+impl AtomicOp {
+    /// All ops the scanner recognizes, with their source spelling.
+    const ALL: [(AtomicOp, &'static str); 7] = [
+        (AtomicOp::Load, "load"),
+        (AtomicOp::Store, "store"),
+        (AtomicOp::Swap, "swap"),
+        (AtomicOp::FetchAdd, "fetch_add"),
+        (AtomicOp::FetchSub, "fetch_sub"),
+        (AtomicOp::CompareExchange, "compare_exchange"),
+        (AtomicOp::Fence, "fence"),
+    ];
+
+    /// Source spelling (`"fetch_add"`).
+    pub fn name(self) -> &'static str {
+        Self::ALL.iter().find(|(op, _)| *op == self).unwrap().1
+    }
+
+    /// Number of `Ordering` arguments (`compare_exchange` takes success
+    /// and failure orderings; everything else takes one).
+    pub fn orderings(self) -> usize {
+        if self == AtomicOp::CompareExchange {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// One atomic operation in the runtime sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomicSite {
+    /// Base file name (`"deque.rs"`).
+    pub file: String,
+    /// Enclosing `fn` name (`"steal_impl"`), or `"<module>"` at file
+    /// scope.
+    pub func: String,
+    /// Receiver field/variable (`"top"`), or `"fence"` for fences.
+    pub symbol: String,
+    /// Which operation.
+    pub op: AtomicOp,
+    /// The ordering arguments, in source order.
+    pub orderings: Vec<AtomicOrdering>,
+    /// 1-based source line of the operation name.
+    pub line: usize,
+    /// Inner text of a `#[cfg(...)]` attribute guarding the statement,
+    /// if any (`"not(nabbitc_weak_pop)"`).
+    pub cfg: Option<String>,
+}
+
+impl AtomicSite {
+    /// Compact one-line rendering used in audit failure messages.
+    pub fn describe(&self) -> String {
+        let ords: Vec<String> = self.orderings.iter().map(|o| o.to_string()).collect();
+        let cfg = match &self.cfg {
+            Some(c) => format!(" cfg({c})"),
+            None => String::new(),
+        };
+        format!(
+            "{}:{} {}::{}.{}({}){}",
+            self.file,
+            self.line,
+            self.func,
+            self.symbol,
+            self.op.name(),
+            ords.join(", "),
+            cfg
+        )
+    }
+}
+
+/// The runtime source files under audit. The audit fails if one goes
+/// missing, so this list cannot silently fall out of date.
+pub const RUNTIME_FILES: [&str; 5] = ["deque.rs", "injector.rs", "pool.rs", "stats.rs", "trace.rs"];
+
+/// Absolute path of the runtime crate's `src/` directory, resolved
+/// relative to this crate so the audit works from any working directory.
+pub fn runtime_src_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("runtime")
+        .join("src")
+}
+
+/// Scans all [`RUNTIME_FILES`] and returns every atomic site found.
+pub fn scan_runtime() -> Result<Vec<AtomicSite>, String> {
+    let dir = runtime_src_dir();
+    let mut sites = Vec::new();
+    for file in RUNTIME_FILES {
+        let path = dir.join(file);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        sites.extend(scan_source(file, &src)?);
+    }
+    Ok(sites)
+}
+
+/// Scans one file's source text. `file` is the base name recorded on
+/// each site.
+pub fn scan_source(file: &str, src: &str) -> Result<Vec<AtomicSite>, String> {
+    let src = truncate_at_test_module(src);
+    let masked = mask_non_code(src);
+    let line_starts = line_start_offsets(&masked);
+    let cfgs = cfg_by_line(&masked);
+    let fns = fn_starts(&masked);
+    let mut sites = Vec::new();
+    for (op, spelled) in AtomicOp::ALL {
+        let needle = if op == AtomicOp::Fence {
+            "fence(".to_string()
+        } else {
+            format!(".{spelled}(")
+        };
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find(&needle) {
+            let at = from + rel;
+            from = at + needle.len();
+            if op == AtomicOp::Fence {
+                // Reject `compiler_fence(` and any `foo.fence(`.
+                let prev = masked[..at].chars().next_back();
+                if prev.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                    continue;
+                }
+            }
+            let line = line_of(&line_starts, at);
+            let symbol = if op == AtomicOp::Fence {
+                "fence".to_string()
+            } else {
+                receiver_symbol(&masked, at)
+                    .ok_or_else(|| format!("{file}:{line}: no receiver before .{spelled}("))?
+            };
+            let args_start = at + needle.len();
+            let args = balanced_span(&masked, args_start - 1)
+                .ok_or_else(|| format!("{file}:{line}: unbalanced parens in {spelled} call"))?;
+            let found = ordering_idents(&masked[args_start..args]);
+            let need = op.orderings();
+            if found.len() < need {
+                return Err(format!(
+                    "{file}:{line}: {symbol}.{spelled}(...) has {} ordering argument(s), \
+                     expected at least {need}",
+                    found.len()
+                ));
+            }
+            let orderings = found[found.len() - need..].to_vec();
+            sites.push(AtomicSite {
+                file: file.to_string(),
+                func: enclosing_fn(&fns, at),
+                symbol,
+                op,
+                orderings,
+                line,
+                cfg: cfgs.get(line - 1).cloned().flatten(),
+            });
+        }
+    }
+    sites.sort_by_key(|s| (s.line, s.op.name()));
+    Ok(sites)
+}
+
+/// Runs the audit: every active site must match a policy entry and use
+/// an allowed ordering sequence, and every policy entry must match at
+/// least one active site. Returns the list of problems (empty = pass).
+///
+/// `active_cfgs` is the set of enabled `--cfg` flags; sites guarded by a
+/// `#[cfg(...)]` that evaluates false are skipped, which is how the
+/// default audit sees the `SeqCst` pop fence while an audit with
+/// `"nabbitc_weak_pop"` active sees — and rejects — the `Release` one.
+pub fn audit(
+    sites: &[AtomicSite],
+    policy: &[crate::policy::PolicyEntry],
+    active_cfgs: &[&str],
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let active: Vec<&AtomicSite> = sites
+        .iter()
+        .filter(|s| cfg_active(s.cfg.as_deref(), active_cfgs))
+        .collect();
+    let mut matched = vec![false; policy.len()];
+    for site in &active {
+        let entry = policy.iter().enumerate().find(|(_, e)| {
+            e.file == site.file && e.func == site.func && e.symbol == site.symbol && e.op == site.op
+        });
+        match entry {
+            None => problems.push(format!("unknown atomic site: {}", site.describe())),
+            Some((i, e)) => {
+                matched[i] = true;
+                let ok = e
+                    .allowed
+                    .iter()
+                    .any(|seq| seq == &site.orderings.as_slice());
+                if !ok {
+                    let allowed: Vec<String> = e
+                        .allowed
+                        .iter()
+                        .map(|seq| {
+                            let s: Vec<String> = seq.iter().map(|o| o.to_string()).collect();
+                            format!("({})", s.join(", "))
+                        })
+                        .collect();
+                    problems.push(format!(
+                        "ordering violation: {} — policy allows {} ({})",
+                        site.describe(),
+                        allowed.join(" or "),
+                        e.why
+                    ));
+                }
+            }
+        }
+    }
+    for (i, e) in policy.iter().enumerate() {
+        if !matched[i] {
+            problems.push(format!(
+                "stale policy entry: {}::{} {}.{} matches no active site",
+                e.file,
+                e.func,
+                e.symbol,
+                e.op.name()
+            ));
+        }
+    }
+    problems
+}
+
+/// Evaluates a site's `#[cfg(...)]` guard against the active flag set.
+/// Supports the two forms the runtime uses: a bare flag name and
+/// `not(name)`. Anything else is treated as active (and will then fail
+/// as an unknown site unless the policy covers it).
+fn cfg_active(cfg: Option<&str>, active: &[&str]) -> bool {
+    match cfg {
+        None => true,
+        Some(c) => {
+            let c = c.trim();
+            if let Some(inner) = c.strip_prefix("not(").and_then(|r| r.strip_suffix(')')) {
+                !active.contains(&inner.trim())
+            } else if c.chars().all(|ch| ch.is_alphanumeric() || ch == '_') {
+                active.contains(&c)
+            } else {
+                true
+            }
+        }
+    }
+}
+
+/// Cuts the source at the first `#[cfg(...test...)]` attribute line, which
+/// in the runtime crate always introduces the test module. Test-only
+/// atomics (loom models, stress harnesses) are out of audit scope.
+fn truncate_at_test_module(src: &str) -> &str {
+    let mut offset = 0;
+    for line in src.split_inclusive('\n') {
+        let t = line.trim_start();
+        if t.starts_with("#[cfg(") && t.contains("test") {
+            return &src[..offset];
+        }
+        offset += line.len();
+    }
+    src
+}
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving byte offsets and newlines so line numbers stay exact.
+fn mask_non_code(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        out[i] = b' ';
+                        if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out[i] = b' ';
+                        i += 1;
+                        break;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal: 'x' or '\n'. Lifetimes ('a) have no
+                // closing quote in range; leave them untouched.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    i + 3
+                } else {
+                    i + 2
+                };
+                if bytes.get(close) == Some(&b'\'') {
+                    for b in out.iter_mut().take(close + 1).skip(i) {
+                        *b = b' ';
+                    }
+                    i = close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("masking only writes ASCII spaces")
+}
+
+/// Byte offsets where each line begins.
+fn line_start_offsets(src: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line number of a byte offset.
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    starts.partition_point(|&s| s <= offset)
+}
+
+/// Per-line cfg guard: a `#[cfg(...)]` attribute line applies to the
+/// next non-attribute, non-blank line (the statement-level form the
+/// runtime uses, e.g. the weak-pop fence pair).
+fn cfg_by_line(src: &str) -> Vec<Option<String>> {
+    let mut out = Vec::new();
+    let mut pending: Option<String> = None;
+    for line in src.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("#[cfg(") {
+            if let Some(inner) = rest.strip_suffix(")]") {
+                out.push(None);
+                pending = Some(inner.to_string());
+                continue;
+            }
+        }
+        if t.starts_with("#[") || t.is_empty() {
+            out.push(None);
+            continue;
+        }
+        out.push(pending.take());
+    }
+    out
+}
+
+/// `(offset, name)` of every `fn` item, in order.
+fn fn_starts(src: &str) -> Vec<(usize, String)> {
+    let bytes = src.as_bytes();
+    let mut fns = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = src[from..].find("fn ") {
+        let at = from + rel;
+        from = at + 3;
+        let prev = src[..at].chars().next_back();
+        if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let mut j = at + 3;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j > at + 3 {
+            fns.push((at, src[at + 3..j].to_string()));
+        }
+    }
+    fns
+}
+
+/// Name of the last `fn` starting before `offset`.
+fn enclosing_fn(fns: &[(usize, String)], offset: usize) -> String {
+    let idx = fns.partition_point(|(at, _)| *at < offset);
+    if idx == 0 {
+        "<module>".to_string()
+    } else {
+        fns[idx - 1].1.clone()
+    }
+}
+
+/// Walks back from the `.` at `dot` over whitespace and reads the
+/// receiver identifier (handles multi-line `stats\n.field\n.store(...)`
+/// chains).
+fn receiver_symbol(src: &str, dot: usize) -> Option<String> {
+    let bytes = src.as_bytes();
+    let mut i = dot;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i == end {
+        None
+    } else {
+        Some(src[i..end].to_string())
+    }
+}
+
+/// Given the offset of an opening `(`, returns the offset of its
+/// matching `)`.
+fn balanced_span(src: &str, open: usize) -> Option<usize> {
+    let mut depth = 0;
+    for (i, b) in src.bytes().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Ordering identifiers appearing in an argument span, in order. Matches
+/// both qualified (`Ordering::SeqCst`) and bare (`SeqCst`) spellings —
+/// `stats.rs` imports the variants directly.
+fn ordering_idents(span: &str) -> Vec<AtomicOrdering> {
+    let bytes = span.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if let Some(o) = AtomicOrdering::parse(&span[start..i]) {
+                out.push(o);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_simple_ops_with_fn_and_symbol() {
+        let src = "\
+fn push(&self) {
+    let b = self.bottom.load(Ordering::Relaxed);
+    self.bottom.store(b + 1, Ordering::Release);
+}
+fn check() {
+    fence(Ordering::SeqCst);
+}
+";
+        let sites = scan_source("x.rs", src).unwrap();
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].func, "push");
+        assert_eq!(sites[0].symbol, "bottom");
+        assert_eq!(sites[0].op, AtomicOp::Load);
+        assert_eq!(sites[0].orderings, vec![AtomicOrdering::Relaxed]);
+        assert_eq!(sites[0].line, 2);
+        assert_eq!(sites[2].func, "check");
+        assert_eq!(sites[2].symbol, "fence");
+        assert_eq!(sites[2].orderings, vec![AtomicOrdering::SeqCst]);
+    }
+
+    #[test]
+    fn handles_multiline_receivers_and_bare_orderings() {
+        let src = "\
+fn f(stats: &S) {
+    stats
+        .idle_ns
+        .fetch_add(1, Relaxed);
+    let _ = x
+        .top
+        .compare_exchange(t, t + 1, SeqCst, Relaxed);
+}
+";
+        let sites = scan_source("x.rs", src).unwrap();
+        assert_eq!(sites[0].symbol, "idle_ns");
+        assert_eq!(sites[0].op, AtomicOp::FetchAdd);
+        assert_eq!(sites[1].symbol, "top");
+        assert_eq!(
+            sites[1].orderings,
+            vec![AtomicOrdering::SeqCst, AtomicOrdering::Relaxed]
+        );
+    }
+
+    #[test]
+    fn nested_calls_yield_two_sites_with_right_orderings() {
+        let src = "fn grow() { ns.ptr.store(os.ptr.load(Ordering::Acquire), Ordering::Release); }";
+        let mut sites = scan_source("x.rs", src).unwrap();
+        sites.sort_by_key(|s| s.op.name());
+        assert_eq!(sites.len(), 2);
+        let load = sites.iter().find(|s| s.op == AtomicOp::Load).unwrap();
+        let store = sites.iter().find(|s| s.op == AtomicOp::Store).unwrap();
+        assert_eq!(load.orderings, vec![AtomicOrdering::Acquire]);
+        assert_eq!(store.orderings, vec![AtomicOrdering::Release]);
+    }
+
+    #[test]
+    fn masks_comments_strings_and_chars() {
+        let src = "\
+fn f() {
+    // self.fake.load(Ordering::Relaxed)
+    let s = \".store(Ordering::SeqCst)\";
+    let c = ',';
+    real.load(Ordering::Acquire);
+}
+";
+        let sites = scan_source("x.rs", src).unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].symbol, "real");
+    }
+
+    #[test]
+    fn cfg_attribute_attaches_to_next_statement() {
+        let src = "\
+fn pop() {
+    #[cfg(not(weak))]
+    fence(Ordering::SeqCst);
+    #[cfg(weak)]
+    fence(Ordering::Release);
+}
+";
+        let sites = scan_source("x.rs", src).unwrap();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].cfg.as_deref(), Some("not(weak)"));
+        assert_eq!(sites[1].cfg.as_deref(), Some("weak"));
+        assert!(cfg_active(sites[0].cfg.as_deref(), &[]));
+        assert!(!cfg_active(sites[0].cfg.as_deref(), &["weak"]));
+        assert!(!cfg_active(sites[1].cfg.as_deref(), &[]));
+        assert!(cfg_active(sites[1].cfg.as_deref(), &["weak"]));
+    }
+
+    #[test]
+    fn test_module_is_out_of_scope() {
+        let src = "\
+fn f() { a.load(Ordering::Relaxed); }
+#[cfg(test)]
+mod tests {
+    fn t() { b.load(Ordering::SeqCst); }
+}
+";
+        let sites = scan_source("x.rs", src).unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].symbol, "a");
+    }
+
+    #[test]
+    fn compiler_fence_and_missing_orderings_are_handled() {
+        let src = "fn f() { compiler_fence(Ordering::SeqCst); }";
+        assert!(scan_source("x.rs", src).unwrap().is_empty());
+        let bad = "fn f() { v.swap(0, 1); }";
+        assert!(scan_source("x.rs", bad).is_err());
+    }
+}

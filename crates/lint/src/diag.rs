@@ -1,0 +1,337 @@
+//! The diagnostics layer: severities, stable lint codes, and the
+//! [`LintReport`] container with human-readable and machine-readable
+//! (JSON) rendering.
+//!
+//! Codes are stable identifiers of the form `NL0xx`; once assigned they
+//! are never reused for a different meaning, so downstream tooling can
+//! match on them across versions. The JSON layout is versioned by
+//! [`LINT_SCHEMA_VERSION`] and validated round-trip by the bench crate's
+//! schema validator.
+
+use std::fmt::Write as _;
+
+/// Version of the machine-readable report layout. Bumped whenever the
+/// JSON keys or the meaning of an existing field change.
+pub const LINT_SCHEMA_VERSION: u32 = 1;
+
+/// How bad a finding is.
+///
+/// The ordering is meaningful: `Info < Warn < Error`, so gates can
+/// compare against a threshold (`--deny-warnings` rejects `>= Warn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; never fails a gate.
+    Info,
+    /// A scheduling pathology that will likely cost performance.
+    Warn,
+    /// The schedule is broken (e.g. unstealable colors); executing it
+    /// will not do what the coloring promises.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case display name (also the JSON encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding: a stable code, a severity, a message, and the node/color
+/// references that anchor it in the graph (capped samples, not exhaustive
+/// lists — the message carries the totals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable lint code (`"NL003"`); see the crate docs for the table.
+    pub code: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Human-readable description, self-contained (totals included).
+    pub message: String,
+    /// Sample node ids the finding anchors to (possibly empty).
+    pub nodes: Vec<u32>,
+    /// Sample colors involved (possibly empty).
+    pub colors: Vec<u16>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no node/color references.
+    pub fn new(code: &'static str, severity: Severity, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message,
+            nodes: Vec::new(),
+            colors: Vec::new(),
+        }
+    }
+
+    /// Attaches sample node references (builder style).
+    pub fn with_nodes(mut self, nodes: Vec<u32>) -> Diagnostic {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Attaches sample color references (builder style).
+    pub fn with_colors(mut self, colors: Vec<u16>) -> Diagnostic {
+        self.colors = colors;
+        self
+    }
+}
+
+/// A full lint run over one target: what was linted, for which machine
+/// size, and everything found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    /// [`LINT_SCHEMA_VERSION`] at render time.
+    pub schema_version: u32,
+    /// What was linted (a workload name, `"execute_auto"`, ...).
+    pub target: String,
+    /// Which coloring the graph carried (`"auto"`, an assigner name,
+    /// `"hand"`, ...).
+    pub coloring: String,
+    /// Machine size the lints priced against.
+    pub workers: usize,
+    /// Findings, ordered by code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Assembles a report (findings are sorted by code, then message, so
+    /// reports are deterministic regardless of detector order).
+    pub fn new(
+        target: impl Into<String>,
+        coloring: impl Into<String>,
+        workers: usize,
+        mut diagnostics: Vec<Diagnostic>,
+    ) -> LintReport {
+        diagnostics.sort_by(|a, b| a.code.cmp(b.code).then_with(|| a.message.cmp(&b.message)));
+        LintReport {
+            schema_version: LINT_SCHEMA_VERSION,
+            target: target.into(),
+            coloring: coloring.into(),
+            workers,
+            diagnostics,
+        }
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The worst severity present, or `None` for a clean report.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.worst() == Some(Severity::Error)
+    }
+
+    /// Whether any finding is [`Severity::Warn`] or worse.
+    pub fn has_warnings(&self) -> bool {
+        self.worst() >= Some(Severity::Warn)
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary
+    /// line. Example:
+    ///
+    /// ```text
+    /// sw/recursive-bisection (P=8): 1 warning
+    ///   NL003 warn: wide level 12 (width 20) has 100% of its weight on color 3
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{}/{} (P={}): ",
+            self.target, self.coloring, self.workers
+        );
+        if self.diagnostics.is_empty() {
+            out.push_str("clean\n");
+            return out;
+        }
+        let counts = [
+            (self.count(Severity::Error), "error"),
+            (self.count(Severity::Warn), "warning"),
+            (self.count(Severity::Info), "info"),
+        ];
+        let summary: Vec<String> = counts
+            .iter()
+            .filter(|(n, _)| *n > 0)
+            .map(|(n, label)| {
+                let plural = if *n == 1 || *label == "info" { "" } else { "s" };
+                format!("{n} {label}{plural}")
+            })
+            .collect();
+        out.push_str(&summary.join(", "));
+        out.push('\n');
+        for d in &self.diagnostics {
+            let _ = write!(out, "  {} {}: {}", d.code, d.severity.name(), d.message);
+            if !d.nodes.is_empty() {
+                let refs: Vec<String> = d.nodes.iter().map(|n| n.to_string()).collect();
+                let _ = write!(out, " [nodes {}]", refs.join(","));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable rendering: a versioned JSON document. The schema
+    /// is validated by `nabbitc-bench`'s `validate_lint_json`, and the
+    /// exact layout is:
+    ///
+    /// ```json
+    /// {
+    ///   "schema_version": 1,
+    ///   "target": "sw", "coloring": "recursive-bisection", "workers": 8,
+    ///   "counts": {"error": 0, "warn": 1, "info": 0},
+    ///   "diagnostics": [
+    ///     {"code": "NL003", "severity": "warn", "message": "...",
+    ///      "nodes": [17, 18], "colors": [3]}
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(out, "  \"target\": \"{}\",", escape_json(&self.target));
+        let _ = writeln!(out, "  \"coloring\": \"{}\",", escape_json(&self.coloring));
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(
+            out,
+            "  \"counts\": {{\"error\": {}, \"warn\": {}, \"info\": {}}},",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        );
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\", ",
+                d.code,
+                d.severity.name(),
+                escape_json(&d.message)
+            );
+            let nodes: Vec<String> = d.nodes.iter().map(|n| n.to_string()).collect();
+            let colors: Vec<String> = d.colors.iter().map(|c| c.to_string()).collect();
+            let _ = write!(
+                out,
+                "\"nodes\": [{}], \"colors\": [{}]}}",
+                nodes.join(", "),
+                colors.join(", ")
+            );
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal. The messages
+/// this crate produces are plain ASCII, but escaping is cheap insurance
+/// against a workload name with a quote in it.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport::new(
+            "sw",
+            "recursive-bisection",
+            8,
+            vec![
+                Diagnostic::new("NL004", Severity::Warn, "imbalance".into()).with_colors(vec![3]),
+                Diagnostic::new("NL001", Severity::Error, "invalid color".into())
+                    .with_nodes(vec![5, 6]),
+                Diagnostic::new("NL008", Severity::Info, "very wide".into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn severity_orders_and_names() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.name(), "warn");
+    }
+
+    #[test]
+    fn report_sorts_counts_and_grades() {
+        let r = sample();
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["NL001", "NL004", "NL008"]);
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warn), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert_eq!(r.worst(), Some(Severity::Error));
+        assert!(r.has_errors());
+        assert!(r.has_warnings());
+        let clean = LintReport::new("heat", "auto", 8, vec![]);
+        assert_eq!(clean.worst(), None);
+        assert!(!clean.has_warnings());
+        assert!(clean.render().contains("clean"));
+    }
+
+    #[test]
+    fn render_mentions_every_code() {
+        let text = sample().render();
+        for code in ["NL001", "NL004", "NL008"] {
+            assert!(text.contains(code), "missing {code} in:\n{text}");
+        }
+        assert!(text.contains("1 error, 1 warning, 1 info"), "{text}");
+    }
+
+    #[test]
+    fn json_has_versioned_layout() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"counts\": {\"error\": 1, \"warn\": 1, \"info\": 1}"));
+        assert!(json.contains("\"code\": \"NL001\""));
+        assert!(json.contains("\"nodes\": [5, 6]"));
+        // Balanced structure (the bench crate's parser does the real
+        // grammar check in its round-trip test).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let r = LintReport::new("a\"b", "c\\d", 1, vec![]);
+        let json = r.to_json();
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("c\\\\d"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Static analysis for NabbitC: a graph/schedule linter and an
+//! atomics-ordering audit for the lock-free runtime.
+//!
+//! # Graph/schedule linter
+//!
+//! [`lint_graph`] runs structural and scheduling detectors over a colored
+//! [`TaskGraph`](nabbitc_graph::TaskGraph), priced against a machine size,
+//! a [`CostModel`](nabbitc_cost::CostModel), and an optional NUMA
+//! [`Topology`](nabbitc_cost::Topology). Findings carry stable codes:
+//!
+//! | Code  | Severity | Meaning |
+//! |-------|----------|---------|
+//! | NL000 | Error    | graph construction error ([`GraphBuilder::check`](nabbitc_graph::GraphBuilder::check)) |
+//! | NL001 | Error    | invalid / out-of-range node color |
+//! | NL002 | Warn     | isolated zero-work node |
+//! | NL003 | Warn     | serialized wide level (the wavefront bisection trap) |
+//! | NL004 | Warn     | color load above the 2x balance bound |
+//! | NL005 | Warn     | hub producer fanning out across NUMA domains |
+//! | NL006 | Warn     | cross-domain hot edge (remote traffic vs. work share) |
+//! | NL007 | Warn     | max width below the worker count |
+//! | NL008 | Info     | max width far above the worker count |
+//! | NL009 | Warn     | worker color with no nodes |
+//!
+//! Reports render human-readable ([`LintReport::render`]) and
+//! machine-readable ([`LintReport::to_json`], schema versioned by
+//! [`LINT_SCHEMA_VERSION`]). The linter is wired into the execution
+//! facade as an opt-in pre-flight gate (see `nabbitc_core`'s
+//! `ExecOptions`) and into the `graphlint` CLI in `nabbitc-bench`.
+//!
+//! # Atomics-ordering audit
+//!
+//! [`atomics::scan_runtime`] extracts every atomic operation in the
+//! runtime's lock-free core and [`atomics::audit`] checks the sites
+//! against the committed [`policy::POLICY`] table, where each entry
+//! records the allowed `Ordering` sequences and a one-line justification.
+//! Unknown sites, ordering downgrades, and stale policy entries all fail
+//! — including the seeded `nabbitc_weak_pop` fence weakening, which the
+//! audit catches without ever building the weakened binary.
+
+pub mod atomics;
+pub mod diag;
+pub mod graph;
+pub mod policy;
+
+pub use atomics::{audit, scan_runtime, AtomicOp, AtomicOrdering, AtomicSite};
+pub use diag::{Diagnostic, LintReport, Severity, LINT_SCHEMA_VERSION};
+pub use graph::{diagnose_build_errors, lint_graph, LintConfig};
+pub use policy::{PolicyEntry, POLICY};

@@ -1,0 +1,836 @@
+//! The committed atomics-ordering policy for the runtime crate.
+//!
+//! Every entry pins one atomic site (or a group of identical sites) to
+//! the ordering sequences it is allowed to use, with a one-line
+//! justification. The table is the reviewed ground truth the audit in
+//! [`crate::atomics::audit`] checks the scanned sources against:
+//!
+//! * a scanned site with no entry here fails ("unknown atomic site") —
+//!   new atomics must be added to this table, with a reason, to land;
+//! * a site whose ordering sequence is not listed fails ("ordering
+//!   violation") — this is how the seeded `nabbitc_weak_pop` canary is
+//!   caught: the policy for the pop fence allows only `SeqCst`, so the
+//!   `Release` variant that cfg enables is rejected statically;
+//! * an entry matching no active site fails ("stale policy entry") —
+//!   the table cannot outlive the code it describes.
+//!
+//! Entries are keyed `(file, function, receiver symbol, operation)`.
+//! Sites that are textually repeated with the same meaning (e.g. the
+//! three `bottom.store(Relaxed)` writes in `pop`) share one entry.
+//! Where one key legitimately uses two orderings (the seqlock `seq`
+//! field in `trace.rs`), both sequences are listed and the reason says
+//! which is which; the audit then cannot distinguish a swap between
+//! those two listed sequences, which is acceptable for a seqlock whose
+//! safety is separately model-checked.
+//!
+//! The memory-ordering arguments below reference the Chase–Lev deque
+//! correctness argument (Lê et al., "Correct and Efficient Work-Stealing
+//! for Weak Memory Models", PPoPP'13) for `deque.rs`, and the loom
+//! models in `crates/check` which exhaustively verify the deque and
+//! trace-buffer protocols under `--cfg nabbitc_check`.
+
+use crate::atomics::{AtomicOp, AtomicOrdering};
+
+/// One row of the ordering policy: which site(s) it matches, which
+/// ordering sequences are allowed, and why.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyEntry {
+    /// Base file name within the runtime crate (`"deque.rs"`).
+    pub file: &'static str,
+    /// Enclosing function name.
+    pub func: &'static str,
+    /// Receiver field/variable, or `"fence"` for fences.
+    pub symbol: &'static str,
+    /// The operation kind.
+    pub op: AtomicOp,
+    /// Allowed ordering sequences. A site passes iff its sequence equals
+    /// one of these exactly (so `compare_exchange` success/failure pairs
+    /// are checked together and downgrades of either fail).
+    pub allowed: &'static [&'static [AtomicOrdering]],
+    /// One-line justification for the allowed orderings.
+    pub why: &'static str,
+}
+
+const fn entry(
+    file: &'static str,
+    func: &'static str,
+    symbol: &'static str,
+    op: AtomicOp,
+    allowed: &'static [&'static [AtomicOrdering]],
+    why: &'static str,
+) -> PolicyEntry {
+    PolicyEntry {
+        file,
+        func,
+        symbol,
+        op,
+        allowed,
+        why,
+    }
+}
+
+use AtomicOrdering::{AcqRel, Acquire, Relaxed, Release, SeqCst};
+
+// Shorthand sequences so the table below stays one-entry-per-screen-line.
+const RLX: &[&[AtomicOrdering]] = &[&[Relaxed]];
+const ACQ: &[&[AtomicOrdering]] = &[&[Acquire]];
+const REL: &[&[AtomicOrdering]] = &[&[Release]];
+const SC: &[&[AtomicOrdering]] = &[&[SeqCst]];
+const CAS_SC: &[&[AtomicOrdering]] = &[&[SeqCst, Relaxed]];
+
+// Referenced so the shorthand set stays total over the enum; no current
+// site uses AcqRel, and introducing one will fail the audit until a
+// policy entry justifies it.
+const _UNUSED: AtomicOrdering = AcqRel;
+
+/// The committed policy table. Kept in source order of the audited files
+/// so a diff of the runtime and a diff of this table line up.
+pub static POLICY: &[PolicyEntry] = &[
+    // ---------------------------------------------------------------- deque.rs
+    // Chase–Lev deque (PPoPP'13 orderings, verified by the loom model in
+    // crates/check).
+    entry(
+        "deque.rs",
+        "len",
+        "bottom",
+        AtomicOp::Load,
+        RLX,
+        "advisory size for stats/heuristics; staleness is tolerated by design",
+    ),
+    entry(
+        "deque.rs",
+        "len",
+        "top",
+        AtomicOp::Load,
+        RLX,
+        "advisory size for stats/heuristics; staleness is tolerated by design",
+    ),
+    entry(
+        "deque.rs",
+        "push",
+        "bottom",
+        AtomicOp::Load,
+        RLX,
+        "bottom is owner-only; the owner reads its own last store",
+    ),
+    entry(
+        "deque.rs",
+        "push",
+        "top",
+        AtomicOp::Load,
+        ACQ,
+        "reserves space against concurrent steals; Acquire synchronizes with thieves' top CAS",
+    ),
+    entry(
+        "deque.rs",
+        "push",
+        "buffer",
+        AtomicOp::Load,
+        RLX,
+        "buffer is replaced only by the owner itself (grow), so its own load needs no ordering",
+    ),
+    entry(
+        "deque.rs",
+        "push",
+        "w",
+        AtomicOp::Store,
+        RLX,
+        "color-array slot write; published to thieves by the Release fence before the bottom store",
+    ),
+    entry(
+        "deque.rs",
+        "push",
+        "ptr",
+        AtomicOp::Store,
+        RLX,
+        "task-slot write; published to thieves by the Release fence before the bottom store",
+    ),
+    entry(
+        "deque.rs",
+        "push",
+        "fence",
+        AtomicOp::Fence,
+        REL,
+        "publishes the slot writes before bottom is advanced (pairs with the thief's SeqCst fence)",
+    ),
+    entry(
+        "deque.rs",
+        "push",
+        "bottom",
+        AtomicOp::Store,
+        RLX,
+        "the preceding Release fence orders the slot data before this index publication",
+    ),
+    entry(
+        "deque.rs",
+        "pop",
+        "bottom",
+        AtomicOp::Load,
+        RLX,
+        "bottom is owner-only; the owner reads its own last store",
+    ),
+    entry(
+        "deque.rs",
+        "pop",
+        "buffer",
+        AtomicOp::Load,
+        RLX,
+        "buffer is replaced only by the owner itself (grow)",
+    ),
+    entry(
+        "deque.rs",
+        "pop",
+        "bottom",
+        AtomicOp::Store,
+        RLX,
+        "owner-only index update; ordering against thieves comes from the SeqCst fence and CAS",
+    ),
+    entry(
+        "deque.rs",
+        "pop",
+        "fence",
+        AtomicOp::Fence,
+        SC,
+        "the PPoPP'13 store-load fence: the bottom decrement must be visible before top is read, \
+         or owner and thief can both take the last task; the nabbitc_weak_pop cfg downgrades \
+         this to Release and is the seeded bug this audit must reject",
+    ),
+    entry(
+        "deque.rs",
+        "pop",
+        "top",
+        AtomicOp::Load,
+        RLX,
+        "ordered after the bottom decrement by the SeqCst fence; no payload is read through it",
+    ),
+    entry(
+        "deque.rs",
+        "pop",
+        "ptr",
+        AtomicOp::Load,
+        RLX,
+        "owner reads a slot it previously wrote; no inter-thread publication involved",
+    ),
+    entry(
+        "deque.rs",
+        "pop",
+        "top",
+        AtomicOp::CompareExchange,
+        CAS_SC,
+        "last-task race with thieves; SeqCst keeps it in the fence's total order, failure is a \
+         pure retry so Relaxed suffices there",
+    ),
+    entry(
+        "deque.rs",
+        "steal_impl",
+        "top",
+        AtomicOp::Load,
+        ACQ,
+        "thief's first read; synchronizes with the owner's CAS/publication of top",
+    ),
+    entry(
+        "deque.rs",
+        "steal_impl",
+        "fence",
+        AtomicOp::Fence,
+        SC,
+        "pairs with the pop fence: orders the top read before the bottom read in the single \
+         total order, closing the two-claimants window",
+    ),
+    entry(
+        "deque.rs",
+        "steal_impl",
+        "bottom",
+        AtomicOp::Load,
+        ACQ,
+        "synchronizes with the owner's push publication so the observed range is consistent",
+    ),
+    entry(
+        "deque.rs",
+        "steal_impl",
+        "buffer",
+        AtomicOp::Load,
+        ACQ,
+        "synchronizes with grow's Release swap so the thief sees fully-initialized storage",
+    ),
+    entry(
+        "deque.rs",
+        "steal_impl",
+        "a",
+        AtomicOp::Load,
+        RLX,
+        "color-array slot read; made visible by the push fence / buffer Acquire, value is \
+         re-validated by the CAS",
+    ),
+    entry(
+        "deque.rs",
+        "steal_impl",
+        "ptr",
+        AtomicOp::Load,
+        RLX,
+        "task-slot read; made visible by the push fence / buffer Acquire, ownership is only \
+         taken if the CAS succeeds",
+    ),
+    entry(
+        "deque.rs",
+        "steal_impl",
+        "top",
+        AtomicOp::CompareExchange,
+        CAS_SC,
+        "claims the task against owner and other thieves; SeqCst joins the fence order, \
+         failure is a pure retry so Relaxed suffices there",
+    ),
+    entry(
+        "deque.rs",
+        "grow",
+        "buffer",
+        AtomicOp::Load,
+        RLX,
+        "grow runs on the owner thread; it reads its own buffer pointer",
+    ),
+    entry(
+        "deque.rs",
+        "grow",
+        "ptr",
+        AtomicOp::Load,
+        RLX,
+        "copying slots the owner itself wrote; publication happens at the buffer swap",
+    ),
+    entry(
+        "deque.rs",
+        "grow",
+        "ptr",
+        AtomicOp::Store,
+        RLX,
+        "filling the new buffer before it is published by the Release swap",
+    ),
+    entry(
+        "deque.rs",
+        "grow",
+        "ow",
+        AtomicOp::Load,
+        RLX,
+        "copying color slots the owner itself wrote; published by the Release swap",
+    ),
+    entry(
+        "deque.rs",
+        "grow",
+        "nw",
+        AtomicOp::Store,
+        RLX,
+        "filling the new color array before it is published by the Release swap",
+    ),
+    entry(
+        "deque.rs",
+        "grow",
+        "buffer",
+        AtomicOp::Swap,
+        REL,
+        "publishes the fully-copied buffer; pairs with the thief's Acquire buffer load",
+    ),
+    entry(
+        "deque.rs",
+        "drop",
+        "buffer",
+        AtomicOp::Load,
+        RLX,
+        "destructor runs with exclusive access (&mut self); no concurrent observers remain",
+    ),
+    // ------------------------------------------------------------- injector.rs
+    entry(
+        "injector.rs",
+        "push",
+        "len",
+        AtomicOp::Store,
+        SC,
+        "mutex-protected cache of queue length; SeqCst keeps the cheap path obviously correct \
+         against the lock-free readers (not performance-critical)",
+    ),
+    entry(
+        "injector.rs",
+        "try_pop",
+        "len",
+        AtomicOp::Store,
+        SC,
+        "mutex-protected cache of queue length; SeqCst for the same reason as push",
+    ),
+    entry(
+        "injector.rs",
+        "len",
+        "len",
+        AtomicOp::Load,
+        SC,
+        "lock-free length probe used by idle workers; SeqCst avoids reasoning about the \
+         mutex interplay on a non-hot path",
+    ),
+    // ----------------------------------------------------------------- pool.rs
+    entry(
+        "pool.rs",
+        "next_task_id",
+        "task_seq",
+        AtomicOp::FetchAdd,
+        RLX,
+        "unique-id counter; only atomicity is needed, no ordering with other data",
+    ),
+    entry(
+        "pool.rs",
+        "run",
+        "active",
+        AtomicOp::Load,
+        SC,
+        "job-barrier handshake; the pool control plane uses SeqCst throughout as it is \
+         microseconds per job, not per task",
+    ),
+    entry(
+        "pool.rs",
+        "run",
+        "pending",
+        AtomicOp::Load,
+        SC,
+        "job-barrier handshake (control plane, SeqCst by convention)",
+    ),
+    entry(
+        "pool.rs",
+        "run",
+        "job_panicked",
+        AtomicOp::Store,
+        SC,
+        "clears the panic flag before publishing a new job (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "run",
+        "pending",
+        AtomicOp::Store,
+        SC,
+        "seeds the pending-task count before the epoch bump releases workers (control plane)",
+    ),
+    entry(
+        "pool.rs",
+        "run",
+        "job_start_ns",
+        AtomicOp::Store,
+        SC,
+        "job start timestamp must be visible to workers when the epoch bump wakes them",
+    ),
+    entry(
+        "pool.rs",
+        "run",
+        "epoch",
+        AtomicOp::FetchAdd,
+        SC,
+        "the job-release edge: workers spin on epoch, and every job field stored above must \
+         be ordered before it (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "run",
+        "job_panicked",
+        AtomicOp::Load,
+        SC,
+        "reads the outcome after the completion barrier (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "reset_trace",
+        "task_seq",
+        AtomicOp::Store,
+        RLX,
+        "test/bench reset while the pool is quiescent; atomicity only",
+    ),
+    entry(
+        "pool.rs",
+        "drop",
+        "shutdown",
+        AtomicOp::Store,
+        SC,
+        "shutdown edge observed by worker spin loops (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "spawn",
+        "pending",
+        AtomicOp::FetchAdd,
+        SC,
+        "task accounting that the completion barrier reads; SeqCst keeps increment/decrement \
+         and the barrier's zero-check in one total order",
+    ),
+    entry(
+        "pool.rs",
+        "worker_main",
+        "epoch",
+        AtomicOp::Load,
+        SC,
+        "worker spin on the job-release edge (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "worker_main",
+        "shutdown",
+        AtomicOp::Load,
+        SC,
+        "worker spin on the shutdown edge (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "worker_main",
+        "active",
+        AtomicOp::FetchAdd,
+        SC,
+        "entering a job; the barrier in run() counts active workers (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "worker_main",
+        "active",
+        AtomicOp::FetchSub,
+        SC,
+        "leaving a job; pairs with the barrier's active==0 check (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "run_job_loop",
+        "job_start_ns",
+        AtomicOp::Load,
+        SC,
+        "reads the job start timestamp published before the epoch bump (control plane)",
+    ),
+    entry(
+        "pool.rs",
+        "run_job_loop",
+        "first_work_wait_ns",
+        AtomicOp::Store,
+        RLX,
+        "per-worker latency statistic; read only after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "run_job_loop",
+        "pending",
+        AtomicOp::Load,
+        SC,
+        "termination check of the work loop; must not observe a stale nonzero->zero ordering \
+         against execute()'s fetch_sub",
+    ),
+    entry(
+        "pool.rs",
+        "run_job_loop",
+        "idle_ns",
+        AtomicOp::FetchAdd,
+        RLX,
+        "per-worker idle-time statistic; read only after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "execute",
+        "tasks_executed",
+        AtomicOp::FetchAdd,
+        RLX,
+        "per-worker counter; read only after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "execute",
+        "job_panicked",
+        AtomicOp::Store,
+        SC,
+        "panic flag must be visible before the pending count reaches zero (control plane)",
+    ),
+    entry(
+        "pool.rs",
+        "execute",
+        "pending",
+        AtomicOp::FetchSub,
+        SC,
+        "task completion; the final decrement is the job-done edge the barrier spins on",
+    ),
+    entry(
+        "pool.rs",
+        "steal_round",
+        "pending",
+        AtomicOp::Load,
+        SC,
+        "early-out of the steal loop on job completion (control plane, SeqCst)",
+    ),
+    entry(
+        "pool.rs",
+        "steal_round",
+        "first_steal_checks",
+        AtomicOp::FetchAdd,
+        RLX,
+        "steal-heuristic counter; read only after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "steal_round",
+        "colored_steal_attempts",
+        AtomicOp::FetchAdd,
+        RLX,
+        "attempt counter; read only after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "steal_round",
+        "colored_steals",
+        AtomicOp::FetchAdd,
+        REL,
+        "success counter; Release pairs with the Acquire load in WorkerStats::snapshot so \
+         steals <= attempts holds in any racy snapshot",
+    ),
+    entry(
+        "pool.rs",
+        "steal_round",
+        "random_steal_attempts",
+        AtomicOp::FetchAdd,
+        RLX,
+        "attempt counter; read only after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "steal_round",
+        "random_steals",
+        AtomicOp::FetchAdd,
+        REL,
+        "success counter; Release pairs with the Acquire load in WorkerStats::snapshot",
+    ),
+    // ---------------------------------------------------------------- stats.rs
+    entry(
+        "stats.rs",
+        "reset",
+        "tasks_executed",
+        AtomicOp::Store,
+        RLX,
+        "reset happens between jobs while workers are parked; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "colored_steal_attempts",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "colored_steals",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "random_steal_attempts",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "random_steals",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "first_steal_checks",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "first_work_wait_ns",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "idle_ns",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "colored_steals",
+        AtomicOp::Load,
+        ACQ,
+        "read before the attempt counters; Acquire pairs with the Release increments so a \
+         racy snapshot never shows steals > attempts",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "random_steals",
+        AtomicOp::Load,
+        ACQ,
+        "read before the attempt counters; pairs with the Release increments",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "tasks_executed",
+        AtomicOp::Load,
+        RLX,
+        "monotone counter; snapshot tolerates slight staleness",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "colored_steal_attempts",
+        AtomicOp::Load,
+        RLX,
+        "read after the Acquire on successes; may only overshoot, preserving the invariant",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "random_steal_attempts",
+        AtomicOp::Load,
+        RLX,
+        "read after the Acquire on successes; may only overshoot",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "first_steal_checks",
+        AtomicOp::Load,
+        RLX,
+        "heuristic counter; staleness is fine",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "first_work_wait_ns",
+        AtomicOp::Load,
+        RLX,
+        "latency statistic written once per job before the barrier",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "idle_ns",
+        AtomicOp::Load,
+        RLX,
+        "idle-time statistic; staleness is fine",
+    ),
+    // ---------------------------------------------------------------- trace.rs
+    // Seqlock-style ring buffer (loom-verified in crates/check): writers
+    // bump seq to odd (Relaxed, fenced), write the slot, then publish seq
+    // even with Release; readers Acquire seq, read, fence, re-check.
+    entry(
+        "trace.rs",
+        "push",
+        "head",
+        AtomicOp::Load,
+        RLX,
+        "single-writer cursor; the writer reads its own position",
+    ),
+    entry(
+        "trace.rs",
+        "push",
+        "seq",
+        AtomicOp::Load,
+        RLX,
+        "writer reads its own slot sequence to compute the odd marker",
+    ),
+    entry(
+        "trace.rs",
+        "push",
+        "seq",
+        AtomicOp::Store,
+        &[&[Relaxed], &[Release]],
+        "two sites: the odd write-in-progress marker is Relaxed (ordered by the Release \
+         fence that follows), the even publish is Release (pairs with the reader's Acquire)",
+    ),
+    entry(
+        "trace.rs",
+        "push",
+        "fence",
+        AtomicOp::Fence,
+        REL,
+        "orders the odd seq marker before the payload writes for racing readers",
+    ),
+    entry(
+        "trace.rs",
+        "push",
+        "ts",
+        AtomicOp::Store,
+        RLX,
+        "slot payload; guarded by the seqlock protocol, not by its own ordering",
+    ),
+    entry(
+        "trace.rs",
+        "push",
+        "payload",
+        AtomicOp::Store,
+        RLX,
+        "slot payload; guarded by the seqlock protocol",
+    ),
+    entry(
+        "trace.rs",
+        "push",
+        "head",
+        AtomicOp::Store,
+        REL,
+        "publishes the advanced cursor; pairs with recorded()'s Acquire",
+    ),
+    entry(
+        "trace.rs",
+        "recorded",
+        "head",
+        AtomicOp::Load,
+        ACQ,
+        "pairs with the writer's Release so the count never runs ahead of published slots",
+    ),
+    entry(
+        "trace.rs",
+        "snapshot",
+        "seq",
+        AtomicOp::Load,
+        &[&[Acquire], &[Relaxed]],
+        "two sites: the first read is Acquire (pairs with the even Release publish), the \
+         post-fence re-check is Relaxed (the Acquire fence before it orders the payload reads)",
+    ),
+    entry(
+        "trace.rs",
+        "snapshot",
+        "ts",
+        AtomicOp::Load,
+        RLX,
+        "payload read validated by the seq re-check; torn reads are discarded",
+    ),
+    entry(
+        "trace.rs",
+        "snapshot",
+        "payload",
+        AtomicOp::Load,
+        RLX,
+        "payload read validated by the seq re-check",
+    ),
+    entry(
+        "trace.rs",
+        "snapshot",
+        "fence",
+        AtomicOp::Fence,
+        ACQ,
+        "orders the payload reads before the seq re-check (reader half of the seqlock)",
+    ),
+    entry(
+        "trace.rs",
+        "reset",
+        "head",
+        AtomicOp::Store,
+        REL,
+        "publishes the cleared buffer state to subsequent readers",
+    ),
+];

@@ -1,0 +1,158 @@
+//! The atomics-ordering audit, run over the real runtime sources.
+//!
+//! These tests are the CI gate: they scan
+//! `crates/runtime/src/{deque,injector,pool,stats,trace}.rs`, check every
+//! atomic site against the committed policy table, and verify the audit's
+//! teeth — the seeded `nabbitc_weak_pop` fence downgrade must be caught
+//! *statically*, and unknown sites / downgrades / stale entries must all
+//! fail.
+
+use nabbitc_lint::atomics::scan_source;
+use nabbitc_lint::{audit, scan_runtime, AtomicOp, AtomicOrdering, POLICY};
+
+/// Floor on the number of sites the scanner must find. If a refactor
+/// drops the real count below this, either atomics were genuinely
+/// removed (update the floor) or the scanner went blind (the bug this
+/// assertion exists to catch).
+const MIN_SITES: usize = 100;
+
+#[test]
+fn runtime_atomics_pass_the_committed_policy() {
+    let sites = scan_runtime().expect("scan runtime sources");
+    assert!(
+        sites.len() >= MIN_SITES,
+        "scanner found only {} sites (expected >= {MIN_SITES}); did it go blind?",
+        sites.len()
+    );
+    let problems = audit(&sites, POLICY, &[]);
+    assert!(
+        problems.is_empty(),
+        "atomics audit failed:\n  {}",
+        problems.join("\n  ")
+    );
+}
+
+#[test]
+fn every_audited_file_contributes_sites() {
+    let sites = scan_runtime().expect("scan runtime sources");
+    for file in nabbitc_lint::atomics::RUNTIME_FILES {
+        assert!(
+            sites.iter().any(|s| s.file == file),
+            "no atomic sites found in {file}; scanner or file list is stale"
+        );
+    }
+}
+
+#[test]
+fn weak_pop_canary_is_caught_statically() {
+    let sites = scan_runtime().expect("scan runtime sources");
+    // The two fence variants coexist in the source under opposite cfgs.
+    let pop_fences: Vec<_> = sites
+        .iter()
+        .filter(|s| s.file == "deque.rs" && s.func == "pop" && s.op == AtomicOp::Fence)
+        .collect();
+    assert_eq!(
+        pop_fences.len(),
+        2,
+        "expected both cfg variants of the pop fence"
+    );
+    assert!(pop_fences
+        .iter()
+        .any(|s| s.orderings == [AtomicOrdering::SeqCst]
+            && s.cfg.as_deref() == Some("not(nabbitc_weak_pop)")));
+    assert!(pop_fences
+        .iter()
+        .any(|s| s.orderings == [AtomicOrdering::Release]
+            && s.cfg.as_deref() == Some("nabbitc_weak_pop")));
+
+    // Auditing the weakened configuration must flag the Release fence.
+    let problems = audit(&sites, POLICY, &["nabbitc_weak_pop"]);
+    assert!(
+        problems
+            .iter()
+            .any(|p| p.contains("ordering violation") && p.contains("fence(Release)")),
+        "weak-pop canary not flagged; problems were:\n  {}",
+        problems.join("\n  ")
+    );
+}
+
+#[test]
+fn unknown_sites_and_downgrades_fail() {
+    // A site the policy has never heard of.
+    let src = "fn brand_new() { mystery.load(Ordering::Relaxed); }";
+    let sites = scan_source("deque.rs", src).unwrap();
+    let problems = audit(&sites, POLICY, &[]);
+    assert!(
+        problems.iter().any(|p| p.contains("unknown atomic site")),
+        "{problems:?}"
+    );
+
+    // A known site with a weakened ordering: steal's top Acquire -> Relaxed.
+    let src = "fn steal_impl(&self) { let t = self.top.load(Ordering::Relaxed); }";
+    let sites = scan_source("deque.rs", src).unwrap();
+    let problems = audit(&sites, POLICY, &[]);
+    assert!(
+        problems.iter().any(|p| p.contains("ordering violation")),
+        "{problems:?}"
+    );
+
+    // A compare_exchange whose failure ordering alone is upgraded still
+    // mismatches the committed (SeqCst, Relaxed) sequence.
+    let src = "fn pop(&self) { let _ = self.top.compare_exchange(t, t + 1, \
+               Ordering::SeqCst, Ordering::SeqCst); }";
+    let sites = scan_source("deque.rs", src).unwrap();
+    let problems = audit(&sites, POLICY, &[]);
+    assert!(
+        problems.iter().any(|p| p.contains("ordering violation")),
+        "{problems:?}"
+    );
+}
+
+#[test]
+fn stale_policy_entries_fail() {
+    // Auditing an empty site list: every policy entry is stale.
+    let problems = audit(&[], POLICY, &[]);
+    assert_eq!(problems.len(), POLICY.len());
+    assert!(problems.iter().all(|p| p.contains("stale policy entry")));
+}
+
+#[test]
+fn policy_is_internally_consistent() {
+    for e in POLICY {
+        assert!(
+            nabbitc_lint::atomics::RUNTIME_FILES.contains(&e.file),
+            "policy references unaudited file {}",
+            e.file
+        );
+        assert!(!e.allowed.is_empty(), "{}: no allowed sequences", e.func);
+        assert!(
+            !e.why.is_empty(),
+            "{}::{}: missing justification",
+            e.file,
+            e.func
+        );
+        for seq in e.allowed {
+            assert_eq!(
+                seq.len(),
+                e.op.orderings(),
+                "{}::{} {}: wrong ordering arity",
+                e.file,
+                e.func,
+                e.symbol
+            );
+        }
+    }
+    // No duplicate keys: a site must match exactly one entry.
+    for (i, a) in POLICY.iter().enumerate() {
+        for b in &POLICY[i + 1..] {
+            assert!(
+                !(a.file == b.file && a.func == b.func && a.symbol == b.symbol && a.op == b.op),
+                "duplicate policy key {}::{} {}.{}",
+                a.file,
+                a.func,
+                a.symbol,
+                a.op.name()
+            );
+        }
+    }
+}

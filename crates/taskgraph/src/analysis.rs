@@ -308,6 +308,65 @@ pub fn level_profile(g: &TaskGraph) -> LevelProfile {
     }
 }
 
+/// Cheap structural summary of a graph, relative to a machine size. Built
+/// from one [`level_profile`] sweep (O(V + E)), so it is far cheaper than
+/// any coloring pass or estimator run over the same graph.
+///
+/// This is the single shape classification shared by the autocolor
+/// candidate pre-filter and the static graph linter — both reason about
+/// the same structural facts (depth, peak width, how much weight sits in
+/// wide levels), so they must not drift apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphShape {
+    /// Number of dependency levels (earliest-start-time classes).
+    pub levels: usize,
+    /// Widest level — the graph's peak available parallelism.
+    pub max_width: usize,
+    /// Fraction of total level weight sitting in *wide* levels (width ≥
+    /// workers) — how much of the schedule depends on spreading levels.
+    pub wide_weight_frac: f64,
+}
+
+impl GraphShape {
+    /// Profiles `graph` for a `workers`-worker machine.
+    pub fn of(graph: &TaskGraph, workers: usize) -> GraphShape {
+        Self::from_profile(&level_profile(graph), workers)
+    }
+
+    /// As [`of`](Self::of), over an already-computed profile.
+    pub fn from_profile(profile: &LevelProfile, workers: usize) -> GraphShape {
+        let total: u64 = profile.weights.iter().sum();
+        let wide: u64 = profile
+            .widths
+            .iter()
+            .zip(profile.weights.iter())
+            .filter(|(&w, _)| w >= workers)
+            .map(|(_, &wt)| wt)
+            .sum();
+        GraphShape {
+            levels: profile.level_count(),
+            max_width: profile.max_width(),
+            wide_weight_frac: if total == 0 {
+                0.0
+            } else {
+                wide as f64 / total as f64
+            },
+        }
+    }
+
+    /// Whether this is a *deep wavefront pipeline*: more levels than the
+    /// widest level, with most of the weight in wide levels. On such
+    /// graphs a cut-minimal partition is spatially compact and serializes
+    /// whole dependency levels (the Smith–Waterman failure mode), so
+    /// cut-driven colorings lose the makespan race no matter how few
+    /// edges they cut. The autocolor pre-filter skips recursive bisection
+    /// on this shape and the linter's serialized-wide-level detector uses
+    /// it to grade how suspicious a dominated level is.
+    pub fn deep_wavefront(&self) -> bool {
+        self.levels > self.max_width && self.wide_weight_frac >= 0.5
+    }
+}
+
 /// How much of each dependency level's work a coloring concentrates on a
 /// single color.
 ///

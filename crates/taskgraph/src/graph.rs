@@ -118,34 +118,65 @@ impl GraphBuilder {
         self.work.len()
     }
 
-    /// Finalizes the graph, checking edge validity and acyclicity.
-    pub fn build(self) -> Result<TaskGraph, GraphError> {
+    /// Validates the nodes and edges added so far, collecting **every**
+    /// statically detectable construction error instead of stopping at
+    /// the first: [`GraphError::Empty`] / [`GraphError::TooManyEdges`]
+    /// when they apply, then every out-of-range edge endpoint
+    /// ([`GraphError::InvalidNode`], in edge order, `pred` before
+    /// `succ`), then every duplicated edge
+    /// ([`GraphError::DuplicateEdge`], in sorted edge order, reported
+    /// once per duplicated pair). An empty vector means
+    /// [`build`](Self::build) can only fail with [`GraphError::Cycle`]
+    /// (acyclicity needs the finished CSR and is checked by `build`).
+    ///
+    /// `build` fails with exactly the first entry of this list whenever
+    /// it is non-empty, so collecting front ends (`graphlint`) and the
+    /// fail-fast builder always agree on error priority.
+    pub fn check(&self) -> Vec<GraphError> {
+        let mut errors = Vec::new();
         let n = self.work.len();
         if n == 0 {
-            return Err(GraphError::Empty);
+            errors.push(GraphError::Empty);
         }
         // The CSR stores offsets as u32: an edge count past u32::MAX would
         // wrap the prefix sums and silently truncate adjacency.
         if self.edges.len() > u32::MAX as usize {
-            return Err(GraphError::TooManyEdges(self.edges.len()));
+            errors.push(GraphError::TooManyEdges(self.edges.len()));
         }
         for &(u, v) in &self.edges {
             if u as usize >= n {
-                return Err(GraphError::InvalidNode(u));
+                errors.push(GraphError::InvalidNode(u));
             }
             if v as usize >= n {
-                return Err(GraphError::InvalidNode(v));
+                errors.push(GraphError::InvalidNode(v));
             }
         }
 
-        // Duplicate-edge detection via sort.
+        // Duplicate-edge detection via sort; equal pairs are adjacent
+        // after sorting, so the `last` comparison reports each duplicated
+        // pair once no matter how many copies were added.
         let mut sorted = self.edges.clone();
         sorted.sort_unstable();
         for w in sorted.windows(2) {
             if w[0] == w[1] {
-                return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
+                let dup = GraphError::DuplicateEdge(w[0].0, w[0].1);
+                if errors.last() != Some(&dup) {
+                    errors.push(dup);
+                }
             }
         }
+        errors
+    }
+
+    /// Finalizes the graph, checking edge validity and acyclicity.
+    ///
+    /// Fails with the first error [`check`](Self::check) collects; use
+    /// `check` to see all of them at once.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        if let Some(first) = self.check().into_iter().next() {
+            return Err(first);
+        }
+        let n = self.work.len();
 
         // CSR for successors and predecessors.
         let m = self.edges.len();
@@ -505,6 +536,55 @@ mod tests {
     #[test]
     fn empty_graph_rejected() {
         assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn check_collects_every_error_in_one_pass() {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_simple_node(1, Color(0), 0);
+        b.add_edge(0, 7); // invalid succ
+        b.add_edge(9, 1); // invalid pred
+        b.add_edge(0, 1);
+        b.add_edge(0, 1); // duplicate (twice more below)
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // fine on its own (cycle is build's job)
+        let errors = b.check();
+        assert_eq!(
+            errors,
+            vec![
+                GraphError::InvalidNode(7),
+                GraphError::InvalidNode(9),
+                GraphError::DuplicateEdge(0, 1),
+            ]
+        );
+        // build reports exactly the first collected error.
+        assert_eq!(b.build().unwrap_err(), GraphError::InvalidNode(7));
+    }
+
+    #[test]
+    fn check_reports_both_endpoints_and_empty_is_first() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(3, 4); // both endpoints invalid, and no nodes at all
+        let errors = b.check();
+        assert_eq!(
+            errors,
+            vec![
+                GraphError::Empty,
+                GraphError::InvalidNode(3),
+                GraphError::InvalidNode(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn check_is_empty_on_a_valid_builder() {
+        let mut b = GraphBuilder::new();
+        b.add_simple_node(1, Color(0), 0);
+        b.add_simple_node(1, Color(0), 0);
+        b.add_edge(0, 1);
+        assert!(b.check().is_empty());
+        assert!(b.build().is_ok());
     }
 
     #[test]
