@@ -1,0 +1,276 @@
+//! Spawn/steal-throughput microbench for the runtime hot paths: raw
+//! deque operation costs (single vs batched), and end-to-end spawn cost
+//! through the pool (single `spawn` vs `SpawnBatch`, wide vs chain
+//! shapes) with the task arena's recycling rate.
+//!
+//! Every row is a per-operation cost, best of [`REPS`] repetitions, so
+//! the single/batch pairs are directly comparable: the batch rows show
+//! what one bottom-store-plus-fence per N tasks (publish side) and one
+//! steal claiming up to half the deque (thief side) buy over the
+//! one-at-a-time baseline. Deque rows run on one thread — they measure
+//! instruction/fence overhead, not contention (the model checker owns
+//! the races; see crates/check).
+//!
+//! ```text
+//! cargo run -p nabbitc-bench --bin overhead --release
+//! ```
+//!
+//! Environment:
+//! * `NABBITC_OVERHEAD_OPS` — operations per measurement, default
+//!   100000 (CI smoke uses a small value).
+//!
+//! Writes `results/overhead.{md,csv}`.
+
+use nabbitc_bench::{f1, Report};
+use nabbitc_color::{Color, ColorSet};
+use nabbitc_runtime::{ColoredDeque, Pool, PoolConfig, Steal, WorkerContext};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Repetitions per measurement; the report keeps the best (least
+/// scheduler interference).
+const REPS: usize = 3;
+
+/// Tasks per published batch on the batched variants — the same order
+/// of magnitude as a spawn_nodes halving level's output.
+const BATCH: usize = 32;
+
+fn ops_from_env() -> usize {
+    match std::env::var("NABBITC_OVERHEAD_OPS") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("NABBITC_OVERHEAD_OPS not a count: {s:?}")),
+        Err(_) => 100_000,
+    }
+}
+
+/// Best-of-`REPS` wall time of `f`, in nanoseconds.
+fn best_ns<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Owner path, one at a time: `ops` pushes then `ops` pops.
+fn deque_push_pop(ops: usize) -> f64 {
+    let colors = ColorSet::singleton(Color(0));
+    best_ns(|| {
+        let dq: ColoredDeque<u64> = ColoredDeque::new();
+        for i in 0..ops {
+            dq.push(Box::new(i as u64), colors);
+        }
+        for _ in 0..ops {
+            assert!(dq.pop().is_some());
+        }
+    }) / (2 * ops) as f64
+}
+
+/// Owner path, batched publication: `ops / BATCH` `push_batch` calls
+/// then `ops` pops.
+fn deque_push_batch_pop(ops: usize) -> f64 {
+    let colors = ColorSet::singleton(Color(0));
+    let ops = ops / BATCH * BATCH;
+    best_ns(|| {
+        let dq: ColoredDeque<u64> = ColoredDeque::new();
+        for chunk in 0..ops / BATCH {
+            let batch: Vec<_> = (0..BATCH)
+                .map(|i| (Box::new((chunk * BATCH + i) as u64), colors))
+                .collect();
+            dq.push_batch(batch);
+        }
+        for _ in 0..ops {
+            assert!(dq.pop().is_some());
+        }
+    }) / (2 * ops) as f64
+}
+
+/// Thief path: drain a pre-filled deque with single `steal` calls.
+fn drain_steal_one(ops: usize) -> f64 {
+    let colors = ColorSet::singleton(Color(0));
+    best_ns(|| {
+        let dq: ColoredDeque<u64> = ColoredDeque::new();
+        for i in 0..ops {
+            dq.push(Box::new(i as u64), colors);
+        }
+        let mut taken = 0;
+        loop {
+            match dq.steal() {
+                Steal::Success(_) => taken += 1,
+                Steal::Empty => break,
+                _ => {}
+            }
+        }
+        assert_eq!(taken, ops);
+    }) / ops as f64
+}
+
+/// Thief path: drain a pre-filled deque with `steal_batch` (each call
+/// claims up to half the remainder into the thief's deque, which the
+/// thief then pops — the pool's actual post-steal execution order).
+fn drain_steal_batch(ops: usize) -> f64 {
+    let colors = ColorSet::singleton(Color(0));
+    best_ns(|| {
+        let dq: ColoredDeque<u64> = ColoredDeque::new();
+        for i in 0..ops {
+            dq.push(Box::new(i as u64), colors);
+        }
+        let dest: ColoredDeque<u64> = ColoredDeque::new();
+        let mut taken = 0;
+        loop {
+            match dq.steal_batch(&dest) {
+                (Steal::Success(_), moved) => {
+                    taken += 1 + moved;
+                    while dest.pop().is_some() {}
+                }
+                (Steal::Empty, _) => break,
+                _ => {}
+            }
+        }
+        assert_eq!(taken, ops);
+    }) / ops as f64
+}
+
+/// End-to-end spawn cost on a 1-worker pool: the root spawns `ops`
+/// trivial tasks. `batched` routes them through `SpawnBatch` in groups
+/// of [`BATCH`]; otherwise one `spawn` each. Returns (ns/task, arena
+/// hit fraction).
+fn pool_spawn_wide(ops: usize, batched: bool) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut hit_rate = 0.0;
+    for _ in 0..REPS {
+        let pool = Pool::new(PoolConfig::nabbitc(1));
+        let ran = Arc::new(AtomicU64::new(0));
+        let r2 = ran.clone();
+        let t = Instant::now();
+        pool.run(ColorSet::all(1), move |ctx| {
+            let colors = ColorSet::singleton(Color(0));
+            if batched {
+                for _ in 0..ops / BATCH {
+                    let mut batch = ctx.spawn_batch();
+                    for _ in 0..BATCH {
+                        let r = r2.clone();
+                        batch.add(colors, move |_| {
+                            r.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    batch.publish();
+                }
+            } else {
+                for _ in 0..ops {
+                    let r = r2.clone();
+                    ctx.spawn(colors, move |_| {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }
+        });
+        let ns = t.elapsed().as_nanos() as f64;
+        let spawned = ops / if batched { BATCH } else { 1 } * if batched { BATCH } else { 1 };
+        assert_eq!(ran.load(Ordering::Relaxed), spawned as u64);
+        if ns < best {
+            best = ns;
+            let stats = pool.stats();
+            let (h, m) = (stats.total_arena_hits(), stats.total_arena_misses());
+            hit_rate = h as f64 / (h + m).max(1) as f64;
+        }
+    }
+    (best / ops as f64, hit_rate)
+}
+
+fn chain(ctx: &mut WorkerContext<'_>, left: u64, colors: ColorSet, ran: Arc<AtomicU64>) {
+    ran.fetch_add(1, Ordering::Relaxed);
+    if left > 0 {
+        let r = ran.clone();
+        ctx.spawn(colors, move |ctx| chain(ctx, left - 1, colors, r));
+    }
+}
+
+/// Steady-state spawn cost: a depth-`ops` chain where each task spawns
+/// the next, so every shell after the first comes from the arena free
+/// list. Returns (ns/task, arena hit fraction).
+fn pool_spawn_chain(ops: usize) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut hit_rate = 0.0;
+    for _ in 0..REPS {
+        let pool = Pool::new(PoolConfig::nabbitc(1));
+        let ran = Arc::new(AtomicU64::new(0));
+        let r2 = ran.clone();
+        let t = Instant::now();
+        pool.run(ColorSet::all(1), move |ctx| {
+            chain(ctx, ops as u64, ColorSet::singleton(Color(0)), r2);
+        });
+        let ns = t.elapsed().as_nanos() as f64;
+        assert_eq!(ran.load(Ordering::Relaxed), ops as u64 + 1);
+        if ns < best {
+            best = ns;
+            let stats = pool.stats();
+            let (h, m) = (stats.total_arena_hits(), stats.total_arena_misses());
+            hit_rate = h as f64 / (h + m).max(1) as f64;
+        }
+    }
+    (best / ops as f64, hit_rate)
+}
+
+fn main() {
+    let ops = ops_from_env();
+    let mut rep = Report::new(
+        "overhead",
+        &format!("Runtime hot-path overhead (ns per operation, {ops} ops, best of {REPS})"),
+    );
+    rep.line(
+        "Deque rows are single-threaded op costs (push/pop average the \
+         owner round trip; steal rows are cost per task transferred out of \
+         a pre-filled deque). Pool rows run a 1-worker pool end to end — \
+         spawn bookkeeping, deque traffic, task execution, and arena \
+         recycling included; arena-hit% is the fraction of task shells \
+         served from the per-worker free list. Batched variants use \
+         batches of 32.\n",
+    );
+    rep.header(&["section", "variant", "ns/op", "arena-hit%"]);
+
+    let row = |rep: &mut Report, section: &str, variant: &str, ns: f64, hits: Option<f64>| {
+        rep.row(&[
+            section.to_string(),
+            variant.to_string(),
+            f1(ns),
+            hits.map_or_else(|| "-".to_string(), |h| f1(100.0 * h)),
+        ]);
+    };
+
+    eprintln!("overhead: deque owner path");
+    row(&mut rep, "deque", "push+pop x1", deque_push_pop(ops), None);
+    row(
+        &mut rep,
+        "deque",
+        "push_batch+pop",
+        deque_push_batch_pop(ops),
+        None,
+    );
+
+    eprintln!("overhead: deque thief path");
+    row(&mut rep, "deque", "steal x1", drain_steal_one(ops), None);
+    row(
+        &mut rep,
+        "deque",
+        "steal_batch (half)",
+        drain_steal_batch(ops),
+        None,
+    );
+
+    eprintln!("overhead: pool spawn, wide");
+    let (ns, hits) = pool_spawn_wide(ops, false);
+    row(&mut rep, "pool", "spawn x1, wide", ns, Some(hits));
+    let (ns, hits) = pool_spawn_wide(ops, true);
+    row(&mut rep, "pool", "spawn_batch, wide", ns, Some(hits));
+
+    eprintln!("overhead: pool spawn, chain");
+    let (ns, hits) = pool_spawn_chain(ops);
+    row(&mut rep, "pool", "spawn x1, chain", ns, Some(hits));
+
+    rep.finish().expect("failed to write results");
+}

@@ -344,7 +344,11 @@ impl Parser<'_> {
 ///   `modes` array;
 /// * every mode entry has a `mode` string plus numeric `seconds` and
 ///   `measured_speedup`, and numeric `predicted_speedup` unless the mode
-///   is `serial` (the baseline predicts nothing).
+///   is `serial` (the baseline predicts nothing);
+/// * a `trace` object whose counters (`p`, `nodes`, `events_recorded`,
+///   `events_dropped`, `execs`, `steal_attempts`, `steal_successes`,
+///   `batch_steals`, `batch_stolen_tasks`, `arena_hits`, `arena_misses`)
+///   are all numeric — the traced run at the widest sweep point.
 pub fn validate_bench_json(doc: &Json) -> Vec<String> {
     let mut problems = Vec::new();
     let need_num =
@@ -414,6 +418,27 @@ pub fn validate_bench_json(doc: &Json) -> Vec<String> {
                     &format!("{at}.predicted_speedup"),
                     &mut problems,
                 );
+            }
+        }
+    }
+
+    match doc.get("trace") {
+        None => problems.push("trace missing".to_string()),
+        Some(trace) => {
+            for key in [
+                "p",
+                "nodes",
+                "events_recorded",
+                "events_dropped",
+                "execs",
+                "steal_attempts",
+                "steal_successes",
+                "batch_steals",
+                "batch_stolen_tasks",
+                "arena_hits",
+                "arena_misses",
+            ] {
+                need_num(trace.get(key), &format!("trace.{key}"), &mut problems);
             }
         }
     }
@@ -579,6 +604,36 @@ mod tests {
         for needle in ["schema_version", "workload", "results"] {
             assert!(problems.iter().any(|p| p.contains(needle)), "{problems:?}");
         }
+
+        // Dropping the trace section, or one of its hot-path counters,
+        // gets named too.
+        let mut doc = sample_doc(true);
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "trace");
+        }
+        let problems = validate_bench_json(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("trace missing")),
+            "{problems:?}"
+        );
+
+        let mut doc = sample_doc(true);
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "trace" {
+                    if let Json::Obj(trace) = value {
+                        trace.retain(|(k, _)| k != "batch_stolen_tasks");
+                    }
+                }
+            }
+        }
+        let problems = validate_bench_json(&doc);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("trace.batch_stolen_tasks")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -696,6 +751,22 @@ mod tests {
                         ]),
                     ),
                 ])]),
+            ),
+            (
+                "trace",
+                Json::obj(vec![
+                    ("p", Json::Num(2.0)),
+                    ("nodes", Json::Num(16.0)),
+                    ("events_recorded", Json::Num(40.0)),
+                    ("events_dropped", Json::Num(0.0)),
+                    ("execs", Json::Num(17.0)),
+                    ("steal_attempts", Json::Num(3.0)),
+                    ("steal_successes", Json::Num(1.0)),
+                    ("batch_steals", Json::Num(1.0)),
+                    ("batch_stolen_tasks", Json::Num(2.0)),
+                    ("arena_hits", Json::Num(10.0)),
+                    ("arena_misses", Json::Num(7.0)),
+                ]),
             ),
         ])
     }

@@ -291,7 +291,7 @@ fn traced_run(id: BenchId, scale: Scale, p: usize) -> Json {
     let pool = Arc::new(Pool::new(
         PoolConfig::nabbitc(p).with_trace(TraceConfig::enabled()),
     ));
-    let exec = StaticExecutor::new(pool);
+    let exec = StaticExecutor::new(pool.clone());
     let kernel = {
         let g = graph.clone();
         Arc::new(move |u: NodeId, _w: usize| spin(g.work(u)))
@@ -306,6 +306,11 @@ fn traced_run(id: BenchId, scale: Scale, p: usize) -> Json {
         attempts += s.steal_attempts;
         successes += s.steal_successes;
     }
+    // Hot-path counters from the pool's stats: how much of the stealing
+    // went through the steal-half batch path and how well the per-worker
+    // task arena recycled shells on this workload.
+    let stats = pool.stats();
+    let batch_steals: u64 = stats.workers.iter().map(|w| w.batch_steals).sum();
     Json::obj(vec![
         ("p", Json::Num(p as f64)),
         ("nodes", Json::Num(graph.node_count() as f64)),
@@ -314,6 +319,13 @@ fn traced_run(id: BenchId, scale: Scale, p: usize) -> Json {
         ("execs", Json::Num(execs as f64)),
         ("steal_attempts", Json::Num(attempts as f64)),
         ("steal_successes", Json::Num(successes as f64)),
+        ("batch_steals", Json::Num(batch_steals as f64)),
+        (
+            "batch_stolen_tasks",
+            Json::Num(stats.total_batch_stolen_tasks() as f64),
+        ),
+        ("arena_hits", Json::Num(stats.total_arena_hits() as f64)),
+        ("arena_misses", Json::Num(stats.total_arena_misses() as f64)),
     ])
 }
 

@@ -7,11 +7,19 @@
 //! ```
 //! `NABBITC_CHECK_DEPTH` raises the preemption bound (default 2) and
 //! `NABBITC_CHECK_ITERS` the execution cap for deeper local runs.
-#![cfg(all(nabbitc_check, not(nabbitc_weak_pop)))]
+#![cfg(all(
+    nabbitc_check,
+    not(nabbitc_weak_pop),
+    not(nabbitc_weak_batch),
+    not(nabbitc_weak_push_batch)
+))]
 
 use loom::model::{explore, Options};
 use nabbitc_check::model::{
-    check_accounting, check_linearizable, run_injector_progress, run_scenario, ScenarioCfg,
+    check_accounting, check_batch_accounting, check_linearizable, run_batch_scenario,
+    run_colored_batch_prefix, run_injector_progress, run_injector_racing_push,
+    run_pending_protocol, run_push_batch_publication, run_scenario,
+    run_steal_batch_races_owner_pops, ScenarioCfg,
 };
 use nabbitc_check::spec::Op;
 
@@ -153,6 +161,124 @@ fn w5_injector_never_strands_work() {
     let report = explore(Options::from_env(), || run_injector_progress(2));
     if let Some(v) = report.violation {
         panic!("W5 violated: {} (trail {:?})", v.message, v.trail);
+    }
+    assert!(report.completed > 0);
+}
+
+fn run_batch_cfg(cfg: ScenarioCfg) {
+    let opts = Options::from_env();
+    let bound = opts.preemption_bound;
+    let report = explore(opts, || {
+        let out = run_batch_scenario(&cfg);
+        check_batch_accounting(&cfg, &out, bound);
+    });
+    if let Some(v) = report.violation {
+        panic!(
+            "invariant violated under batch {cfg:?} after {} executions:\n  {}\n  trail: {:?}",
+            report.iterations,
+            v.message,
+            v.trail.iter().map(|e| e.chosen).collect::<Vec<_>>()
+        );
+    }
+    assert!(report.completed > 0, "no complete execution explored");
+    eprintln!(
+        "batch {cfg:?}: {} executions ({} complete, {} pruned, capped: {})",
+        report.iterations, report.completed, report.pruned, report.capped
+    );
+}
+
+#[test]
+fn w1_w2_w3_batch_thief_races_live_pushes() {
+    // steal_batch against an owner that is still pushing (and popping at
+    // cadence 2): revalidation plus the claim-at-a-time CAS must keep
+    // every value exactly-once no matter where the stale window lands.
+    run_batch_cfg(ScenarioCfg {
+        thieves: 1,
+        tasks: 4,
+        pop_every: 2,
+        steal_attempts: 2,
+        colored: false,
+    });
+}
+
+#[test]
+fn w1_w2_w3_colored_batch_thief() {
+    // steal_batch_if with a color every entry carries: the color-word
+    // reads before each claiming CAS run under all interleavings.
+    run_batch_cfg(ScenarioCfg {
+        thieves: 1,
+        tasks: 3,
+        pop_every: 0,
+        steal_attempts: 2,
+        colored: true,
+    });
+}
+
+#[test]
+fn w2_batch_steal_revalidates_against_owner_pops() {
+    // The exact shape the `nabbitc_weak_batch` canary breaks: one batch
+    // steal racing three owner pops over four tasks. With
+    // BATCH_REVALIDATE = true this must hold on every interleaving.
+    let report = explore(Options::from_env(), run_steal_batch_races_owner_pops);
+    if let Some(v) = report.violation {
+        panic!(
+            "batch revalidation failed after {} executions: {} (trail {:?})",
+            report.iterations, v.message, v.trail
+        );
+    }
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn colored_batch_takes_only_matching_prefix() {
+    let report = explore(Options::from_env(), run_colored_batch_prefix);
+    if let Some(v) = report.violation {
+        panic!(
+            "colored batch prefix violated after {} executions: {} (trail {:?})",
+            report.iterations, v.message, v.trail
+        );
+    }
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn w2_push_batch_publishes_slots_before_bottom() {
+    // The exact shape the `nabbitc_weak_push_batch` canary breaks: a
+    // batch publish over pre-dirtied ring slots racing a thief. The
+    // Release fence must keep stale pointers unobservable.
+    let report = explore(Options::from_env(), run_push_batch_publication);
+    if let Some(v) = report.violation {
+        panic!(
+            "push_batch publication violated after {} executions: {} (trail {:?})",
+            report.iterations, v.message, v.trail
+        );
+    }
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn pending_protocol_relaxed_orderings_are_sound() {
+    // pool.rs's pending counter: Relaxed spawn-add, AcqRel execute-sub,
+    // Acquire termination load. Zero observed => effects visible, and
+    // no spurious zero mid-job.
+    let report = explore(Options::from_env(), run_pending_protocol);
+    if let Some(v) = report.violation {
+        panic!(
+            "pending protocol violated after {} executions: {} (trail {:?})",
+            report.iterations, v.message, v.trail
+        );
+    }
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn w5_injector_mirror_survives_racing_push() {
+    let report = explore(Options::from_env(), || run_injector_racing_push(2));
+    if let Some(v) = report.violation {
+        panic!(
+            "W5 (racing push) violated: {} (trail {:?})",
+            v.message, v.trail
+        );
     }
     assert!(report.completed > 0);
 }

@@ -1,0 +1,39 @@
+//! Harness sensitivity proof for batched spawn: with the seeded ordering
+//! bug (`--cfg nabbitc_weak_push_batch` moves `push_batch`'s `bottom`
+//! store *before* the slot writes, dropping the Release-fence-then-store
+//! publication), the checker must *find* a thief reading a stale slot
+//! pointer — a W2 violation. The scenario pre-dirties the ring slots
+//! with leaked pointers so the stale read surfaces as invariant
+//! accounting (an already-popped value "stolen" again), not an allocator
+//! crash.
+//!
+//! Run with:
+//! ```sh
+//! RUSTFLAGS="--cfg nabbitc_check --cfg nabbitc_weak_push_batch" \
+//!     cargo test -p nabbitc-check --release --test seeded_push_batch
+//! ```
+#![cfg(all(nabbitc_check, nabbitc_weak_push_batch))]
+
+use loom::model::{explore, Options};
+use nabbitc_check::model::run_push_batch_publication;
+
+#[test]
+fn unfenced_batch_publication_is_caught_as_w2_stale_steal() {
+    let report = explore(Options::from_env(), run_push_batch_publication);
+    let v = report
+        .violation
+        .expect("checker failed to detect the seeded weak-push-batch bug");
+    assert!(
+        v.message.contains("W2 violation"),
+        "seeded bug surfaced as the wrong invariant: {}",
+        v.message
+    );
+    assert!(
+        !v.trail.is_empty(),
+        "violation must carry a reproducing schedule trail"
+    );
+    eprintln!(
+        "seeded push-batch bug caught after {} executions: {}",
+        report.iterations, v.message
+    );
+}

@@ -19,7 +19,7 @@
 //! color" (§III).
 
 use nabbitc_color::{Color, ColorSet};
-use nabbitc_runtime::WorkerContext;
+use nabbitc_runtime::{SpawnBatch, WorkerContext};
 use std::sync::Arc;
 
 /// Work items routed through color-aware spawning.
@@ -73,56 +73,86 @@ fn spawn_color_groups<I, F>(
     I: ColoredItem,
     F: Fn(&mut WorkerContext<'_>, I) + Send + Sync + 'static,
 {
-    match groups.len() {
-        0 => {}
-        1 => {
-            let (color, nodes) = groups.pop().expect("len checked");
-            spawn_nodes(ctx, color, nodes, process);
-        }
-        _ => {
-            let mid = groups.len() / 2;
-            let mut second: Vec<_> = groups.split_off(mid);
-            let mut first = groups;
-            // Morph: make sure the worker's own color is in the half it
-            // will process immediately (the paper swaps when c_p is in the
-            // second half; equivalently we swap it into `first`).
-            let c_p = ctx.color();
-            if second.iter().any(|g| g.0 == c_p) {
-                std::mem::swap(&mut first, &mut second);
+    // Every stealable piece this release creates — color-group halves and
+    // same-color node halves alike — goes into one batch, published with
+    // a single bottom store and Release fence instead of one per spawn.
+    // The deque order is identical to spawning one at a time, so the
+    // morphing-continuation guarantees are unchanged.
+    let c_p = ctx.color();
+    let mut batch = ctx.spawn_batch();
+    let inline = loop {
+        match groups.len() {
+            0 => break None,
+            1 => {
+                let (color, nodes) = groups.pop().expect("len checked");
+                break halve_into(&mut batch, color, nodes, &process);
             }
-            // cilkrts_set_next_colors(second.keys()) + cilk_spawn: the
-            // continuation carrying the non-preferred colors becomes a
-            // stealable task tagged with exactly those colors.
-            let second_colors = colors_of(&second);
-            let p2 = process.clone();
-            ctx.spawn(second_colors, move |ctx| {
-                spawn_color_groups(ctx, second, p2);
-            });
-            spawn_color_groups(ctx, first, process);
+            _ => {
+                let mid = groups.len() / 2;
+                let mut second: Vec<_> = groups.split_off(mid);
+                let mut first = groups;
+                // Morph: make sure the worker's own color is in the half
+                // it will process immediately (the paper swaps when c_p
+                // is in the second half; equivalently we swap it into
+                // `first`).
+                if second.iter().any(|g| g.0 == c_p) {
+                    std::mem::swap(&mut first, &mut second);
+                }
+                // cilkrts_set_next_colors(second.keys()) + cilk_spawn:
+                // the continuation carrying the non-preferred colors
+                // becomes a stealable task tagged with exactly those
+                // colors.
+                let second_colors = colors_of(&second);
+                let p2 = process.clone();
+                batch.add(second_colors, move |ctx| {
+                    spawn_color_groups(ctx, second, p2);
+                });
+                groups = first;
+            }
         }
+    };
+    batch.publish();
+    if let Some(item) = inline {
+        process(ctx, item);
     }
 }
 
 /// Parallel-for over same-colored nodes: the paper's `spawn_nodes`.
-fn spawn_nodes<I, F>(ctx: &mut WorkerContext<'_>, color: Color, mut nodes: Vec<I>, process: Arc<F>)
+fn spawn_nodes<I, F>(ctx: &mut WorkerContext<'_>, color: Color, nodes: Vec<I>, process: Arc<F>)
+where
+    I: ColoredItem,
+    F: Fn(&mut WorkerContext<'_>, I) + Send + Sync + 'static,
+{
+    let mut batch = ctx.spawn_batch();
+    let inline = halve_into(&mut batch, color, nodes, &process);
+    batch.publish();
+    if let Some(item) = inline {
+        process(ctx, item);
+    }
+}
+
+/// Queues the stealable halves of `nodes` (each tagged with the singleton
+/// color) and returns the one item the caller processes inline.
+fn halve_into<I, F>(
+    batch: &mut SpawnBatch<'_, '_>,
+    color: Color,
+    mut nodes: Vec<I>,
+    process: &Arc<F>,
+) -> Option<I>
 where
     I: ColoredItem,
     F: Fn(&mut WorkerContext<'_>, I) + Send + Sync + 'static,
 {
     loop {
         match nodes.len() {
-            0 => return,
-            1 => {
-                let item = nodes.pop().expect("len checked");
-                process(ctx, item);
-                return;
-            }
+            0 => return None,
+            1 => return Some(nodes.pop().expect("len checked")),
             _ => {
                 let mid = nodes.len() / 2;
                 let second = nodes.split_off(mid);
                 let p2 = process.clone();
                 let cs = ColorSet::singleton(color);
-                ctx.spawn(cs, move |ctx| {
+                batch.add(cs, move |ctx| {
                     spawn_nodes(ctx, color, second, p2);
                 });
                 // Iterative recursion into the first half.

@@ -77,11 +77,7 @@ const ACQ: &[&[AtomicOrdering]] = &[&[Acquire]];
 const REL: &[&[AtomicOrdering]] = &[&[Release]];
 const SC: &[&[AtomicOrdering]] = &[&[SeqCst]];
 const CAS_SC: &[&[AtomicOrdering]] = &[&[SeqCst, Relaxed]];
-
-// Referenced so the shorthand set stays total over the enum; no current
-// site uses AcqRel, and introducing one will fail the audit until a
-// policy entry justifies it.
-const _UNUSED: AtomicOrdering = AcqRel;
+const AR: &[&[AtomicOrdering]] = &[&[AcqRel]];
 
 /// The committed policy table. Kept in source order of the audited files
 /// so a diff of the runtime and a diff of this table line up.
@@ -160,6 +156,64 @@ pub static POLICY: &[PolicyEntry] = &[
         AtomicOp::Store,
         RLX,
         "the preceding Release fence orders the slot data before this index publication",
+    ),
+    entry(
+        "deque.rs",
+        "push_batch",
+        "bottom",
+        AtomicOp::Load,
+        RLX,
+        "bottom is owner-only; the owner reads its own last store",
+    ),
+    entry(
+        "deque.rs",
+        "push_batch",
+        "top",
+        AtomicOp::Load,
+        ACQ,
+        "reserves space for the whole batch against concurrent steals; same edge as push",
+    ),
+    entry(
+        "deque.rs",
+        "push_batch",
+        "buffer",
+        AtomicOp::Load,
+        RLX,
+        "buffer is replaced only by the owner itself (grow); two sites (initial + post-grow reload)",
+    ),
+    entry(
+        "deque.rs",
+        "push_batch",
+        "w",
+        AtomicOp::Store,
+        RLX,
+        "color-array writes for the whole batch; published by the single Release fence below",
+    ),
+    entry(
+        "deque.rs",
+        "push_batch",
+        "ptr",
+        AtomicOp::Store,
+        RLX,
+        "task-slot writes for the whole batch; published by the single Release fence below",
+    ),
+    entry(
+        "deque.rs",
+        "push_batch",
+        "fence",
+        AtomicOp::Fence,
+        REL,
+        "one fence publishes all N slot writes before the single bottom advance — the point of \
+         batched spawn; the nabbitc_weak_push_batch cfg moves the bottom store before the slots \
+         and the seeded_push_batch model check proves that is caught as a W2 double take",
+    ),
+    entry(
+        "deque.rs",
+        "push_batch",
+        "bottom",
+        AtomicOp::Store,
+        RLX,
+        "single index publication for the batch; ordered after the slot writes by the Release fence",
     ),
     entry(
         "deque.rs",
@@ -282,6 +336,69 @@ pub static POLICY: &[PolicyEntry] = &[
     ),
     entry(
         "deque.rs",
+        "steal_batch_impl",
+        "top",
+        AtomicOp::Load,
+        ACQ,
+        "two sites: the initial index read and the per-claim revalidation; both synchronize \
+         with owner/thief top updates exactly like steal_impl's first read",
+    ),
+    entry(
+        "deque.rs",
+        "steal_batch_impl",
+        "fence",
+        AtomicOp::Fence,
+        SC,
+        "two sites (initial + per-claim revalidation): same store-load pairing with the pop \
+         fence as steal_impl; re-running it before every chained claim is what makes batching \
+         sound against concurrent owner pops (see the nabbitc_weak_batch canary)",
+    ),
+    entry(
+        "deque.rs",
+        "steal_batch_impl",
+        "bottom",
+        AtomicOp::Load,
+        ACQ,
+        "two sites (initial + per-claim revalidation); synchronizes with the owner's push \
+         publication so each claim checks a current range, never the stale initial window",
+    ),
+    entry(
+        "deque.rs",
+        "steal_batch_impl",
+        "buffer",
+        AtomicOp::Load,
+        ACQ,
+        "re-read per claim; synchronizes with grow's Release swap like steal_impl",
+    ),
+    entry(
+        "deque.rs",
+        "steal_batch_impl",
+        "a",
+        AtomicOp::Load,
+        RLX,
+        "color-array slot read; made visible by the push fence / buffer Acquire, value is \
+         re-validated by the claiming CAS",
+    ),
+    entry(
+        "deque.rs",
+        "steal_batch_impl",
+        "ptr",
+        AtomicOp::Load,
+        RLX,
+        "task-slot read; ownership is only taken if the claiming CAS succeeds",
+    ),
+    entry(
+        "deque.rs",
+        "steal_batch_impl",
+        "top",
+        AtomicOp::CompareExchange,
+        CAS_SC,
+        "one CAS per claimed task — never a multi-task jump — so owner pops and other thieves \
+         contend on the same protocol as single steals; SeqCst joins the fence order, failure \
+         aborts the batch (pure retry) so Relaxed suffices there",
+    ),
+    entry(
+        "deque.rs",
         "grow",
         "buffer",
         AtomicOp::Load,
@@ -342,26 +459,38 @@ pub static POLICY: &[PolicyEntry] = &[
         "push",
         "len",
         AtomicOp::Store,
-        SC,
-        "mutex-protected cache of queue length; SeqCst keeps the cheap path obviously correct \
-         against the lock-free readers (not performance-critical)",
+        REL,
+        "mutex-protected length mirror; Release (from SeqCst) pairs with the Acquire hint load \
+         so a non-empty hint implies the queue really held work at store time — every decision \
+         that matters re-checks under the lock, and a stale-empty hint is benign because the \
+         enqueuer wakes workers through the job condvar (run_injector_progress and \
+         run_injector_racing_push explore this exhaustively)",
     ),
     entry(
         "injector.rs",
         "try_pop",
         "len",
         AtomicOp::Store,
-        SC,
-        "mutex-protected cache of queue length; SeqCst for the same reason as push",
+        REL,
+        "length mirror update under the lock; Release for the same hint contract as push",
+    ),
+    entry(
+        "injector.rs",
+        "try_pop_batch",
+        "len",
+        AtomicOp::Store,
+        REL,
+        "one mirror update for the whole drained batch, under the lock; same hint contract",
     ),
     entry(
         "injector.rs",
         "len",
         "len",
         AtomicOp::Load,
-        SC,
-        "lock-free length probe used by idle workers; SeqCst avoids reasoning about the \
-         mutex interplay on a non-hot path",
+        ACQ,
+        "idle-path hint probe polled every worker round; Acquire (from SeqCst) pairs with the \
+         Release mirror stores — the hint-only contract above needs nothing stronger, and this \
+         load is hot enough to care",
     ),
     // ----------------------------------------------------------------- pool.rs
     entry(
@@ -451,9 +580,54 @@ pub static POLICY: &[PolicyEntry] = &[
         "spawn",
         "pending",
         AtomicOp::FetchAdd,
-        SC,
-        "task accounting that the completion barrier reads; SeqCst keeps increment/decrement \
-         and the barrier's zero-check in one total order",
+        RLX,
+        "per-spawn hot path, Relaxed (from SeqCst): the increment precedes the deque push, \
+         whose Release fence publishes it to whichever worker acquires the task, so the \
+         matching decrement is ordered after it in pending's modification order — the counter \
+         can never spuriously hit zero mid-job (run_pending_protocol checks this exhaustively)",
+    ),
+    entry(
+        "pool.rs",
+        "drop",
+        "pending",
+        AtomicOp::FetchAdd,
+        RLX,
+        "SpawnBatch::drop counts the whole batch before its single push_batch publishes the \
+         tasks; same publish-before-decrement argument as spawn",
+    ),
+    entry(
+        "pool.rs",
+        "note_arena",
+        "arena_hits",
+        AtomicOp::FetchAdd,
+        RLX,
+        "reporting-only arena counter mirrored from the worker-owned free list; read after \
+         the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "note_arena",
+        "arena_misses",
+        AtomicOp::FetchAdd,
+        RLX,
+        "reporting-only arena counter; read after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "note_batch",
+        "batch_steals",
+        AtomicOp::FetchAdd,
+        RLX,
+        "reporting-only batching counter with no cross-counter invariant (unlike the \
+         Release steal-success counters); read after the job barrier",
+    ),
+    entry(
+        "pool.rs",
+        "note_batch",
+        "batch_stolen_tasks",
+        AtomicOp::FetchAdd,
+        RLX,
+        "reporting-only batching counter; read after the job barrier",
     ),
     entry(
         "pool.rs",
@@ -508,9 +682,11 @@ pub static POLICY: &[PolicyEntry] = &[
         "run_job_loop",
         "pending",
         AtomicOp::Load,
-        SC,
-        "termination check of the work loop; must not observe a stale nonzero->zero ordering \
-         against execute()'s fetch_sub",
+        ACQ,
+        "termination check, Acquire (from SeqCst): reading zero means reading the final \
+         decrement of the AcqRel fetch_sub release sequence, which synchronizes with every \
+         task's effects; a stale nonzero read just loops once more. Two sites (loop head and \
+         idle re-check); run_pending_protocol models the full handshake",
     ),
     entry(
         "pool.rs",
@@ -541,16 +717,20 @@ pub static POLICY: &[PolicyEntry] = &[
         "execute",
         "pending",
         AtomicOp::FetchSub,
-        SC,
-        "task completion; the final decrement is the job-done edge the barrier spins on",
+        AR,
+        "task completion, AcqRel (from SeqCst): Release publishes this task's effects to \
+         whoever reads the counter down the release sequence (the job-done edge), Acquire \
+         keeps later recycling ordered after the count; run()'s completion barrier still \
+         goes through the done mutex + condvar, not this counter alone",
     ),
     entry(
         "pool.rs",
         "steal_round",
         "pending",
         AtomicOp::Load,
-        SC,
-        "early-out of the steal loop on job completion (control plane, SeqCst)",
+        ACQ,
+        "early-out of the forced-steal loop; same release-sequence argument as the \
+         run_job_loop termination check",
     ),
     entry(
         "pool.rs",
@@ -660,6 +840,38 @@ pub static POLICY: &[PolicyEntry] = &[
     ),
     entry(
         "stats.rs",
+        "reset",
+        "batch_steals",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "batch_stolen_tasks",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "arena_hits",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
+        "reset",
+        "arena_misses",
+        AtomicOp::Store,
+        RLX,
+        "quiescent reset; atomicity only",
+    ),
+    entry(
+        "stats.rs",
         "snapshot",
         "colored_steals",
         AtomicOp::Load,
@@ -722,6 +934,38 @@ pub static POLICY: &[PolicyEntry] = &[
         AtomicOp::Load,
         RLX,
         "idle-time statistic; staleness is fine",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "batch_steals",
+        AtomicOp::Load,
+        RLX,
+        "reporting-only batching counter; no cross-counter invariant to preserve",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "batch_stolen_tasks",
+        AtomicOp::Load,
+        RLX,
+        "reporting-only batching counter; staleness is fine",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "arena_hits",
+        AtomicOp::Load,
+        RLX,
+        "reporting-only arena counter; staleness is fine",
+    ),
+    entry(
+        "stats.rs",
+        "snapshot",
+        "arena_misses",
+        AtomicOp::Load,
+        RLX,
+        "reporting-only arena counter; staleness is fine",
     ),
     // ---------------------------------------------------------------- trace.rs
     // Seqlock-style ring buffer (loom-verified in crates/check): writers

@@ -54,6 +54,24 @@ impl<T> Steal<T> {
 
 const COLOR_WORDS: usize = 4;
 
+/// Upper bound on the number of entries one [`ColoredDeque::steal_batch`]
+/// call may claim. Half the victim's visible length is the steal-half
+/// policy; the cap keeps a single thief from monopolizing a huge deque
+/// (and bounds the time the thief spends re-validating claims).
+pub const MAX_STEAL_BATCH: usize = 16;
+
+/// Gate on the per-claim revalidation inside `steal_batch_impl`. Claiming
+/// more than one element with the indices read *before the first CAS* is
+/// unsound: the owner may pop the deque down and, once `bottom` reaches
+/// the thief's stale window, take an element *without* a CAS (the `t < b`
+/// fast path in `pop`) while the thief's chained CAS still succeeds —
+/// both sides own one slot. `--cfg nabbitc_weak_batch` seeds exactly that
+/// bug so the model checker can prove the batch scenarios catch it.
+#[cfg(not(nabbitc_weak_batch))]
+const BATCH_REVALIDATE: bool = true;
+#[cfg(nabbitc_weak_batch)]
+const BATCH_REVALIDATE: bool = false;
+
 /// One deque slot: a value pointer plus the entry's color mask. All fields
 /// atomic; thieves read them speculatively and the top-CAS validates the
 /// claim (standard Chase–Lev reasoning — a slot at index `t` cannot be
@@ -176,6 +194,45 @@ impl<T> ColoredDeque<T> {
         self.bottom.store(b + 1, Ordering::Relaxed);
     }
 
+    /// Owner: publishes `values` (oldest first) with **one** release fence
+    /// and **one** `bottom` store, instead of one of each per entry — the
+    /// batched-spawn fast path. Equivalent to pushing the entries in
+    /// order: thieves see `values[0]` first, the owner pops the last
+    /// entry first.
+    pub fn push_batch(&self, values: Vec<(Box<T>, ColorSet)>) {
+        let n = values.len() as isize;
+        if n == 0 {
+            return;
+        }
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+
+        while b - t + n > buf.cap() as isize {
+            self.grow(b, t);
+            buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        }
+
+        // Seeded bug (`--cfg nabbitc_weak_push_batch`): publishing the
+        // advanced `bottom` *before* the slot writes lets a thief read a
+        // stale slot — a pointer from a previous occupant — and claim it
+        // with a valid-looking CAS. The correct store below is ordered
+        // after the slot writes by the release fence (and, on TSO, by
+        // store-buffer FIFO order).
+        #[cfg(nabbitc_weak_push_batch)]
+        self.bottom.store(b + n, Ordering::Relaxed);
+        for (i, (value, colors)) in values.into_iter().enumerate() {
+            let slot = buf.slot(b + i as isize);
+            for (w, v) in slot.colors.iter().zip(colors.to_words()) {
+                w.store(v, Ordering::Relaxed);
+            }
+            slot.ptr.store(Box::into_raw(value), Ordering::Relaxed);
+        }
+        fence(Ordering::Release);
+        #[cfg(not(nabbitc_weak_push_batch))]
+        self.bottom.store(b + n, Ordering::Relaxed);
+    }
+
     /// Owner: pops the most recently pushed value (LIFO end).
     pub fn pop(&self) -> Option<Box<T>> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
@@ -275,6 +332,111 @@ impl<T> ColoredDeque<T> {
             Steal::Success(unsafe { Box::from_raw(ptr) })
         } else {
             Steal::Retry
+        }
+    }
+
+    /// Thief: steal-half batching — claims up to half the victim's
+    /// visible entries (capped at [`MAX_STEAL_BATCH`]), returns the
+    /// oldest as `Steal::Success` and pushes the rest onto `dest` (the
+    /// thief's own deque) in victim FIFO order, so `dest.pop()` runs them
+    /// newest-first and further thieves see the oldest first — the same
+    /// order a chain of single steals would have produced.
+    ///
+    /// The second element is the number of entries moved into `dest`
+    /// (0 when only one entry was claimed or the steal failed).
+    pub fn steal_batch(&self, dest: &ColoredDeque<T>) -> (Steal<T>, usize) {
+        self.steal_batch_impl(dest, None)
+    }
+
+    /// Thief: colored steal-half — like [`steal_batch`](Self::steal_batch)
+    /// but claims only the longest prefix whose every entry intersects
+    /// `accept`. The first non-matching entry stops the batch (it stays in
+    /// place for a matching thief); a mismatch on the very first entry is
+    /// a [`Steal::ColorMismatch`], exactly like [`steal_if_any`](Self::steal_if_any).
+    pub fn steal_batch_if(&self, accept: &ColorSet, dest: &ColoredDeque<T>) -> (Steal<T>, usize) {
+        self.steal_batch_impl(dest, Some(*accept))
+    }
+
+    /// The batch-steal protocol: elements are claimed **one CAS at a
+    /// time**, and before every claim after the first the thief re-runs
+    /// the full top/fence/bottom validation. Chaining CASes against the
+    /// *initially* read `bottom` would be unsound — the owner may have
+    /// popped the window down in the meantime and taken an element
+    /// without a CAS (see [`BATCH_REVALIDATE`]). The win over repeated
+    /// `steal` calls is fewer steal-loop round trips and the locality of
+    /// landing a coherent FIFO prefix in the thief's own deque, not fewer
+    /// synchronizing operations per element.
+    fn steal_batch_impl(
+        &self,
+        dest: &ColoredDeque<T>,
+        accept: Option<ColorSet>,
+    ) -> (Steal<T>, usize) {
+        debug_assert!(!std::ptr::eq(self, dest), "cannot steal into the victim");
+        let mut t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let mut b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return (Steal::Empty, 0);
+        }
+        // Steal-half: half of what is visible now, rounded up, capped.
+        let goal = (((b - t + 1) / 2) as usize).min(MAX_STEAL_BATCH);
+        let mut first: Option<Box<T>> = None;
+        let mut moved = 0usize;
+        for i in 0..goal {
+            if i > 0 && BATCH_REVALIDATE {
+                t = self.top.load(Ordering::Acquire);
+                fence(Ordering::SeqCst);
+                b = self.bottom.load(Ordering::Acquire);
+            }
+            if t >= b {
+                break;
+            }
+            let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+            let slot = buf.slot(t);
+            let mut words = [0u64; COLOR_WORDS];
+            for (w, a) in words.iter_mut().zip(slot.colors.iter()) {
+                *w = a.load(Ordering::Relaxed);
+            }
+            let colors = ColorSet::from_words(words);
+            if let Some(accept) = &accept {
+                // Stale color reads are harmless exactly as in
+                // `steal_impl`: a spurious mismatch just ends the batch.
+                if !colors.intersects(accept) {
+                    if first.is_none() {
+                        return (Steal::ColorMismatch, 0);
+                    }
+                    break;
+                }
+            }
+            let ptr = slot.ptr.load(Ordering::Relaxed);
+            match self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    // SAFETY: same claim as `steal_impl` — winning the
+                    // CAS on `top` at index t grants ownership of slot t.
+                    let value = unsafe { Box::from_raw(ptr) };
+                    if first.is_none() {
+                        first = Some(value);
+                    } else {
+                        dest.push(value, colors);
+                        moved += 1;
+                    }
+                    t += 1;
+                }
+                Err(_) => {
+                    if first.is_none() {
+                        return (Steal::Retry, 0);
+                    }
+                    break;
+                }
+            }
+        }
+        match first {
+            Some(v) => (Steal::Success(v), moved),
+            // Raced to empty between the length read and the first claim.
+            None => (Steal::Empty, 0),
         }
     }
 
@@ -567,6 +729,178 @@ mod tests {
                 t.join().unwrap(),
                 0,
                 "colored steal took a non-matching item; replay with NABBITC_TEST_SEED={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn push_batch_matches_push_semantics() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        d.push(Box::new(0), set(&[0]));
+        d.push_batch(vec![
+            (Box::new(1), set(&[1])),
+            (Box::new(2), set(&[2])),
+            (Box::new(3), set(&[3])),
+        ]);
+        assert_eq!(d.len(), 4);
+        // Thieves see the batch oldest-first, colors intact.
+        assert!(matches!(d.steal_if(Color(5)), Steal::ColorMismatch));
+        assert_eq!(*d.steal_if(Color(0)).success().unwrap(), 0);
+        assert_eq!(*d.steal_if(Color(1)).success().unwrap(), 1);
+        // Owner pops the newest batch entry first.
+        assert_eq!(*d.pop().unwrap(), 3);
+        assert_eq!(*d.pop().unwrap(), 2);
+        assert!(d.pop().is_none());
+        // Empty batches are a no-op.
+        d.push_batch(Vec::new());
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn push_batch_grows_past_several_doublings() {
+        let d: ColoredDeque<u64> = ColoredDeque::new();
+        let n = 1000u64; // one batch >> MIN_CAP forces a multi-doubling grow
+        d.push_batch(
+            (0..n)
+                .map(|i| (Box::new(i), set(&[(i % 5) as u16])))
+                .collect(),
+        );
+        for i in 0..n / 2 {
+            assert_eq!(*d.steal().success().unwrap(), i);
+        }
+        for i in (n / 2..n).rev() {
+            assert_eq!(*d.pop().unwrap(), i);
+        }
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn steal_batch_takes_half_and_keeps_fifo_order() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        let dest: ColoredDeque<u32> = ColoredDeque::new();
+        for i in 0..8 {
+            d.push(Box::new(i), set(&[0]));
+        }
+        let (got, moved) = d.steal_batch(&dest);
+        // Half of 8 (the +1 rounds *up* on odd lengths) = 4: one kept,
+        // three moved into dest.
+        assert_eq!(*got.success().unwrap(), 0);
+        assert_eq!(moved, 3);
+        assert_eq!(dest.len(), 3);
+        // dest holds the FIFO prefix in order: further thieves see the
+        // oldest first, the new owner pops the newest first.
+        assert_eq!(*dest.steal().success().unwrap(), 1);
+        assert_eq!(*dest.pop().unwrap(), 3);
+        assert_eq!(*dest.pop().unwrap(), 2);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn steal_batch_respects_cap_and_empty() {
+        let d: ColoredDeque<usize> = ColoredDeque::new();
+        let dest: ColoredDeque<usize> = ColoredDeque::new();
+        assert!(matches!(d.steal_batch(&dest).0, Steal::Empty));
+        for i in 0..100 {
+            d.push(Box::new(i), set(&[0]));
+        }
+        let (got, moved) = d.steal_batch(&dest);
+        assert!(got.success().is_some());
+        assert_eq!(moved, MAX_STEAL_BATCH - 1, "batch must stop at the cap");
+    }
+
+    #[test]
+    fn steal_batch_if_takes_matching_prefix_only() {
+        let d: ColoredDeque<u32> = ColoredDeque::new();
+        let dest: ColoredDeque<u32> = ColoredDeque::new();
+        // Colors 0,0,1,0: a color-0 batch must stop before entry 2.
+        for (i, c) in [0u16, 0, 1, 0].iter().enumerate() {
+            d.push(Box::new(i as u32), set(&[*c]));
+        }
+        let accept = ColorSet::singleton(Color(0));
+        let (got, moved) = d.steal_batch_if(&accept, &dest);
+        assert_eq!(*got.success().unwrap(), 0);
+        assert_eq!(moved, 1, "only the matching prefix may travel");
+        assert_eq!(*dest.steal().success().unwrap(), 1);
+        // The mismatching entry is now on top: first-entry mismatch.
+        assert!(matches!(
+            d.steal_batch_if(&accept, &dest).0,
+            Steal::ColorMismatch
+        ));
+        assert_eq!(*d.steal().success().unwrap(), 2);
+    }
+
+    #[test]
+    fn stress_batch_thieves_every_item_once() {
+        const ITEMS: usize = 100_000;
+        const THIEVES: usize = 4;
+        let seed = crate::rng::XorShift64::test_seed();
+        let mut rng = crate::rng::XorShift64::new(seed);
+        let d: Arc<ColoredDeque<usize>> = Arc::new(ColoredDeque::new());
+        let seen: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+        let done = Arc::new(AtomicUsize::new(0));
+
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let d = d.clone();
+                let seen = seen.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    // Each thief drains its batch destination locally —
+                    // the pool does the same with its own deque.
+                    let dest: ColoredDeque<usize> = ColoredDeque::new();
+                    let mut got = 0usize;
+                    loop {
+                        match d.steal_batch(&dest).0 {
+                            Steal::Success(v) => {
+                                seen[*v].fetch_add(1, Relaxed);
+                                got += 1;
+                                while let Some(v) = dest.pop() {
+                                    seen[*v].fetch_add(1, Relaxed);
+                                    got += 1;
+                                }
+                            }
+                            Steal::Empty => {
+                                if done.load(Relaxed) == 1 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            _ => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut popped = 0usize;
+        for i in 0..ITEMS {
+            d.push(Box::new(i), set(&[(i % 7) as u16]));
+            if rng.next_below(3) == 0 {
+                if let Some(v) = d.pop() {
+                    seen[*v].fetch_add(1, Relaxed);
+                    popped += 1;
+                }
+            }
+        }
+        while let Some(v) = d.pop() {
+            seen[*v].fetch_add(1, Relaxed);
+            popped += 1;
+        }
+        done.store(1, Relaxed);
+        let stolen: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(
+            popped + stolen,
+            ITEMS,
+            "lost or duplicated items; replay with NABBITC_TEST_SEED={seed}"
+        );
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(
+                s.load(Relaxed),
+                1,
+                "item {i} seen {} times; replay with NABBITC_TEST_SEED={seed}",
+                s.load(Relaxed)
             );
         }
     }

@@ -9,14 +9,19 @@
 //! primitives.
 //!
 //! The protocol: `len` is a lock-free mirror of the queue length,
-//! written with `SeqCst` *while holding the queue lock*, read with
-//! `SeqCst` before locking. Workers poll `is_empty()` on their idle path
+//! written with `Release` *while holding the queue lock*, read with
+//! `Acquire` before locking. Workers poll `is_empty()` on their idle path
 //! every round; the mirror keeps that poll from taking the lock when the
 //! injector is (almost always) empty. The mirror may lag a concurrent
 //! push/pop — callers must treat a non-empty hint as a hint and re-check
 //! under the lock (`try_pop` returning `None`), and a false-empty read
 //! is benign because the enqueuer wakes workers through the job condvar
-//! after pushing.
+//! after pushing. That hint-only contract is why `SeqCst` buys nothing
+//! here: the Release store (under the lock) paired with the Acquire hint
+//! load keeps "non-empty hint → queue really had work at store time", and
+//! every decision that *matters* re-checks under the mutex. The W5
+//! scenarios in `crates/check` (`run_injector_progress`,
+//! `run_injector_racing_push`) explore this relaxed protocol exhaustively.
 
 use crate::sync::{AtomicUsize, Mutex, Ordering};
 use std::collections::VecDeque;
@@ -46,7 +51,7 @@ impl<T> Injector<T> {
     pub fn push(&self, value: T) {
         let mut q = self.queue.lock();
         q.push_back(value);
-        self.len.store(q.len(), Ordering::SeqCst);
+        self.len.store(q.len(), Ordering::Release);
     }
 
     /// Dequeues from the front; `None` when empty (including when a
@@ -54,13 +59,24 @@ impl<T> Injector<T> {
     pub fn try_pop(&self) -> Option<T> {
         let mut q = self.queue.lock();
         let v = q.pop_front();
-        self.len.store(q.len(), Ordering::SeqCst);
+        self.len.store(q.len(), Ordering::Release);
         v
+    }
+
+    /// Dequeues up to `max` values from the front in FIFO order, under a
+    /// single lock acquisition and one mirror store — the batch analogue
+    /// of [`try_pop`](Self::try_pop) for the workers' drain path.
+    pub fn try_pop_batch(&self, max: usize) -> Vec<T> {
+        let mut q = self.queue.lock();
+        let n = q.len().min(max);
+        let out: Vec<T> = q.drain(..n).collect();
+        self.len.store(q.len(), Ordering::Release);
+        out
     }
 
     /// Lock-free length hint (exact once all concurrent ops retire).
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::SeqCst)
+        self.len.load(Ordering::Acquire)
     }
 
     /// Lock-free emptiness fast path.
@@ -87,5 +103,19 @@ mod tests {
         assert!(inj.is_empty());
         assert_eq!(inj.try_pop(), None);
         assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn batch_pop_preserves_fifo_and_mirror() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        assert_eq!(inj.try_pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(inj.len(), 2);
+        // Asking for more than available drains what exists.
+        assert_eq!(inj.try_pop_batch(10), vec![3, 4]);
+        assert!(inj.is_empty());
+        assert_eq!(inj.try_pop_batch(4), Vec::<u32>::new());
     }
 }

@@ -26,6 +26,7 @@
 //! process the preferred half" — the pushed entry sits at the *steal end*
 //! of the deque exactly like the Cilk continuation would.
 
+mod arena;
 pub mod deque;
 pub mod injector;
 pub mod policy;
@@ -40,7 +41,7 @@ pub mod trace;
 pub use deque::{ColoredDeque, Steal};
 pub use injector::Injector;
 pub use policy::StealPolicy;
-pub use pool::{Pool, PoolConfig, WorkerContext};
+pub use pool::{Pool, PoolConfig, SpawnBatch, WorkerContext};
 pub use stats::{PoolStats, WorkerStatsSnapshot};
 pub use task::Task;
 pub use topology::NumaTopology;

@@ -25,6 +25,15 @@ pub(crate) struct WorkerStats {
     pub first_work_wait_ns: CachePadded<AtomicU64>,
     /// Total nanoseconds spent in the steal loop (idle).
     pub idle_ns: CachePadded<AtomicU64>,
+    /// Successful steals that claimed more than one task (steal-half
+    /// batching took effect).
+    pub batch_steals: CachePadded<AtomicU64>,
+    /// Total tasks claimed by those batched steals (kept + moved local).
+    pub batch_stolen_tasks: CachePadded<AtomicU64>,
+    /// Task-shell requests served from the worker's arena free list.
+    pub arena_hits: CachePadded<AtomicU64>,
+    /// Task-shell requests that fell through to the allocator.
+    pub arena_misses: CachePadded<AtomicU64>,
 }
 
 impl WorkerStats {
@@ -37,6 +46,10 @@ impl WorkerStats {
         self.first_steal_checks.store(0, Relaxed);
         self.first_work_wait_ns.store(0, Relaxed);
         self.idle_ns.store(0, Relaxed);
+        self.batch_steals.store(0, Relaxed);
+        self.batch_stolen_tasks.store(0, Relaxed);
+        self.arena_hits.store(0, Relaxed);
+        self.arena_misses.store(0, Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> WorkerStatsSnapshot {
@@ -57,6 +70,13 @@ impl WorkerStats {
             first_steal_checks: self.first_steal_checks.load(Relaxed),
             first_work_wait_ns: self.first_work_wait_ns.load(Relaxed),
             idle_ns: self.idle_ns.load(Relaxed),
+            // Relaxed: the batch/arena counters are reporting-only and
+            // carry no cross-counter invariant a mid-run reader depends
+            // on (unlike steals <= attempts above).
+            batch_steals: self.batch_steals.load(Relaxed),
+            batch_stolen_tasks: self.batch_stolen_tasks.load(Relaxed),
+            arena_hits: self.arena_hits.load(Relaxed),
+            arena_misses: self.arena_misses.load(Relaxed),
         }
     }
 }
@@ -80,6 +100,14 @@ pub struct WorkerStatsSnapshot {
     pub first_work_wait_ns: u64,
     /// Total idle (steal-loop) time, nanoseconds.
     pub idle_ns: u64,
+    /// Successful steals that moved more than one task (steal-half).
+    pub batch_steals: u64,
+    /// Tasks claimed by those batched steals (kept + moved local).
+    pub batch_stolen_tasks: u64,
+    /// Task shells served from the worker's arena free list.
+    pub arena_hits: u64,
+    /// Task shells that had to be heap-allocated.
+    pub arena_misses: u64,
 }
 
 impl WorkerStatsSnapshot {
@@ -134,6 +162,21 @@ impl PoolStats {
     /// Total successful steals across workers.
     pub fn total_successful_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.successful_steals()).sum()
+    }
+
+    /// Total tasks moved by steal-half batching across workers.
+    pub fn total_batch_stolen_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.batch_stolen_tasks).sum()
+    }
+
+    /// Total arena free-list hits across workers.
+    pub fn total_arena_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.arena_hits).sum()
+    }
+
+    /// Total arena misses (heap allocations) across workers.
+    pub fn total_arena_misses(&self) -> u64 {
+        self.workers.iter().map(|w| w.arena_misses).sum()
     }
 }
 

@@ -1,7 +1,24 @@
 //! Runtime task representation.
+//!
+//! A [`Task`] stores its closure *inline* (up to [`INLINE_WORDS`] words,
+//! spilling to a box only for oversized or over-aligned captures) behind a
+//! hand-rolled two-entry vtable. Together with the per-worker task arena
+//! (`crate::arena`, worker-internal) recycling `Box<Task>` shells, this
+//! makes the steady-state spawn path allocation-free: the shell comes
+//! from the arena free list and the closure lands in the shell's inline
+//! buffer — zero calls into the allocator per task.
 
 use crate::pool::WorkerContext;
 use nabbitc_color::ColorSet;
+use std::mem::{align_of, size_of, MaybeUninit};
+
+/// Words of inline closure storage per task. Eight words (64 bytes)
+/// covers every closure the executors spawn today (the largest — the
+/// fanout helpers capturing an `Arc`, two indices and a `ColorSet` —
+/// is seven words); bigger captures spill to a heap box transparently.
+pub const INLINE_WORDS: usize = 8;
+
+type Storage = [MaybeUninit<usize>; INLINE_WORDS];
 
 /// A unit of stealable work: a closure plus the set of colors of the
 /// task-graph nodes reachable through it.
@@ -17,7 +34,48 @@ pub struct Task {
     /// tracing is enabled, `0` otherwise. Correlates the spawn /
     /// exec-begin / exec-end events of one task across worker rings.
     pub id: u64,
-    func: Box<dyn FnOnce(&mut WorkerContext<'_>) + Send>,
+    /// Reads the closure out of `storage` and runs it; `None` when the
+    /// shell is vacant (already run, or freshly recycled).
+    call: Option<unsafe fn(*mut Storage, &mut WorkerContext<'_>)>,
+    /// Drops the closure in `storage` without running it. Only meaningful
+    /// while `call` is `Some`.
+    drop_fn: unsafe fn(*mut Storage),
+    storage: Storage,
+}
+
+// SAFETY: the only non-Send-by-construction field is `storage`, which
+// holds either a closure `F: Send` or a `Box<F>` of one.
+unsafe impl Send for Task {}
+
+/// Whether `F` fits the inline buffer (size *and* alignment).
+const fn inline_ok<F>() -> bool {
+    size_of::<F>() <= size_of::<Storage>() && align_of::<F>() <= align_of::<Storage>()
+}
+
+unsafe fn call_inline<F: FnOnce(&mut WorkerContext<'_>)>(
+    storage: *mut Storage,
+    ctx: &mut WorkerContext<'_>,
+) {
+    // Move the closure out before running it: a panic inside `f` must not
+    // leave a half-owned closure behind in the shell.
+    let f = unsafe { storage.cast::<F>().read() };
+    f(ctx);
+}
+
+unsafe fn drop_inline<F>(storage: *mut Storage) {
+    unsafe { storage.cast::<F>().drop_in_place() }
+}
+
+unsafe fn call_spilled<F: FnOnce(&mut WorkerContext<'_>)>(
+    storage: *mut Storage,
+    ctx: &mut WorkerContext<'_>,
+) {
+    let f = unsafe { storage.cast::<Box<F>>().read() };
+    f(ctx);
+}
+
+unsafe fn drop_spilled<F>(storage: *mut Storage) {
+    unsafe { storage.cast::<Box<F>>().drop_in_place() }
 }
 
 impl Task {
@@ -26,10 +84,33 @@ impl Task {
         colors: ColorSet,
         func: impl FnOnce(&mut WorkerContext<'_>) + Send + 'static,
     ) -> Self {
-        Task {
+        let mut task = Task {
             colors,
             id: 0,
-            func: Box::new(func),
+            call: None,
+            drop_fn: drop_inline::<()>,
+            storage: [MaybeUninit::uninit(); INLINE_WORDS],
+        };
+        task.fill(func);
+        task
+    }
+
+    /// Stores `func` into a vacant shell. Separate from `new` so the
+    /// arena can refill recycled shells in place.
+    pub(crate) fn fill<F>(&mut self, func: F)
+    where
+        F: FnOnce(&mut WorkerContext<'_>) + Send + 'static,
+    {
+        debug_assert!(self.call.is_none(), "filling an occupied task shell");
+        let storage = &mut self.storage as *mut Storage;
+        if inline_ok::<F>() {
+            unsafe { storage.cast::<F>().write(func) };
+            self.call = Some(call_inline::<F>);
+            self.drop_fn = drop_inline::<F>;
+        } else {
+            unsafe { storage.cast::<Box<F>>().write(Box::new(func)) };
+            self.call = Some(call_spilled::<F>);
+            self.drop_fn = drop_spilled::<F>;
         }
     }
 
@@ -39,9 +120,35 @@ impl Task {
         self
     }
 
-    /// Runs the task on a worker.
-    pub fn run(self, ctx: &mut WorkerContext<'_>) {
-        (self.func)(ctx)
+    /// Runs the task, leaving the shell vacant (and recyclable) behind.
+    /// A no-op on a vacant shell. If the closure panics the shell is
+    /// vacant too — the closure was moved out before the call.
+    pub fn run(&mut self, ctx: &mut WorkerContext<'_>) {
+        if let Some(call) = self.call.take() {
+            unsafe { call(&mut self.storage, ctx) };
+        }
+    }
+
+    /// Clears identity and drops an unrun closure, making the shell
+    /// vacant for reuse. Resetting `id` is what guarantees a recycled
+    /// shell gets a *fresh* trace id at its next spawn instead of
+    /// impersonating the previous occupant in the event rings.
+    pub(crate) fn clear(&mut self) {
+        self.colors = ColorSet::empty();
+        self.id = 0;
+        if self.call.take().is_some() {
+            unsafe { (self.drop_fn)(&mut self.storage) };
+        }
+    }
+}
+
+impl Drop for Task {
+    fn drop(&mut self) {
+        if self.call.take().is_some() {
+            // Never ran (e.g. the deque dropped with entries): release
+            // the captured state without executing it.
+            unsafe { (self.drop_fn)(&mut self.storage) };
+        }
     }
 }
 
@@ -50,6 +157,89 @@ impl std::fmt::Debug for Task {
         f.debug_struct("Task")
             .field("colors", &self.colors)
             .field("id", &self.id)
+            .field("vacant", &self.call.is_none())
             .finish()
+    }
+}
+
+#[cfg(all(test, not(nabbitc_check)))]
+mod tests {
+    use super::*;
+    use crate::pool::{Pool, PoolConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    /// Runs `task` on a real 1-worker pool context (WorkerContext is not
+    /// constructible outside the pool).
+    fn run_on_pool(mut task: Task) {
+        let pool = Pool::new(PoolConfig::nabbitc(1));
+        pool.run(ColorSet::all(1), move |ctx| task.run(ctx));
+    }
+
+    #[test]
+    fn inline_closure_runs_once_and_empties_the_shell() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let task = Task::new(ColorSet::all(1), move |_| {
+            h.fetch_add(1, Relaxed);
+        });
+        assert!(
+            inline_ok::<Arc<AtomicUsize>>(),
+            "test closure should inline"
+        );
+        run_on_pool(task);
+        assert_eq!(hits.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn oversized_closure_spills_and_still_runs() {
+        let big = [7u64; 4 * INLINE_WORDS];
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let task = Task::new(ColorSet::all(1), move |_| {
+            assert!(big.iter().all(|&x| x == 7));
+            h.fetch_add(1, Relaxed);
+        });
+        run_on_pool(task);
+        assert_eq!(hits.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn unrun_tasks_drop_their_captures() {
+        struct Counting(Arc<AtomicUsize>);
+        impl Drop for Counting {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        // One inline, one spilled; neither runs.
+        let small = Counting(drops.clone());
+        let big = ([0u64; 4 * INLINE_WORDS], Counting(drops.clone()));
+        let t1 = Task::new(ColorSet::all(1), move |_| drop(small));
+        let t2 = Task::new(ColorSet::all(1), move |_| drop(big));
+        drop(t1);
+        drop(t2);
+        assert_eq!(drops.load(Relaxed), 2);
+    }
+
+    #[test]
+    fn clear_resets_identity_and_drops_closure() {
+        struct Counting(Arc<AtomicUsize>);
+        impl Drop for Counting {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let payload = Counting(drops.clone());
+        let mut task = Task::new(ColorSet::all(2), move |_| drop(payload)).with_id(42);
+        task.clear();
+        assert_eq!(task.id, 0, "recycled shells must shed their trace id");
+        assert_eq!(task.colors, ColorSet::empty());
+        assert_eq!(drops.load(Relaxed), 1);
+        // Clearing a vacant shell is a no-op.
+        task.clear();
+        assert_eq!(drops.load(Relaxed), 1);
     }
 }

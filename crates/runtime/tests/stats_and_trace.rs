@@ -279,6 +279,52 @@ proptest! {
     }
 }
 
+/// Sequential spawn chain: each task spawns the next, so on one worker
+/// every task's shell is recycled into the arena before the next spawn
+/// allocates — the maximum-reuse shape for the free list.
+fn chain(ctx: &mut WorkerContext<'_>, left: u64, colors: ColorSet, counter: Arc<AtomicU64>) {
+    counter.fetch_add(1, Ordering::SeqCst);
+    if left > 0 {
+        let c2 = counter.clone();
+        ctx.spawn(colors, move |ctx| chain(ctx, left - 1, colors, c2));
+    }
+}
+
+#[test]
+fn recycled_task_shells_never_reuse_trace_ids() {
+    // Arena recycling hands the same `Task` shell to many logical tasks;
+    // `Task::clear` must wipe the old id so a traced run still shows a
+    // distinct nonzero id per execution.
+    let pool = Pool::new(PoolConfig::nabbitc(1).with_trace(TraceConfig::with_capacity(1 << 12)));
+    const CHAIN: u64 = 300;
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = counter.clone();
+    let colors = ColorSet::all(1);
+    pool.run(colors, move |ctx: &mut WorkerContext<'_>| {
+        chain(ctx, CHAIN, colors, c)
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), CHAIN + 1);
+    assert!(
+        pool.stats().total_arena_hits() > 0,
+        "the chain must actually exercise shell recycling"
+    );
+
+    let trace = pool.trace_snapshot();
+    let mut ids: Vec<u64> = trace
+        .workers
+        .iter()
+        .flat_map(|w| &w.events)
+        .filter(|e| e.kind == TraceEventKind::ExecBegin)
+        .map(|e| e.arg)
+        .collect();
+    assert_eq!(ids.len() as u64, CHAIN + 1);
+    let executed = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), executed, "a recycled shell reused a trace id");
+    assert!(ids.iter().all(|&id| id > 0));
+}
+
 #[test]
 fn timestamps_are_monotonic_within_a_worker() {
     let pool = Pool::new(PoolConfig::nabbitc(2).with_trace(TraceConfig::with_capacity(1 << 12)));
