@@ -13,13 +13,16 @@
 //! | W5 | progress: work left ⇒ someone runs | `model::run_injector_progress` |
 //! | W6 | steal attempts bounded per idle episode | `model::check_accounting` |
 //!
-//! The deque/injector under test are compiled with
-//! `--cfg nabbitc_check`, which swaps their atomics for the loom shim's
-//! instrumented TSO model (see `nabbitc_runtime::sync`); the `model`
-//! module (scenarios + checks) only exists under that cfg, which is why
-//! the table references it as plain text. The [`spec`] and [`lin`]
-//! modules are plain sequential code and are unit-tested in the
-//! ordinary tier-1 build as well.
+//! The code under test is compiled with `--cfg nabbitc_check`, which
+//! swaps its atomics for the loom shim's instrumented TSO model through
+//! the `nabbitc_runtime::sync` facade — that covers the runtime's deque
+//! and injector *and* the `nabbitc-core` join-counter protocol
+//! (`model::run_join_protocol` checks the exactly-once enqueue of the
+//! dynamic executor's init-bias arbitration, W1/W2 in join-counter
+//! form). The `model` module (scenarios + checks) only exists under
+//! that cfg, which is why the table references it as plain text. The
+//! [`spec`] and [`lin`] modules are plain sequential code and are
+//! unit-tested in the ordinary tier-1 build as well.
 
 pub mod lin;
 pub mod spec;

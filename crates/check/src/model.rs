@@ -593,6 +593,96 @@ pub fn run_pending_protocol() {
     assert_eq!(effect.load(Ordering::Relaxed), 7);
 }
 
+/// The dynamic executor's join-counter protocol
+/// (`nabbitc_core::join::JoinCounter`, the paper's readiness arbiter):
+/// the scanning worker arms the counter with a +1 init bias
+/// (`begin_scan`), registers with each of `preds` predecessors — or
+/// counts the already-computed ones as satisfied — under that
+/// predecessor's lock (the successor-list mutex of `dynamic.rs`), then
+/// releases bias + satisfied count in one RMW (`end_scan`). Each
+/// predecessor, after computing, notifies registered successors
+/// (`notify`). The invariant: across every interleaving, *exactly one*
+/// decrement reaches zero, so the node is enqueued exactly once — W1
+/// (never enqueued) and W2 (double compute) in join-counter form. Under
+/// `--cfg nabbitc_weak_join` (bias dropped, scan-side orderings
+/// Relaxed) a predecessor finishing between the consumer's registration
+/// and its `end_scan` zeroes the counter for the producer *and* leaves
+/// zero for `end_scan` to observe — both enqueue, and the explorer must
+/// find it.
+pub fn run_join_protocol(preds: usize) {
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    use loom::sync::Mutex;
+    use nabbitc_core::JoinCounter;
+
+    /// One predecessor's computed/registered record, guarded together
+    /// exactly like `dynamic.rs`'s status + successor list.
+    struct Pred {
+        computed: bool,
+        registered: bool,
+    }
+
+    let join = Arc::new(JoinCounter::new());
+    let records: Arc<Vec<Mutex<Pred>>> = Arc::new(
+        (0..preds)
+            .map(|_| {
+                Mutex::new(Pred {
+                    computed: false,
+                    registered: false,
+                })
+            })
+            .collect(),
+    );
+    let enqueues = Arc::new(AtomicUsize::new(0));
+
+    // Arm the counter *before* publishing interest anywhere, as
+    // `init_node` does — no `notify` can precede `begin_scan` because
+    // registration (below) is what makes a producer notify at all.
+    join.begin_scan(preds);
+
+    // Producers: compute the predecessor, then drain-notify (the
+    // `compute_and_notify` waiter loop, one waiter).
+    let producers: Vec<_> = (0..preds)
+        .map(|i| {
+            let (join, records, enqueues) = (join.clone(), records.clone(), enqueues.clone());
+            thread::spawn(move || {
+                let registered = {
+                    let mut p = records[i].lock();
+                    p.computed = true;
+                    p.registered
+                };
+                if registered && join.notify() {
+                    enqueues.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Consumer (the model's root thread): the predecessor scan.
+    let mut satisfied: i64 = 0;
+    for rec in records.iter() {
+        let mut p = rec.lock();
+        if p.computed {
+            satisfied += 1;
+        } else {
+            p.registered = true;
+        }
+    }
+    if join.end_scan(satisfied) {
+        enqueues.fetch_add(1, Ordering::Relaxed);
+    }
+
+    for p in producers {
+        p.join().expect("producer panicked");
+    }
+    let n = enqueues.load(Ordering::Relaxed);
+    assert!(n != 0, "W1 violation: join-counter node never enqueued");
+    assert_eq!(
+        n, 1,
+        "W2 violation: join-counter node enqueued {n} times (double compute)"
+    );
+    assert_eq!(join.pending(), 0, "join counter nonzero after quiescence");
+}
+
 /// W5 scenario (progress through the injector): a task is pushed into
 /// the injector, then `workers` virtual workers each run one
 /// check-and-take round exactly like `pool.rs`'s idle path (lock-free

@@ -11,13 +11,14 @@
     nabbitc_check,
     not(nabbitc_weak_pop),
     not(nabbitc_weak_batch),
-    not(nabbitc_weak_push_batch)
+    not(nabbitc_weak_push_batch),
+    not(nabbitc_weak_join)
 ))]
 
 use loom::model::{explore, Options};
 use nabbitc_check::model::{
     check_accounting, check_batch_accounting, check_linearizable, run_batch_scenario,
-    run_colored_batch_prefix, run_injector_progress, run_injector_racing_push,
+    run_colored_batch_prefix, run_injector_progress, run_injector_racing_push, run_join_protocol,
     run_pending_protocol, run_push_batch_publication, run_scenario,
     run_steal_batch_races_owner_pops, ScenarioCfg,
 };
@@ -265,6 +266,35 @@ fn pending_protocol_relaxed_orderings_are_sound() {
     if let Some(v) = report.violation {
         panic!(
             "pending protocol violated after {} executions: {} (trail {:?})",
+            report.iterations, v.message, v.trail
+        );
+    }
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn join_counter_enqueues_exactly_once_one_pred() {
+    // The dynamic protocol's init-bias arbitration: one predecessor
+    // racing the scanning worker. Exactly one of `notify` / `end_scan`
+    // may reach zero on every interleaving.
+    let report = explore(Options::from_env(), || run_join_protocol(1));
+    if let Some(v) = report.violation {
+        panic!(
+            "join protocol violated after {} executions: {} (trail {:?})",
+            report.iterations, v.message, v.trail
+        );
+    }
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn join_counter_enqueues_exactly_once_two_preds() {
+    // Two producers extend the AcqRel decrement chain (release sequence)
+    // the firing decrement must synchronize with.
+    let report = explore(Options::from_env(), || run_join_protocol(2));
+    if let Some(v) = report.violation {
+        panic!(
+            "join protocol violated after {} executions: {} (trail {:?})",
             report.iterations, v.message, v.trail
         );
     }

@@ -26,14 +26,14 @@
 //! [`crate::spawn::spawn_colors`], making this NabbitC when
 //! the pool steals by color.
 
+use crate::join::JoinCounter;
 use crate::metrics::{RemoteAccessReport, RemoteCounters};
 use crate::spawn::{spawn_colors, ColoredItem};
 use nabbitc_color::{Color, ColorSet};
+use nabbitc_runtime::sync::{AtomicU64, Mutex, Ordering, RwLock};
 use nabbitc_runtime::{Pool, PoolStats, WorkerContext};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,7 +63,7 @@ struct NodeState<K> {
     color: Color,
     /// Join counter with +1 init bias; the decrement that reaches zero owns
     /// the compute.
-    join: AtomicI64,
+    join: JoinCounter,
     /// Status + successor list, guarded together so that registration can
     /// atomically decide "enqueue" vs "already computed" (the paper's
     /// atomicity choice that makes enqueueing race-free).
@@ -107,7 +107,7 @@ impl<K: Eq + Hash + Clone> NodeTable<K> {
         let node = Arc::new(NodeState {
             key: key.clone(),
             color,
-            join: AtomicI64::new(0),
+            join: JoinCounter::new(),
             succ: Mutex::new(SuccList {
                 status: CREATED,
                 waiting: Vec::new(),
@@ -255,7 +255,7 @@ fn init_node<S: TaskSpec>(
         // Bias +1 while scanning so the node cannot fire mid-scan; start
         // from the full predecessor count and decrement for each
         // already-computed one.
-        node.join.store(preds.len() as i64 + 1, Ordering::SeqCst);
+        node.join.begin_scan(preds.len());
 
         let mut to_init: Vec<Work<S>> = Vec::new();
         let mut satisfied: i64 = 0;
@@ -284,9 +284,8 @@ fn init_node<S: TaskSpec>(
         }
 
         // Release satisfied dependences and the init bias; whoever reaches
-        // zero computes the node. (`satisfied + 1` covers the bias.)
-        let after = node.join.fetch_sub(satisfied + 1, Ordering::AcqRel) - (satisfied + 1);
-        let self_ready = after == 0;
+        // zero computes the node.
+        let self_ready = node.join.end_scan(satisfied);
 
         // Spawn the predecessors we created, color-guided. If this node
         // became ready, append it to the same batch so its compute also
@@ -332,7 +331,7 @@ fn compute_and_notify<S: TaskSpec>(
     // chain-shaped graphs cannot overflow the stack.
     let mut node = start;
     loop {
-        debug_assert_eq!(node.join.load(Ordering::SeqCst), 0);
+        debug_assert_eq!(node.join.pending(), 0);
         let me = ctx.worker_id();
 
         if let Some(rc) = &state.remote {
@@ -357,7 +356,7 @@ fn compute_and_notify<S: TaskSpec>(
 
         let mut ready: Vec<Work<S>> = Vec::new();
         for w in waiting {
-            if w.join.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if w.join.notify() {
                 ready.push(Work::Compute(w));
             }
         }

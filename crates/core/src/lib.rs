@@ -42,6 +42,7 @@
 pub mod auto;
 pub mod coloring;
 pub mod dynamic;
+pub mod join;
 pub mod metrics;
 pub mod report;
 pub mod spawn;
@@ -50,6 +51,7 @@ pub mod static_exec;
 pub use auto::AutoColoredSpec;
 pub use coloring::ColoringMode;
 pub use dynamic::{DynamicExecutor, DynamicReport, TaskSpec};
+pub use join::JoinCounter;
 pub use metrics::{RemoteAccessReport, RemoteCounters};
 pub use report::RunReport;
 pub use static_exec::{ExecOptions, LintGate, StaticExecutor};

@@ -14,8 +14,8 @@
 
 use crossbeam_utils::CachePadded;
 use nabbitc_color::Color;
+use nabbitc_runtime::sync::{AtomicU64, Ordering::Relaxed};
 use nabbitc_runtime::NumaTopology;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Per-worker live counters.
 #[derive(Default)]

@@ -22,9 +22,8 @@ use crate::spawn::{spawn_colors, ColoredItem};
 use nabbitc_color::{Color, ColorSet};
 use nabbitc_graph::trace::{Trace, TraceEvent};
 use nabbitc_graph::{NodeId, TaskGraph};
+use nabbitc_runtime::sync::{AtomicU32, AtomicU64, Mutex, Ordering};
 use nabbitc_runtime::{Pool, WorkerContext};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 

@@ -1,29 +1,52 @@
-//! Source-level atomics-ordering audit for the runtime crate.
+//! Source-level concurrency audit for the whole workspace.
 //!
-//! The lock-free core (`deque.rs`, `injector.rs`, `pool.rs`, `stats.rs`,
-//! `trace.rs`) is small enough to audit exhaustively: this module scans
-//! the sources, extracts **every** atomic operation site, and checks each
-//! against the committed ordering policy in [`crate::policy`]. The audit
-//! is deliberately strict in both directions:
+//! The audit discovers every `.rs` file under `crates/*/src` and runs
+//! four passes over them:
 //!
-//! * a site the policy does not know about is a failure (new atomics
-//!   must be justified before they land), and
-//! * a policy entry matching no site is a failure (the table cannot rot).
+//! 1. **Per-site ordering audit** ([`scan_workspace`] + [`audit`]):
+//!    every atomic operation site must match an entry in the committed
+//!    policy table ([`crate::policy::POLICY`]) and use one of its allowed
+//!    ordering sequences. Harness code (the model checker, the bench
+//!    scaffolding) is covered by an explicit per-file allowlist
+//!    ([`crate::policy::SCAN_ALLOWLIST`]) instead — its sites are still
+//!    discovered and counted, but not policy-matched. The audit is
+//!    strict in both directions: an unknown site fails (new atomics must
+//!    be justified before they land) and a policy entry matching no site
+//!    fails (the table cannot rot).
+//! 2. **Publication-pair audit** ([`audit_pairs`]): every policy entry
+//!    with Acquire semantics must name, in its `pairs_with` field, the
+//!    release-capable entry (or entries) it synchronizes with, and every
+//!    entry with Release semantics must be named by someone — an
+//!    orphaned Release store is either dead publication or an
+//!    undocumented reader, and both deserve a failure.
+//! 3. **Facade conformance** ([`audit_facade`]): product code must reach
+//!    atomics and locks through the `nabbitc_runtime::sync` facade (so
+//!    the `--cfg nabbitc_check` loom shim covers it); direct
+//!    `std::sync::atomic` / `parking_lot` references outside the facade
+//!    are failures unless a [`crate::policy::FACADE_EXEMPT`] entry
+//!    justifies them (the one legitimate case: `Condvar`, which has no
+//!    loom shim).
+//! 4. **SAFETY comments** ([`audit_safety`]): every `unsafe` token in
+//!    non-test code must have a `SAFETY`/`# Safety` justification on the
+//!    same or a nearby preceding line.
 //!
-//! A site passes only if its ordering *sequence* equals one of the
-//! allowed sequences, so a downgrade (e.g. the seeded `nabbitc_weak_pop`
-//! canary turning the `SeqCst` pop fence into `Release`) is caught
-//! statically, without building or running the weakened code.
+//! A site passes the ordering audit only if its ordering *sequence*
+//! equals one of the allowed sequences, so a downgrade (e.g. the seeded
+//! `nabbitc_weak_pop` canary turning the `SeqCst` pop fence into
+//! `Release`, or `nabbitc_weak_join` relaxing the join-counter scan) is
+//! caught statically, without building or running the weakened code.
 //!
 //! The scanner is a purpose-built lexer, not a Rust parser: it masks
 //! comments, strings, and char literals, truncates each file at its test
 //! module, tracks `fn` names and per-line `#[cfg(...)]` attributes, and
-//! then pattern-matches the seven atomic operations the runtime actually
-//! uses. That is enough to be exact on this codebase, and the
-//! "unknown site" rule means any construct the scanner mis-reads fails
-//! loudly instead of being skipped.
+//! then pattern-matches the seven atomic operations the workspace
+//! actually uses. A same-named non-atomic call (`Vec::swap`, a config
+//! `load`) is recognized by its missing `Ordering` argument and skipped
+//! — an atomic op cannot be spelled without one — while a call with the
+//! wrong *number* of orderings still fails loudly.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// The five `std::sync::atomic::Ordering` variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,7 +78,7 @@ impl fmt::Display for AtomicOrdering {
     }
 }
 
-/// The atomic operations the runtime uses. `orderings()` is how many
+/// The atomic operations the workspace uses. `orderings()` is how many
 /// ordering arguments each takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomicOp {
@@ -96,10 +119,12 @@ impl AtomicOp {
     }
 }
 
-/// One atomic operation in the runtime sources.
+/// One atomic operation in the workspace sources.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AtomicSite {
-    /// Base file name (`"deque.rs"`).
+    /// Crate-qualified file key (`"runtime/deque.rs"`, `"core/join.rs"`):
+    /// the crate's directory name under `crates/` plus the path relative
+    /// to its `src/`.
     pub file: String,
     /// Enclosing `fn` name (`"steal_impl"`), or `"<module>"` at file
     /// scope.
@@ -138,34 +163,113 @@ impl AtomicSite {
     }
 }
 
-/// The runtime source files under audit. The audit fails if one goes
-/// missing, so this list cannot silently fall out of date.
-pub const RUNTIME_FILES: [&str; 5] = ["deque.rs", "injector.rs", "pool.rs", "stats.rs", "trace.rs"];
+/// One discovered source file: its crate-qualified key and full text.
+/// Kept around so the facade and SAFETY passes run over exactly the set
+/// of files the ordering audit saw.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Crate-qualified key (`"runtime/deque.rs"`).
+    pub key: String,
+    /// The file's raw text.
+    pub text: String,
+}
 
-/// Absolute path of the runtime crate's `src/` directory, resolved
+/// Everything the workspace discovery found: the atomic sites and the
+/// files they came from.
+#[derive(Debug, Clone)]
+pub struct WorkspaceScan {
+    /// Every atomic site in non-test code, across all crates.
+    pub sites: Vec<AtomicSite>,
+    /// Every discovered `.rs` file under `crates/*/src`.
+    pub files: Vec<SourceFile>,
+}
+
+/// Absolute path of the workspace's `crates/` directory, resolved
 /// relative to this crate so the audit works from any working directory.
-pub fn runtime_src_dir() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+pub fn crates_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")
-        .join("runtime")
-        .join("src")
+        .to_path_buf()
 }
 
-/// Scans all [`RUNTIME_FILES`] and returns every atomic site found.
-pub fn scan_runtime() -> Result<Vec<AtomicSite>, String> {
-    let dir = runtime_src_dir();
-    let mut sites = Vec::new();
-    for file in RUNTIME_FILES {
-        let path = dir.join(file);
-        let src = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        sites.extend(scan_source(file, &src)?);
+/// Discovers and scans every `.rs` file under `crates/*/src`.
+///
+/// On failure returns **all** problems at once — every unreadable file
+/// and every file the lexer could not make sense of — so one broken file
+/// does not hide the next.
+pub fn scan_workspace() -> Result<WorkspaceScan, Vec<String>> {
+    scan_crates_root(&crates_dir())
+}
+
+/// [`scan_workspace`] against an explicit crates root (testable).
+pub fn scan_crates_root(root: &Path) -> Result<WorkspaceScan, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(root) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => return Err(vec![format!("cannot read {}: {e}", root.display())]),
+    };
+    crate_dirs.sort();
+    for cdir in &crate_dirs {
+        let src = cdir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_name = cdir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut paths = Vec::new();
+        walk_rs(&src, &mut paths, &mut errors);
+        paths.sort();
+        for path in paths {
+            let rel = path.strip_prefix(&src).expect("walked under src");
+            let key = format!("{crate_name}/{}", rel.display());
+            match std::fs::read_to_string(&path) {
+                Ok(text) => files.push(SourceFile { key, text }),
+                Err(e) => errors.push(format!("cannot read {}: {e}", path.display())),
+            }
+        }
     }
-    Ok(sites)
+    let mut sites = Vec::new();
+    for f in &files {
+        match scan_source(&f.key, &f.text) {
+            Ok(s) => sites.extend(s),
+            Err(e) => errors.push(e),
+        }
+    }
+    if errors.is_empty() {
+        Ok(WorkspaceScan { sites, files })
+    } else {
+        Err(errors)
+    }
 }
 
-/// Scans one file's source text. `file` is the base name recorded on
-/// each site.
+/// Collects every `.rs` file under `dir`, recursively. Directory read
+/// errors are reported, not fatal, so the caller sees all of them.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>, errors: &mut Vec<String>) {
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) => {
+            errors.push(format!("cannot read {}: {e}", dir.display()));
+            return;
+        }
+    };
+    for entry in rd.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out, errors);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans one file's source text. `file` is the crate-qualified key
+/// recorded on each site.
 pub fn scan_source(file: &str, src: &str) -> Result<Vec<AtomicSite>, String> {
     let src = truncate_at_test_module(src);
     let masked = mask_non_code(src);
@@ -201,6 +305,12 @@ pub fn scan_source(file: &str, src: &str) -> Result<Vec<AtomicSite>, String> {
             let args = balanced_span(&masked, args_start - 1)
                 .ok_or_else(|| format!("{file}:{line}: unbalanced parens in {spelled} call"))?;
             let found = ordering_idents(&masked[args_start..args]);
+            if found.is_empty() {
+                // A same-named non-atomic method (`Vec::swap`, a config
+                // `load`): atomics cannot be called without an
+                // `Ordering` argument, so this is not a site.
+                continue;
+            }
             let need = op.orderings();
             if found.len() < need {
                 return Err(format!(
@@ -225,9 +335,11 @@ pub fn scan_source(file: &str, src: &str) -> Result<Vec<AtomicSite>, String> {
     Ok(sites)
 }
 
-/// Runs the audit: every active site must match a policy entry and use
-/// an allowed ordering sequence, and every policy entry must match at
-/// least one active site. Returns the list of problems (empty = pass).
+/// Runs the per-site ordering audit: every active site must match a
+/// policy entry and use an allowed ordering sequence, and every policy
+/// entry must match at least one active site. Sites in files covered by
+/// [`crate::policy::SCAN_ALLOWLIST`] (harness code) are exempt from the
+/// match requirement. Returns the list of problems (empty = pass).
 ///
 /// `active_cfgs` is the set of enabled `--cfg` flags; sites guarded by a
 /// `#[cfg(...)]` that evaluates false are skipped, which is how the
@@ -249,7 +361,14 @@ pub fn audit(
             e.file == site.file && e.func == site.func && e.symbol == site.symbol && e.op == site.op
         });
         match entry {
-            None => problems.push(format!("unknown atomic site: {}", site.describe())),
+            None => {
+                let allowlisted = crate::policy::SCAN_ALLOWLIST
+                    .iter()
+                    .any(|a| site.file.starts_with(a.prefix));
+                if !allowlisted {
+                    problems.push(format!("unknown atomic site: {}", site.describe()));
+                }
+            }
             Some((i, e)) => {
                 matched[i] = true;
                 let ok = e
@@ -289,8 +408,194 @@ pub fn audit(
     problems
 }
 
+/// Renders the `pairs_with` key of a policy entry
+/// (`"runtime/deque.rs::push::fence.fence"`).
+fn pair_key(e: &crate::policy::PolicyEntry) -> String {
+    format!("{}::{}::{}.{}", e.file, e.func, e.symbol, e.op.name())
+}
+
+/// Publication-pair audit over the policy table itself.
+///
+/// * Every `pairs_with` reference must name an existing entry that can
+///   actually perform a release (a non-`load` op allowing `Release`,
+///   `AcqRel`, or `SeqCst`).
+/// * Every entry with Acquire semantics (`Acquire` or `AcqRel` in an
+///   allowed sequence) must declare its partner(s) — an Acquire that
+///   synchronizes with nothing nameable is a smell worth a failure.
+/// * Every pure-Release entry (allows `Release`/`AcqRel`, no Acquire
+///   side of its own) must be *named by* some entry — an orphaned
+///   Release store is dead publication or an undocumented reader.
+///
+/// `SeqCst`-only sites (the pool control plane) may pair but are not
+/// required to: their correctness argument is the single total order,
+/// not a specific release/acquire edge.
+pub fn audit_pairs(policy: &[crate::policy::PolicyEntry]) -> Vec<String> {
+    use AtomicOrdering::{AcqRel, Acquire, Release, SeqCst};
+    let has = |e: &crate::policy::PolicyEntry, o: AtomicOrdering| {
+        e.allowed.iter().any(|seq| seq.contains(&o))
+    };
+    let release_capable = |e: &crate::policy::PolicyEntry| {
+        e.op != AtomicOp::Load && (has(e, Release) || has(e, AcqRel) || has(e, SeqCst))
+    };
+    let mut problems = Vec::new();
+    let mut referenced: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for e in policy {
+        for p in e.pairs_with {
+            match policy.iter().find(|c| pair_key(c) == *p) {
+                None => problems.push(format!(
+                    "publication pair: {} names nonexistent partner {p}",
+                    pair_key(e)
+                )),
+                Some(partner) => {
+                    if !release_capable(partner) {
+                        problems.push(format!(
+                            "publication pair: {} names {p}, which can never perform a release \
+                             ({} with no Release/AcqRel/SeqCst write)",
+                            pair_key(e),
+                            partner.op.name()
+                        ));
+                    }
+                    referenced.insert((*p).to_string());
+                }
+            }
+        }
+    }
+    for e in policy {
+        let k = pair_key(e);
+        let acquire_side = has(e, Acquire) || has(e, AcqRel);
+        if acquire_side && e.pairs_with.is_empty() {
+            problems.push(format!(
+                "unpaired Acquire: {k} must name the Release site(s) it synchronizes with \
+                 in pairs_with"
+            ));
+        }
+        let pure_release =
+            !acquire_side && e.op != AtomicOp::Load && (has(e, Release) || has(e, AcqRel));
+        if pure_release && !referenced.contains(&k) {
+            problems.push(format!(
+                "orphaned Release: {k} is named by no Acquire site's pairs_with — dead \
+                 publication or an undocumented reader"
+            ));
+        }
+    }
+    problems
+}
+
+/// Facade-conformance pass: non-test product code must not reference
+/// `std::sync::atomic` or `parking_lot` directly — those go through the
+/// `nabbitc_runtime::sync` facade so the loom shim covers them under
+/// `--cfg nabbitc_check`. Harness files ([`crate::policy::SCAN_ALLOWLIST`])
+/// are out of scope; justified exceptions live in
+/// [`crate::policy::FACADE_EXEMPT`], and an exemption matching no
+/// occurrence is itself a failure.
+pub fn audit_facade(files: &[SourceFile]) -> Vec<String> {
+    const TOKENS: [&str; 2] = ["std::sync::atomic", "parking_lot"];
+    let mut problems = Vec::new();
+    let mut used = vec![false; crate::policy::FACADE_EXEMPT.len()];
+    for f in files {
+        if crate::policy::SCAN_ALLOWLIST
+            .iter()
+            .any(|a| f.key.starts_with(a.prefix))
+        {
+            continue;
+        }
+        let text = truncate_at_test_module(&f.text);
+        let masked = mask_non_code(text);
+        let starts = line_start_offsets(&masked);
+        for token in TOKENS {
+            let mut from = 0;
+            while let Some(rel) = masked[from..].find(token) {
+                let at = from + rel;
+                from = at + token.len();
+                if let Some(i) = crate::policy::FACADE_EXEMPT
+                    .iter()
+                    .position(|e| e.file == f.key && e.token == token)
+                {
+                    used[i] = true;
+                    continue;
+                }
+                problems.push(format!(
+                    "facade escape: {}:{} references `{token}` directly; route it through \
+                     nabbitc_runtime::sync or add a justified FACADE_EXEMPT entry",
+                    f.key,
+                    line_of(&starts, at)
+                ));
+            }
+        }
+    }
+    for (i, e) in crate::policy::FACADE_EXEMPT.iter().enumerate() {
+        if !used[i] {
+            problems.push(format!(
+                "stale facade exemption: {} / `{}` matches no source occurrence",
+                e.file, e.token
+            ));
+        }
+    }
+    problems
+}
+
+/// How many preceding raw-source lines [`audit_safety`] searches for a
+/// `SAFETY` / `# Safety` justification.
+pub const SAFETY_WINDOW: usize = 8;
+
+/// SAFETY-comment pass: every `unsafe` token in non-test code must have
+/// a `SAFETY` or `# Safety` marker on its own line or within the
+/// [`SAFETY_WINDOW`] preceding lines (which covers both `// SAFETY:`
+/// block comments and `/// # Safety` doc sections on `unsafe fn`s).
+pub fn audit_safety(files: &[SourceFile]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for f in files {
+        let text = truncate_at_test_module(&f.text);
+        let masked = mask_non_code(text);
+        let starts = line_start_offsets(&masked);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let bytes = masked.as_bytes();
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find("unsafe") {
+            let at = from + rel;
+            from = at + "unsafe".len();
+            let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+            if at > 0 && ident(bytes[at - 1]) {
+                continue;
+            }
+            if bytes.get(at + "unsafe".len()).is_some_and(|b| ident(*b)) {
+                continue;
+            }
+            let line = line_of(&starts, at);
+            let line0 = line - 1;
+            let has_marker = |l: &str| l.contains("SAFETY") || l.contains("# Safety");
+            // Same-line marker counts; otherwise walk backwards up to
+            // SAFETY_WINDOW lines, stopping at the first line that closes
+            // a block (`}` in *code*, so comments can't form barriers) —
+            // a SAFETY comment from an earlier scope must not justify
+            // this site.
+            let mut justified = has_marker(raw_lines[line0]);
+            if !justified {
+                let masked_lines: Vec<&str> = masked.lines().collect();
+                for i in (line0.saturating_sub(SAFETY_WINDOW)..line0).rev() {
+                    if has_marker(raw_lines[i]) {
+                        justified = true;
+                        break;
+                    }
+                    if masked_lines[i].contains('}') {
+                        break;
+                    }
+                }
+            }
+            if !justified {
+                problems.push(format!(
+                    "undocumented unsafe: {}:{line} has no SAFETY justification within the \
+                     {SAFETY_WINDOW} preceding lines",
+                    f.key
+                ));
+            }
+        }
+    }
+    problems
+}
+
 /// Evaluates a site's `#[cfg(...)]` guard against the active flag set.
-/// Supports the two forms the runtime uses: a bare flag name and
+/// Supports the two forms the workspace uses: a bare flag name and
 /// `not(name)`. Anything else is treated as active (and will then fail
 /// as an unknown site unless the policy covers it).
 fn cfg_active(cfg: Option<&str>, active: &[&str]) -> bool {
@@ -310,7 +615,7 @@ fn cfg_active(cfg: Option<&str>, active: &[&str]) -> bool {
 }
 
 /// Cuts the source at the first `#[cfg(...test...)]` attribute line, which
-/// in the runtime crate always introduces the test module. Test-only
+/// in this workspace always introduces the test module. Test-only
 /// atomics (loom models, stress harnesses) are out of audit scope.
 fn truncate_at_test_module(src: &str) -> &str {
     let mut offset = 0;
@@ -425,7 +730,8 @@ fn line_of(starts: &[usize], offset: usize) -> usize {
 
 /// Per-line cfg guard: a `#[cfg(...)]` attribute line applies to the
 /// next non-attribute, non-blank line (the statement-level form the
-/// runtime uses, e.g. the weak-pop fence pair).
+/// workspace uses, e.g. the weak-pop fence pair and the weak-join
+/// counter ops).
 fn cfg_by_line(src: &str) -> Vec<Option<String>> {
     let mut out = Vec::new();
     let mut pending: Option<String> = None;
@@ -482,12 +788,31 @@ fn enclosing_fn(fns: &[(usize, String)], offset: usize) -> String {
 
 /// Walks back from the `.` at `dot` over whitespace and reads the
 /// receiver identifier (handles multi-line `stats\n.field\n.store(...)`
-/// chains).
+/// chains). An indexed receiver (`state.join[s as usize].fetch_sub`)
+/// resolves to the indexed field (`join`): the balanced `[...]` suffix
+/// is skipped first.
 fn receiver_symbol(src: &str, dot: usize) -> Option<String> {
     let bytes = src.as_bytes();
     let mut i = dot;
     while i > 0 && bytes[i - 1].is_ascii_whitespace() {
         i -= 1;
+    }
+    if i > 0 && bytes[i - 1] == b']' {
+        let mut depth = 0i32;
+        while i > 0 {
+            match bytes[i - 1] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i -= 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i -= 1;
+        }
     }
     let end = i;
     while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
@@ -592,6 +917,18 @@ fn f(stats: &S) {
     }
 
     #[test]
+    fn indexed_receiver_resolves_to_the_indexed_field() {
+        let src = "fn run() { if state.join[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {} }";
+        let sites = scan_source("x.rs", src).unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].symbol, "join");
+        assert_eq!(sites[0].op, AtomicOp::FetchSub);
+        let nested = "fn g() { grid[idx[i]].store(1, Ordering::Release); }";
+        let sites = scan_source("x.rs", nested).unwrap();
+        assert_eq!(sites[0].symbol, "grid");
+    }
+
+    #[test]
     fn nested_calls_yield_two_sites_with_right_orderings() {
         let src = "fn grow() { ns.ptr.store(os.ptr.load(Ordering::Acquire), Ordering::Release); }";
         let mut sites = scan_source("x.rs", src).unwrap();
@@ -653,10 +990,64 @@ mod tests {
     }
 
     #[test]
-    fn compiler_fence_and_missing_orderings_are_handled() {
+    fn non_atomic_lookalikes_are_skipped_but_arity_still_bites() {
         let src = "fn f() { compiler_fence(Ordering::SeqCst); }";
         assert!(scan_source("x.rs", src).unwrap().is_empty());
-        let bad = "fn f() { v.swap(0, 1); }";
-        assert!(scan_source("x.rs", bad).is_err());
+        // `Vec::swap` / `mem::swap` style calls carry no Ordering: not
+        // atomic sites.
+        let vec_swap = "fn f() { v.swap(0, 1); picks.swap(i, j); }";
+        assert!(scan_source("x.rs", vec_swap).unwrap().is_empty());
+        // But an atomic op with too few orderings is still an error.
+        let bad_cas = "fn f() { t.compare_exchange(a, b, Ordering::SeqCst); }";
+        assert!(scan_source("x.rs", bad_cas).is_err());
+    }
+
+    #[test]
+    fn safety_pass_accepts_nearby_markers_and_flags_bare_unsafe() {
+        let file = SourceFile {
+            key: "x/y.rs".to_string(),
+            text: "\
+fn ok() {
+    // SAFETY: index is bounds-checked above.
+    unsafe { do_it() };
+}
+/// # Safety
+/// Caller must uphold the contract.
+pub unsafe fn documented() {}
+fn bad() {
+    unsafe { oops() };
+}
+"
+            .to_string(),
+        };
+        let problems = audit_safety(&[file]);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("x/y.rs:9"), "{problems:?}");
+    }
+
+    #[test]
+    fn scan_errors_are_collected_across_files_not_first_only() {
+        let dir = std::env::temp_dir().join(format!("nabbitc-lint-scan-{}", std::process::id()));
+        let src_a = dir.join("alpha").join("src");
+        let src_b = dir.join("beta").join("src");
+        std::fs::create_dir_all(&src_a).unwrap();
+        std::fs::create_dir_all(&src_b).unwrap();
+        // Both files are broken (an atomic op with too few orderings):
+        // the scan must report both, not stop at the first.
+        std::fs::write(
+            src_a.join("a.rs"),
+            "fn f() { t.compare_exchange(a, b, Ordering::SeqCst); }",
+        )
+        .unwrap();
+        std::fs::write(
+            src_b.join("b.rs"),
+            "fn g() { u.compare_exchange(c, d, Ordering::AcqRel); }",
+        )
+        .unwrap();
+        let errs = scan_crates_root(&dir).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("alpha/a.rs")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("beta/b.rs")), "{errs:?}");
     }
 }

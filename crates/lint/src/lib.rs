@@ -27,22 +27,36 @@
 //! facade as an opt-in pre-flight gate (see `nabbitc_core`'s
 //! `ExecOptions`) and into the `graphlint` CLI in `nabbitc-bench`.
 //!
-//! # Atomics-ordering audit
+//! # Workspace concurrency audit
 //!
-//! [`atomics::scan_runtime`] extracts every atomic operation in the
-//! runtime's lock-free core and [`atomics::audit`] checks the sites
-//! against the committed [`policy::POLICY`] table, where each entry
-//! records the allowed `Ordering` sequences and a one-line justification.
-//! Unknown sites, ordering downgrades, and stale policy entries all fail
-//! — including the seeded `nabbitc_weak_pop` fence weakening, which the
-//! audit catches without ever building the weakened binary.
+//! [`atomics::scan_workspace`] discovers every `.rs` file under
+//! `crates/*/src` and extracts every atomic operation site; four passes
+//! then run over the result:
+//!
+//! | pass | check |
+//! |------|-------|
+//! | [`atomics::audit`] | every site matches a [`policy::POLICY`] entry and uses an allowed `Ordering` sequence (harness files: [`policy::SCAN_ALLOWLIST`]) |
+//! | [`atomics::audit_pairs`] | every Acquire entry names its release-capable partner(s); every Release entry is named by someone |
+//! | [`atomics::audit_facade`] | no direct `std::sync::atomic` / `parking_lot` outside the `nabbitc_runtime::sync` facade ([`policy::FACADE_EXEMPT`]) |
+//! | [`atomics::audit_safety`] | every `unsafe` in non-test code carries a `SAFETY` / `# Safety` justification |
+//!
+//! Unknown sites, ordering downgrades, stale policy entries, orphaned
+//! Release stores, facade escapes, and undocumented `unsafe` all fail —
+//! including the seeded `nabbitc_weak_pop` fence weakening and the
+//! seeded `nabbitc_weak_join` counter relaxation, which the audit
+//! catches without ever building the weakened binaries.
 
 pub mod atomics;
 pub mod diag;
 pub mod graph;
 pub mod policy;
 
-pub use atomics::{audit, scan_runtime, AtomicOp, AtomicOrdering, AtomicSite};
+pub use atomics::{
+    audit, audit_facade, audit_pairs, audit_safety, scan_workspace, AtomicOp, AtomicOrdering,
+    AtomicSite, SourceFile, WorkspaceScan,
+};
 pub use diag::{Diagnostic, LintReport, Severity, LINT_SCHEMA_VERSION};
 pub use graph::{diagnose_build_errors, lint_graph, LintConfig};
-pub use policy::{PolicyEntry, POLICY};
+pub use policy::{
+    AllowlistEntry, FacadeExemption, PolicyEntry, FACADE_EXEMPT, POLICY, SCAN_ALLOWLIST,
+};

@@ -1,4 +1,4 @@
-//! The committed atomics-ordering policy for the runtime crate.
+//! The committed atomics-ordering policy for the workspace.
 //!
 //! Every entry pins one atomic site (or a group of identical sites) to
 //! the ordering sequences it is allowed to use, with a one-line
@@ -14,7 +14,12 @@
 //! * an entry matching no active site fails ("stale policy entry") —
 //!   the table cannot outlive the code it describes.
 //!
-//! Entries are keyed `(file, function, receiver symbol, operation)`.
+//! Entries are keyed `(file, function, receiver symbol, operation)`,
+//! where `file` is the crate-qualified key the workspace scan produces
+//! (`"runtime/deque.rs"`, `"core/join.rs"`). Harness files (the model
+//! checker, the bench scaffolding) are covered by [`SCAN_ALLOWLIST`]
+//! instead of per-site entries, and the facade-conformance pass's
+//! justified exceptions live in [`FACADE_EXEMPT`].
 //! Sites that are textually repeated with the same meaning (e.g. the
 //! three `bottom.store(Relaxed)` writes in `pop`) share one entry.
 //! Where one key legitimately uses two orderings (the seqlock `seq`
@@ -26,8 +31,9 @@
 //! The memory-ordering arguments below reference the Chase–Lev deque
 //! correctness argument (Lê et al., "Correct and Efficient Work-Stealing
 //! for Weak Memory Models", PPoPP'13) for `deque.rs`, and the loom
-//! models in `crates/check` which exhaustively verify the deque and
-//! trace-buffer protocols under `--cfg nabbitc_check`.
+//! models in `crates/check` which exhaustively verify the deque,
+//! trace-buffer, pending-counter, and join-counter protocols under
+//! `--cfg nabbitc_check`.
 
 use crate::atomics::{AtomicOp, AtomicOrdering};
 
@@ -35,7 +41,8 @@ use crate::atomics::{AtomicOp, AtomicOrdering};
 /// ordering sequences are allowed, and why.
 #[derive(Debug, Clone, Copy)]
 pub struct PolicyEntry {
-    /// Base file name within the runtime crate (`"deque.rs"`).
+    /// Crate-qualified file key: crate directory name plus the path
+    /// relative to its `src/` (`"runtime/deque.rs"`, `"core/join.rs"`).
     pub file: &'static str,
     /// Enclosing function name.
     pub func: &'static str,
@@ -47,6 +54,12 @@ pub struct PolicyEntry {
     /// one of these exactly (so `compare_exchange` success/failure pairs
     /// are checked together and downgrades of either fail).
     pub allowed: &'static [&'static [AtomicOrdering]],
+    /// Keys of the release-capable policy entries this site's Acquire
+    /// side synchronizes with (`"runtime/deque.rs::push::fence.fence"`).
+    /// Mandatory for entries with Acquire/AcqRel semantics; entries with
+    /// Release semantics must be *named* by someone. Verified by
+    /// [`crate::atomics::audit_pairs`].
+    pub pairs_with: &'static [&'static str],
     /// One-line justification for the allowed orderings.
     pub why: &'static str,
 }
@@ -65,6 +78,29 @@ const fn entry(
         symbol,
         op,
         allowed,
+        pairs_with: &[],
+        why,
+    }
+}
+
+/// [`entry`] plus a declared publication pair: the `pairs_with` keys
+/// name the Release-side entries this site's Acquire synchronizes with.
+const fn pentry(
+    file: &'static str,
+    func: &'static str,
+    symbol: &'static str,
+    op: AtomicOp,
+    allowed: &'static [&'static [AtomicOrdering]],
+    pairs_with: &'static [&'static str],
+    why: &'static str,
+) -> PolicyEntry {
+    PolicyEntry {
+        file,
+        func,
+        symbol,
+        op,
+        allowed,
+        pairs_with,
         why,
     }
 }
@@ -86,7 +122,7 @@ pub static POLICY: &[PolicyEntry] = &[
     // Chase–Lev deque (PPoPP'13 orderings, verified by the loom model in
     // crates/check).
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "len",
         "bottom",
         AtomicOp::Load,
@@ -94,7 +130,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "advisory size for stats/heuristics; staleness is tolerated by design",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "len",
         "top",
         AtomicOp::Load,
@@ -102,23 +138,28 @@ pub static POLICY: &[PolicyEntry] = &[
         "advisory size for stats/heuristics; staleness is tolerated by design",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push",
         "bottom",
         AtomicOp::Load,
         RLX,
         "bottom is owner-only; the owner reads its own last store",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "push",
         "top",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::pop::top.compare_exchange",
+            "runtime/deque.rs::steal_impl::top.compare_exchange",
+            "runtime/deque.rs::steal_batch_impl::top.compare_exchange",
+        ],
         "reserves space against concurrent steals; Acquire synchronizes with thieves' top CAS",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push",
         "buffer",
         AtomicOp::Load,
@@ -126,7 +167,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "buffer is replaced only by the owner itself (grow), so its own load needs no ordering",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push",
         "w",
         AtomicOp::Store,
@@ -134,7 +175,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "color-array slot write; published to thieves by the Release fence before the bottom store",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push",
         "ptr",
         AtomicOp::Store,
@@ -142,7 +183,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "task-slot write; published to thieves by the Release fence before the bottom store",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push",
         "fence",
         AtomicOp::Fence,
@@ -150,7 +191,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "publishes the slot writes before bottom is advanced (pairs with the thief's SeqCst fence)",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push",
         "bottom",
         AtomicOp::Store,
@@ -158,23 +199,28 @@ pub static POLICY: &[PolicyEntry] = &[
         "the preceding Release fence orders the slot data before this index publication",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push_batch",
         "bottom",
         AtomicOp::Load,
         RLX,
         "bottom is owner-only; the owner reads its own last store",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "push_batch",
         "top",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::pop::top.compare_exchange",
+            "runtime/deque.rs::steal_impl::top.compare_exchange",
+            "runtime/deque.rs::steal_batch_impl::top.compare_exchange",
+        ],
         "reserves space for the whole batch against concurrent steals; same edge as push",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push_batch",
         "buffer",
         AtomicOp::Load,
@@ -182,7 +228,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "buffer is replaced only by the owner itself (grow); two sites (initial + post-grow reload)",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push_batch",
         "w",
         AtomicOp::Store,
@@ -190,7 +236,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "color-array writes for the whole batch; published by the single Release fence below",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push_batch",
         "ptr",
         AtomicOp::Store,
@@ -198,7 +244,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "task-slot writes for the whole batch; published by the single Release fence below",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push_batch",
         "fence",
         AtomicOp::Fence,
@@ -208,7 +254,7 @@ pub static POLICY: &[PolicyEntry] = &[
          and the seeded_push_batch model check proves that is caught as a W2 double take",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "push_batch",
         "bottom",
         AtomicOp::Store,
@@ -216,7 +262,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "single index publication for the batch; ordered after the slot writes by the Release fence",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "pop",
         "bottom",
         AtomicOp::Load,
@@ -224,7 +270,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "bottom is owner-only; the owner reads its own last store",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "pop",
         "buffer",
         AtomicOp::Load,
@@ -232,7 +278,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "buffer is replaced only by the owner itself (grow)",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "pop",
         "bottom",
         AtomicOp::Store,
@@ -240,7 +286,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "owner-only index update; ordering against thieves comes from the SeqCst fence and CAS",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "pop",
         "fence",
         AtomicOp::Fence,
@@ -250,7 +296,7 @@ pub static POLICY: &[PolicyEntry] = &[
          this to Release and is the seeded bug this audit must reject",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "pop",
         "top",
         AtomicOp::Load,
@@ -258,7 +304,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "ordered after the bottom decrement by the SeqCst fence; no payload is read through it",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "pop",
         "ptr",
         AtomicOp::Load,
@@ -266,7 +312,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "owner reads a slot it previously wrote; no inter-thread publication involved",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "pop",
         "top",
         AtomicOp::CompareExchange,
@@ -274,16 +320,21 @@ pub static POLICY: &[PolicyEntry] = &[
         "last-task race with thieves; SeqCst keeps it in the fence's total order, failure is a \
          pure retry so Relaxed suffices there",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "steal_impl",
         "top",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::pop::top.compare_exchange",
+            "runtime/deque.rs::steal_impl::top.compare_exchange",
+            "runtime/deque.rs::steal_batch_impl::top.compare_exchange",
+        ],
         "thief's first read; synchronizes with the owner's CAS/publication of top",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_impl",
         "fence",
         AtomicOp::Fence,
@@ -291,24 +342,31 @@ pub static POLICY: &[PolicyEntry] = &[
         "pairs with the pop fence: orders the top read before the bottom read in the single \
          total order, closing the two-claimants window",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "steal_impl",
         "bottom",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::push::fence.fence",
+            "runtime/deque.rs::push_batch::fence.fence",
+        ],
         "synchronizes with the owner's push publication so the observed range is consistent",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "steal_impl",
         "buffer",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::grow::buffer.swap",
+        ],
         "synchronizes with grow's Release swap so the thief sees fully-initialized storage",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_impl",
         "a",
         AtomicOp::Load,
@@ -317,7 +375,7 @@ pub static POLICY: &[PolicyEntry] = &[
          re-validated by the CAS",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_impl",
         "ptr",
         AtomicOp::Load,
@@ -326,7 +384,7 @@ pub static POLICY: &[PolicyEntry] = &[
          taken if the CAS succeeds",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_impl",
         "top",
         AtomicOp::CompareExchange,
@@ -334,17 +392,22 @@ pub static POLICY: &[PolicyEntry] = &[
         "claims the task against owner and other thieves; SeqCst joins the fence order, \
          failure is a pure retry so Relaxed suffices there",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "steal_batch_impl",
         "top",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::pop::top.compare_exchange",
+            "runtime/deque.rs::steal_impl::top.compare_exchange",
+            "runtime/deque.rs::steal_batch_impl::top.compare_exchange",
+        ],
         "two sites: the initial index read and the per-claim revalidation; both synchronize \
          with owner/thief top updates exactly like steal_impl's first read",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_batch_impl",
         "fence",
         AtomicOp::Fence,
@@ -353,25 +416,32 @@ pub static POLICY: &[PolicyEntry] = &[
          fence as steal_impl; re-running it before every chained claim is what makes batching \
          sound against concurrent owner pops (see the nabbitc_weak_batch canary)",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "steal_batch_impl",
         "bottom",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::push::fence.fence",
+            "runtime/deque.rs::push_batch::fence.fence",
+        ],
         "two sites (initial + per-claim revalidation); synchronizes with the owner's push \
          publication so each claim checks a current range, never the stale initial window",
     ),
-    entry(
-        "deque.rs",
+    pentry(
+        "runtime/deque.rs",
         "steal_batch_impl",
         "buffer",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/deque.rs::grow::buffer.swap",
+        ],
         "re-read per claim; synchronizes with grow's Release swap like steal_impl",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_batch_impl",
         "a",
         AtomicOp::Load,
@@ -380,7 +450,7 @@ pub static POLICY: &[PolicyEntry] = &[
          re-validated by the claiming CAS",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_batch_impl",
         "ptr",
         AtomicOp::Load,
@@ -388,7 +458,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "task-slot read; ownership is only taken if the claiming CAS succeeds",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "steal_batch_impl",
         "top",
         AtomicOp::CompareExchange,
@@ -398,7 +468,7 @@ pub static POLICY: &[PolicyEntry] = &[
          aborts the batch (pure retry) so Relaxed suffices there",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "grow",
         "buffer",
         AtomicOp::Load,
@@ -406,7 +476,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "grow runs on the owner thread; it reads its own buffer pointer",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "grow",
         "ptr",
         AtomicOp::Load,
@@ -414,7 +484,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "copying slots the owner itself wrote; publication happens at the buffer swap",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "grow",
         "ptr",
         AtomicOp::Store,
@@ -422,7 +492,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "filling the new buffer before it is published by the Release swap",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "grow",
         "ow",
         AtomicOp::Load,
@@ -430,7 +500,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "copying color slots the owner itself wrote; published by the Release swap",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "grow",
         "nw",
         AtomicOp::Store,
@@ -438,7 +508,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "filling the new color array before it is published by the Release swap",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "grow",
         "buffer",
         AtomicOp::Swap,
@@ -446,7 +516,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "publishes the fully-copied buffer; pairs with the thief's Acquire buffer load",
     ),
     entry(
-        "deque.rs",
+        "runtime/deque.rs",
         "drop",
         "buffer",
         AtomicOp::Load,
@@ -455,7 +525,7 @@ pub static POLICY: &[PolicyEntry] = &[
     ),
     // ------------------------------------------------------------- injector.rs
     entry(
-        "injector.rs",
+        "runtime/injector.rs",
         "push",
         "len",
         AtomicOp::Store,
@@ -467,7 +537,7 @@ pub static POLICY: &[PolicyEntry] = &[
          run_injector_racing_push explore this exhaustively)",
     ),
     entry(
-        "injector.rs",
+        "runtime/injector.rs",
         "try_pop",
         "len",
         AtomicOp::Store,
@@ -475,26 +545,31 @@ pub static POLICY: &[PolicyEntry] = &[
         "length mirror update under the lock; Release for the same hint contract as push",
     ),
     entry(
-        "injector.rs",
+        "runtime/injector.rs",
         "try_pop_batch",
         "len",
         AtomicOp::Store,
         REL,
         "one mirror update for the whole drained batch, under the lock; same hint contract",
     ),
-    entry(
-        "injector.rs",
+    pentry(
+        "runtime/injector.rs",
         "len",
         "len",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/injector.rs::push::len.store",
+            "runtime/injector.rs::try_pop::len.store",
+            "runtime/injector.rs::try_pop_batch::len.store",
+        ],
         "idle-path hint probe polled every worker round; Acquire (from SeqCst) pairs with the \
          Release mirror stores — the hint-only contract above needs nothing stronger, and this \
          load is hot enough to care",
     ),
     // ----------------------------------------------------------------- pool.rs
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "next_task_id",
         "task_seq",
         AtomicOp::FetchAdd,
@@ -502,7 +577,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "unique-id counter; only atomicity is needed, no ordering with other data",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run",
         "active",
         AtomicOp::Load,
@@ -511,7 +586,7 @@ pub static POLICY: &[PolicyEntry] = &[
          microseconds per job, not per task",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run",
         "pending",
         AtomicOp::Load,
@@ -519,7 +594,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "job-barrier handshake (control plane, SeqCst by convention)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run",
         "job_panicked",
         AtomicOp::Store,
@@ -527,7 +602,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "clears the panic flag before publishing a new job (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run",
         "pending",
         AtomicOp::Store,
@@ -535,7 +610,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "seeds the pending-task count before the epoch bump releases workers (control plane)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run",
         "job_start_ns",
         AtomicOp::Store,
@@ -543,7 +618,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "job start timestamp must be visible to workers when the epoch bump wakes them",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run",
         "epoch",
         AtomicOp::FetchAdd,
@@ -552,7 +627,7 @@ pub static POLICY: &[PolicyEntry] = &[
          be ordered before it (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run",
         "job_panicked",
         AtomicOp::Load,
@@ -560,7 +635,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "reads the outcome after the completion barrier (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "reset_trace",
         "task_seq",
         AtomicOp::Store,
@@ -568,7 +643,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "test/bench reset while the pool is quiescent; atomicity only",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "drop",
         "shutdown",
         AtomicOp::Store,
@@ -576,7 +651,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "shutdown edge observed by worker spin loops (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "spawn",
         "pending",
         AtomicOp::FetchAdd,
@@ -587,7 +662,7 @@ pub static POLICY: &[PolicyEntry] = &[
          can never spuriously hit zero mid-job (run_pending_protocol checks this exhaustively)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "drop",
         "pending",
         AtomicOp::FetchAdd,
@@ -596,7 +671,7 @@ pub static POLICY: &[PolicyEntry] = &[
          tasks; same publish-before-decrement argument as spawn",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "note_arena",
         "arena_hits",
         AtomicOp::FetchAdd,
@@ -605,7 +680,7 @@ pub static POLICY: &[PolicyEntry] = &[
          the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "note_arena",
         "arena_misses",
         AtomicOp::FetchAdd,
@@ -613,7 +688,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "reporting-only arena counter; read after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "note_batch",
         "batch_steals",
         AtomicOp::FetchAdd,
@@ -622,7 +697,7 @@ pub static POLICY: &[PolicyEntry] = &[
          Release steal-success counters); read after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "note_batch",
         "batch_stolen_tasks",
         AtomicOp::FetchAdd,
@@ -630,7 +705,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "reporting-only batching counter; read after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "worker_main",
         "epoch",
         AtomicOp::Load,
@@ -638,7 +713,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "worker spin on the job-release edge (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "worker_main",
         "shutdown",
         AtomicOp::Load,
@@ -646,7 +721,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "worker spin on the shutdown edge (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "worker_main",
         "active",
         AtomicOp::FetchAdd,
@@ -654,7 +729,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "entering a job; the barrier in run() counts active workers (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "worker_main",
         "active",
         AtomicOp::FetchSub,
@@ -662,7 +737,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "leaving a job; pairs with the barrier's active==0 check (control plane, SeqCst)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run_job_loop",
         "job_start_ns",
         AtomicOp::Load,
@@ -670,26 +745,29 @@ pub static POLICY: &[PolicyEntry] = &[
         "reads the job start timestamp published before the epoch bump (control plane)",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run_job_loop",
         "first_work_wait_ns",
         AtomicOp::Store,
         RLX,
         "per-worker latency statistic; read only after the job barrier",
     ),
-    entry(
-        "pool.rs",
+    pentry(
+        "runtime/pool.rs",
         "run_job_loop",
         "pending",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/pool.rs::execute::pending.fetch_sub",
+        ],
         "termination check, Acquire (from SeqCst): reading zero means reading the final \
          decrement of the AcqRel fetch_sub release sequence, which synchronizes with every \
          task's effects; a stale nonzero read just loops once more. Two sites (loop head and \
          idle re-check); run_pending_protocol models the full handshake",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "run_job_loop",
         "idle_ns",
         AtomicOp::FetchAdd,
@@ -697,7 +775,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "per-worker idle-time statistic; read only after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "execute",
         "tasks_executed",
         AtomicOp::FetchAdd,
@@ -705,35 +783,41 @@ pub static POLICY: &[PolicyEntry] = &[
         "per-worker counter; read only after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "execute",
         "job_panicked",
         AtomicOp::Store,
         SC,
         "panic flag must be visible before the pending count reaches zero (control plane)",
     ),
-    entry(
-        "pool.rs",
+    pentry(
+        "runtime/pool.rs",
         "execute",
         "pending",
         AtomicOp::FetchSub,
         AR,
+        &[
+            "runtime/pool.rs::execute::pending.fetch_sub",
+        ],
         "task completion, AcqRel (from SeqCst): Release publishes this task's effects to \
          whoever reads the counter down the release sequence (the job-done edge), Acquire \
          keeps later recycling ordered after the count; run()'s completion barrier still \
          goes through the done mutex + condvar, not this counter alone",
     ),
-    entry(
-        "pool.rs",
+    pentry(
+        "runtime/pool.rs",
         "steal_round",
         "pending",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/pool.rs::execute::pending.fetch_sub",
+        ],
         "early-out of the forced-steal loop; same release-sequence argument as the \
          run_job_loop termination check",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "steal_round",
         "first_steal_checks",
         AtomicOp::FetchAdd,
@@ -741,7 +825,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "steal-heuristic counter; read only after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "steal_round",
         "colored_steal_attempts",
         AtomicOp::FetchAdd,
@@ -749,7 +833,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "attempt counter; read only after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "steal_round",
         "colored_steals",
         AtomicOp::FetchAdd,
@@ -758,7 +842,7 @@ pub static POLICY: &[PolicyEntry] = &[
          steals <= attempts holds in any racy snapshot",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "steal_round",
         "random_steal_attempts",
         AtomicOp::FetchAdd,
@@ -766,7 +850,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "attempt counter; read only after the job barrier",
     ),
     entry(
-        "pool.rs",
+        "runtime/pool.rs",
         "steal_round",
         "random_steals",
         AtomicOp::FetchAdd,
@@ -775,7 +859,7 @@ pub static POLICY: &[PolicyEntry] = &[
     ),
     // ---------------------------------------------------------------- stats.rs
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "tasks_executed",
         AtomicOp::Store,
@@ -783,7 +867,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "reset happens between jobs while workers are parked; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "colored_steal_attempts",
         AtomicOp::Store,
@@ -791,7 +875,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "colored_steals",
         AtomicOp::Store,
@@ -799,7 +883,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "random_steal_attempts",
         AtomicOp::Store,
@@ -807,7 +891,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "random_steals",
         AtomicOp::Store,
@@ -815,7 +899,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "first_steal_checks",
         AtomicOp::Store,
@@ -823,7 +907,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "first_work_wait_ns",
         AtomicOp::Store,
@@ -831,7 +915,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "idle_ns",
         AtomicOp::Store,
@@ -839,7 +923,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "batch_steals",
         AtomicOp::Store,
@@ -847,7 +931,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "batch_stolen_tasks",
         AtomicOp::Store,
@@ -855,7 +939,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "arena_hits",
         AtomicOp::Store,
@@ -863,32 +947,38 @@ pub static POLICY: &[PolicyEntry] = &[
         "quiescent reset; atomicity only",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "reset",
         "arena_misses",
         AtomicOp::Store,
         RLX,
         "quiescent reset; atomicity only",
     ),
-    entry(
-        "stats.rs",
+    pentry(
+        "runtime/stats.rs",
         "snapshot",
         "colored_steals",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/pool.rs::steal_round::colored_steals.fetch_add",
+        ],
         "read before the attempt counters; Acquire pairs with the Release increments so a \
          racy snapshot never shows steals > attempts",
     ),
-    entry(
-        "stats.rs",
+    pentry(
+        "runtime/stats.rs",
         "snapshot",
         "random_steals",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/pool.rs::steal_round::random_steals.fetch_add",
+        ],
         "read before the attempt counters; pairs with the Release increments",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "tasks_executed",
         AtomicOp::Load,
@@ -896,7 +986,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "monotone counter; snapshot tolerates slight staleness",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "colored_steal_attempts",
         AtomicOp::Load,
@@ -904,7 +994,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "read after the Acquire on successes; may only overshoot, preserving the invariant",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "random_steal_attempts",
         AtomicOp::Load,
@@ -912,7 +1002,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "read after the Acquire on successes; may only overshoot",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "first_steal_checks",
         AtomicOp::Load,
@@ -920,7 +1010,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "heuristic counter; staleness is fine",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "first_work_wait_ns",
         AtomicOp::Load,
@@ -928,7 +1018,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "latency statistic written once per job before the barrier",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "idle_ns",
         AtomicOp::Load,
@@ -936,7 +1026,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "idle-time statistic; staleness is fine",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "batch_steals",
         AtomicOp::Load,
@@ -944,7 +1034,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "reporting-only batching counter; no cross-counter invariant to preserve",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "batch_stolen_tasks",
         AtomicOp::Load,
@@ -952,7 +1042,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "reporting-only batching counter; staleness is fine",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "arena_hits",
         AtomicOp::Load,
@@ -960,7 +1050,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "reporting-only arena counter; staleness is fine",
     ),
     entry(
-        "stats.rs",
+        "runtime/stats.rs",
         "snapshot",
         "arena_misses",
         AtomicOp::Load,
@@ -972,7 +1062,7 @@ pub static POLICY: &[PolicyEntry] = &[
     // bump seq to odd (Relaxed, fenced), write the slot, then publish seq
     // even with Release; readers Acquire seq, read, fence, re-check.
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "push",
         "head",
         AtomicOp::Load,
@@ -980,7 +1070,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "single-writer cursor; the writer reads its own position",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "push",
         "seq",
         AtomicOp::Load,
@@ -988,7 +1078,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "writer reads its own slot sequence to compute the odd marker",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "push",
         "seq",
         AtomicOp::Store,
@@ -997,7 +1087,7 @@ pub static POLICY: &[PolicyEntry] = &[
          fence that follows), the even publish is Release (pairs with the reader's Acquire)",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "push",
         "fence",
         AtomicOp::Fence,
@@ -1005,7 +1095,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "orders the odd seq marker before the payload writes for racing readers",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "push",
         "ts",
         AtomicOp::Store,
@@ -1013,7 +1103,7 @@ pub static POLICY: &[PolicyEntry] = &[
         "slot payload; guarded by the seqlock protocol, not by its own ordering",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "push",
         "payload",
         AtomicOp::Store,
@@ -1021,32 +1111,39 @@ pub static POLICY: &[PolicyEntry] = &[
         "slot payload; guarded by the seqlock protocol",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "push",
         "head",
         AtomicOp::Store,
         REL,
         "publishes the advanced cursor; pairs with recorded()'s Acquire",
     ),
-    entry(
-        "trace.rs",
+    pentry(
+        "runtime/trace.rs",
         "recorded",
         "head",
         AtomicOp::Load,
         ACQ,
+        &[
+            "runtime/trace.rs::push::head.store",
+            "runtime/trace.rs::reset::head.store",
+        ],
         "pairs with the writer's Release so the count never runs ahead of published slots",
     ),
-    entry(
-        "trace.rs",
+    pentry(
+        "runtime/trace.rs",
         "snapshot",
         "seq",
         AtomicOp::Load,
         &[&[Acquire], &[Relaxed]],
+        &[
+            "runtime/trace.rs::push::seq.store",
+        ],
         "two sites: the first read is Acquire (pairs with the even Release publish), the \
          post-fence re-check is Relaxed (the Acquire fence before it orders the payload reads)",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "snapshot",
         "ts",
         AtomicOp::Load,
@@ -1054,27 +1151,279 @@ pub static POLICY: &[PolicyEntry] = &[
         "payload read validated by the seq re-check; torn reads are discarded",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "snapshot",
         "payload",
         AtomicOp::Load,
         RLX,
         "payload read validated by the seq re-check",
     ),
-    entry(
-        "trace.rs",
+    pentry(
+        "runtime/trace.rs",
         "snapshot",
         "fence",
         AtomicOp::Fence,
         ACQ,
+        &[
+            "runtime/trace.rs::push::fence.fence",
+        ],
         "orders the payload reads before the seq re-check (reader half of the seqlock)",
     ),
     entry(
-        "trace.rs",
+        "runtime/trace.rs",
         "reset",
         "head",
         AtomicOp::Store,
         REL,
         "publishes the cleared buffer state to subsequent readers",
     ),
+    // ------------------------------------------------------------ core/dynamic.rs
+    entry(
+        "core/dynamic.rs",
+        "execute",
+        "executed",
+        AtomicOp::Load,
+        SC,
+        "post-run accounting read after the pool job barrier; SeqCst keeps the quiescence \
+         count exact and costs nothing off the hot path",
+    ),
+    entry(
+        "core/dynamic.rs",
+        "compute_and_notify",
+        "executed",
+        AtomicOp::FetchAdd,
+        RLX,
+        "per-node completion counter read only after the job barrier; atomicity only",
+    ),
+    // --------------------------------------------------------------- core/join.rs
+    // The dynamic protocol's init-bias join counter (exactly-once enqueue
+    // verified by run_join_protocol in crates/check; the nabbitc_weak_join
+    // canary drops the bias and relaxes the scan side, and must be
+    // rejected here statically).
+    entry(
+        "core/join.rs",
+        "begin_scan",
+        "count",
+        AtomicOp::Store,
+        SC,
+        "seeds preds+1 (the init bias) before the node is published to any predecessor's \
+         successor list; it races nothing but anchors the decrement chain — the \
+         nabbitc_weak_join cfg drops the bias and downgrades this to Relaxed, which this \
+         entry rejects",
+    ),
+    pentry(
+        "core/join.rs",
+        "end_scan",
+        "count",
+        AtomicOp::FetchSub,
+        AR,
+        &[
+            "core/join.rs::notify::count.fetch_sub",
+            "core/join.rs::begin_scan::count.store",
+        ],
+        "releases the bias plus already-satisfied dependences in one RMW; Acquire on the \
+         firing decrement synchronizes with every predecessor's Release in the chain — \
+         the nabbitc_weak_join cfg downgrades this to Relaxed, rejected here",
+    ),
+    pentry(
+        "core/join.rs",
+        "notify",
+        "count",
+        AtomicOp::FetchSub,
+        AR,
+        &[
+            "core/join.rs::begin_scan::count.store",
+            "core/join.rs::notify::count.fetch_sub",
+        ],
+        "per-predecessor decrement: Release publishes the predecessor's computed effects \
+         into the release sequence (including its own prior decrements, hence the self \
+         pair), Acquire on the firing decrement observes them all",
+    ),
+    entry(
+        "core/join.rs",
+        "pending",
+        "count",
+        AtomicOp::Load,
+        SC,
+        "diagnostics read (a computed node must show zero); off the hot path",
+    ),
+    // ------------------------------------------------------------ core/metrics.rs
+    entry(
+        "core/metrics.rs",
+        "record_node",
+        "node_total",
+        AtomicOp::FetchAdd,
+        RLX,
+        "NUMA-remoteness counter aggregated after the run; atomicity only",
+    ),
+    entry(
+        "core/metrics.rs",
+        "record_node",
+        "node_remote",
+        AtomicOp::FetchAdd,
+        RLX,
+        "NUMA-remoteness counter aggregated after the run; atomicity only",
+    ),
+    entry(
+        "core/metrics.rs",
+        "record_node",
+        "pred_total",
+        AtomicOp::FetchAdd,
+        RLX,
+        "per-predecessor traffic counter aggregated after the run; atomicity only",
+    ),
+    entry(
+        "core/metrics.rs",
+        "record_node",
+        "pred_remote",
+        AtomicOp::FetchAdd,
+        RLX,
+        "per-predecessor traffic counter aggregated after the run; atomicity only",
+    ),
+    entry(
+        "core/metrics.rs",
+        "report",
+        "node_total",
+        AtomicOp::Load,
+        RLX,
+        "post-run aggregation; the counters are quiescent once the job barrier passed",
+    ),
+    entry(
+        "core/metrics.rs",
+        "report",
+        "node_remote",
+        AtomicOp::Load,
+        RLX,
+        "post-run aggregation over quiescent counters",
+    ),
+    entry(
+        "core/metrics.rs",
+        "report",
+        "pred_total",
+        AtomicOp::Load,
+        RLX,
+        "post-run aggregation over quiescent counters",
+    ),
+    entry(
+        "core/metrics.rs",
+        "report",
+        "pred_remote",
+        AtomicOp::Load,
+        RLX,
+        "post-run aggregation over quiescent counters",
+    ),
+    // -------------------------------------------------------- core/static_exec.rs
+    entry(
+        "core/static_exec.rs",
+        "execute",
+        "executed",
+        AtomicOp::Load,
+        SC,
+        "quiescence debug_assert after the pool job barrier; SeqCst keeps it exact",
+    ),
+    entry(
+        "core/static_exec.rs",
+        "process_node",
+        "executed",
+        AtomicOp::FetchAdd,
+        RLX,
+        "completion counter read only after the job barrier; atomicity only",
+    ),
+    pentry(
+        "core/static_exec.rs",
+        "process_node",
+        "join",
+        AtomicOp::FetchSub,
+        AR,
+        &["core/static_exec.rs::process_node::join.fetch_sub"],
+        "successor-readiness decrement: Release publishes this node's output writes into \
+         the counter's release sequence (its own prior decrements — hence the self pair), \
+         and the firing Acquire decrement synchronizes with every predecessor; the same \
+         shape run_join_protocol verifies for the dynamic counter",
+    ),
+    // ------------------------------------------------------------- parfor/team.rs
+    entry(
+        "parfor/team.rs",
+        "parallel_for",
+        "counter",
+        AtomicOp::Load,
+        RLX,
+        "guided self-scheduling reads the cursor only to size its next chunk; the \
+         fetch_add below is the actual claim, so a stale read can only mis-size",
+    ),
+    entry(
+        "parfor/team.rs",
+        "parallel_for",
+        "counter",
+        AtomicOp::FetchAdd,
+        RLX,
+        "chunk-claim cursor (two sites: guided + dynamic schedules); the claim needs \
+         atomicity only — iteration data is published by the team's mutex/condvar job \
+         handoff, not through this counter",
+    ),
+];
+
+/// One allowlisted file prefix: atomic sites under it are discovered and
+/// counted by the workspace scan but exempt from per-site policy
+/// matching, and the file is out of scope for the facade pass.
+#[derive(Debug, Clone, Copy)]
+pub struct AllowlistEntry {
+    /// Crate-qualified key prefix (`"check/"` covers the whole crate).
+    pub prefix: &'static str,
+    /// Why these files are exempt.
+    pub why: &'static str,
+}
+
+/// Harness code whose atomics are not shipped runtime code. Everything
+/// else — every crate under `crates/` — must be covered by [`POLICY`].
+pub static SCAN_ALLOWLIST: &[AllowlistEntry] = &[
+    AllowlistEntry {
+        prefix: "check/",
+        why: "model-check harness: loom-instrumented scenario code whose orderings are \
+              verified dynamically by exhaustive interleaving, not by this table",
+    },
+    AllowlistEntry {
+        prefix: "bench/",
+        why: "bench scaffolding: completion counters in timing harnesses, not shipped \
+              runtime code",
+    },
+];
+
+/// One justified direct `std::sync::atomic` / `parking_lot` reference
+/// outside the `nabbitc_runtime::sync` facade.
+#[derive(Debug, Clone, Copy)]
+pub struct FacadeExemption {
+    /// Crate-qualified file key.
+    pub file: &'static str,
+    /// The token the file may reference (`"parking_lot"`).
+    pub token: &'static str,
+    /// Why the facade cannot cover this use.
+    pub why: &'static str,
+}
+
+/// The reviewed exceptions for [`crate::atomics::audit_facade`]. An
+/// entry matching no occurrence fails the audit, so this list cannot
+/// rot either.
+pub static FACADE_EXEMPT: &[FacadeExemption] = &[
+    FacadeExemption {
+        file: "runtime/sync.rs",
+        token: "std::sync::atomic",
+        why: "the facade itself: re-exports the std atomics in normal builds",
+    },
+    FacadeExemption {
+        file: "runtime/sync.rs",
+        token: "parking_lot",
+        why: "the facade itself: re-exports the parking_lot locks in normal builds",
+    },
+    FacadeExemption {
+        file: "runtime/pool.rs",
+        token: "parking_lot",
+        why: "Condvar has no loom shim; the pool's parking protocol is exercised by the \
+              model harness through the deque/injector API instead",
+    },
+    FacadeExemption {
+        file: "parfor/team.rs",
+        token: "parking_lot",
+        why: "Condvar has no loom shim; the team's park/wake handoff stays on parking_lot",
+    },
 ];

@@ -3,9 +3,11 @@
 use crate::schedule::Schedule;
 use nabbitc_color::Color;
 use nabbitc_core::metrics::{RemoteAccessReport, RemoteCounters};
+use nabbitc_runtime::sync::{AtomicUsize, Ordering};
 use nabbitc_runtime::NumaTopology;
+// Condvar has no loom shim; the team's park/wake protocol stays on
+// parking_lot and is allowlisted by the lint facade-conformance pass.
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

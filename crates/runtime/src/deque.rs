@@ -134,7 +134,13 @@ pub struct ColoredDeque<T> {
     retired: Mutex<Vec<*mut Buffer<T>>>,
 }
 
+// SAFETY: the deque owns its values behind raw pointers (Box::into_raw on
+// push, Box::from_raw on exactly one successful pop/steal), so sending the
+// deque sends the values — T: Send is exactly the bound that makes that
+// sound. Concurrent access is mediated entirely by the atomic protocol
+// above; no &T is ever handed out, so no T: Sync requirement arises.
 unsafe impl<T: Send> Send for ColoredDeque<T> {}
+// SAFETY: see the Send impl — shared access goes through atomics only.
 unsafe impl<T: Send> Sync for ColoredDeque<T> {}
 
 /// Initial buffer capacity. Under the model checker it drops to 2 so the
@@ -178,10 +184,14 @@ impl<T> ColoredDeque<T> {
     pub fn push(&self, value: Box<T>, colors: ColorSet) {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
+        // SAFETY: only the owner swaps `buffer` (in `grow`), and we are the
+        // owner — the pointer is the one we installed and stays valid until
+        // we retire it ourselves.
         let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
 
         if b - t >= buf.cap() as isize {
             self.grow(b, t);
+            // SAFETY: as above; `grow` just installed this buffer.
             buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         }
 
@@ -206,10 +216,12 @@ impl<T> ColoredDeque<T> {
         }
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
+        // SAFETY: owner-side buffer access, same argument as in `push`.
         let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
 
         while b - t + n > buf.cap() as isize {
             self.grow(b, t);
+            // SAFETY: as above; `grow` just installed this buffer.
             buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         }
 
@@ -236,6 +248,7 @@ impl<T> ColoredDeque<T> {
     /// Owner: pops the most recently pushed value (LIFO end).
     pub fn pop(&self) -> Option<Box<T>> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: owner-side buffer access, same argument as in `push`.
         let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         self.bottom.store(b, Ordering::Relaxed);
         // The load-bearing fence of Chase–Lev: it orders the `bottom`
@@ -302,6 +315,10 @@ impl<T> ColoredDeque<T> {
         if t >= b {
             return Steal::Empty;
         }
+        // SAFETY: a thief may observe a buffer the owner has since
+        // retired, but retired buffers are kept alive (in `retired`) until
+        // the deque itself drops, so the dereference never dangles; the
+        // CAS below invalidates any stale value read through it.
         let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
         let slot = buf.slot(t);
 
@@ -391,6 +408,8 @@ impl<T> ColoredDeque<T> {
             if t >= b {
                 break;
             }
+            // SAFETY: retired buffers outlive all thieves, exactly as in
+            // `steal_impl`.
             let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
             let slot = buf.slot(t);
             let mut words = [0u64; COLOR_WORDS];
@@ -443,6 +462,9 @@ impl<T> ColoredDeque<T> {
     /// Owner: doubles the buffer, copying live entries `t..b`.
     #[cold]
     fn grow(&self, b: isize, t: isize) {
+        // SAFETY: `grow` is only called by the owner, and only the owner
+        // replaces `buffer`; the current pointer is live until we retire
+        // it at the end of this function.
         let old = unsafe { &*self.buffer.load(Ordering::Relaxed) };
         let new = Buffer::new(old.cap() * 2);
         for i in t..b {
@@ -466,6 +488,10 @@ impl<T> Drop for ColoredDeque<T> {
         while let Some(v) = self.pop() {
             drop(v);
         }
+        // SAFETY: &mut self proves no thief or owner is running, so the
+        // live buffer and every retired buffer are reachable only from
+        // here; each was created by Box::into_raw and is freed exactly
+        // once (retired entries are drained, preventing a double free).
         unsafe {
             drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
             for p in self.retired.lock().drain(..) {

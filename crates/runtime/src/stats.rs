@@ -4,11 +4,11 @@
 //! steals per worker), Figure 9 (idle time from forcing the first colored
 //! steal), and the steal-overhead discussion in §V-C.
 
-use crossbeam_utils::CachePadded;
-use std::sync::atomic::{
+use crate::sync::{
     AtomicU64,
     Ordering::{Acquire, Relaxed},
 };
+use crossbeam_utils::CachePadded;
 
 /// Live atomic counters for one worker (runtime-internal).
 #[derive(Default)]

@@ -1,26 +1,38 @@
-//! Synchronization facade for the runtime's lock-free hot paths.
+//! Synchronization facade for every audited concurrent path in the
+//! workspace.
 //!
-//! Normal builds re-export `std::sync::atomic` and `parking_lot::Mutex`
-//! directly — the facade is pure renaming with zero cost. Under
-//! `--cfg nabbitc_check` (set via `RUSTFLAGS`, never a cargo feature, so
-//! feature unification can't leak it into regular builds) the same names
-//! resolve to the workspace `loom` shim's instrumented primitives, which
-//! route every operation through an exhaustive-interleaving model
-//! checker with a TSO weak-memory model. `crates/check` builds the
-//! runtime this way to verify the WorkStealing.tla invariants (W1–W6)
-//! against the real deque and injector code, not a transliteration.
+//! Normal builds re-export `std::sync::atomic` and
+//! `parking_lot::{Mutex, RwLock}` directly — the facade is pure renaming
+//! with zero cost. Under `--cfg nabbitc_check` (set via `RUSTFLAGS`,
+//! never a cargo feature, so feature unification can't leak it into
+//! regular builds) the same names resolve to the workspace `loom` shim's
+//! instrumented primitives, which route every operation through an
+//! exhaustive-interleaving model checker with a TSO weak-memory model.
+//! `crates/check` builds the runtime this way to verify the
+//! WorkStealing.tla invariants (W1–W6) against the real deque and
+//! injector code, not a transliteration.
 //!
-//! Only code that must run under the checker goes through this module:
-//! `deque.rs` and `injector.rs`. The rest of the pool (parking,
-//! condvars, stats) uses std/parking_lot directly and is exercised by
-//! the model harness through the public deque/injector API instead.
+//! Everything with audited atomics goes through this module: the
+//! runtime's own `deque.rs`, `injector.rs`, `pool.rs`, `stats.rs` and
+//! `trace.rs`, plus the downstream `nabbitc-core` executors (join
+//! counters in `core::join` / `dynamic.rs` / `static_exec.rs`, metrics
+//! counters) and `nabbitc-parfor`'s chunk cursors. The `nabbitc-lint`
+//! facade-conformance pass rejects direct `std::sync::atomic` /
+//! `parking_lot` imports in audited files outside this module (condvar
+//! use, which has no loom shim, is the one allowlisted exemption).
 
 #[cfg(not(nabbitc_check))]
-pub use parking_lot::Mutex;
+pub use parking_lot::{Mutex, RwLock};
 #[cfg(not(nabbitc_check))]
-pub use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
+    Ordering,
+};
 
 #[cfg(nabbitc_check)]
-pub use loom::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+pub use loom::sync::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize,
+    Ordering,
+};
 #[cfg(nabbitc_check)]
-pub use loom::sync::Mutex;
+pub use loom::sync::{Mutex, RwLock};

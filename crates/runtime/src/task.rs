@@ -36,9 +36,15 @@ pub struct Task {
     pub id: u64,
     /// Reads the closure out of `storage` and runs it; `None` when the
     /// shell is vacant (already run, or freshly recycled).
+    ///
+    /// SAFETY invariant: `Some` if and only if `storage` holds the live
+    /// closure this pointer was monomorphized for.
     call: Option<unsafe fn(*mut Storage, &mut WorkerContext<'_>)>,
     /// Drops the closure in `storage` without running it. Only meaningful
     /// while `call` is `Some`.
+    ///
+    /// SAFETY invariant: installed by `fill` together with `call`, for the
+    /// same closure type.
     drop_fn: unsafe fn(*mut Storage),
     storage: Storage,
 }
@@ -52,29 +58,43 @@ const fn inline_ok<F>() -> bool {
     size_of::<F>() <= size_of::<Storage>() && align_of::<F>() <= align_of::<Storage>()
 }
 
+/// # Safety
+/// `storage` must hold a live inline `F` written by `fill`; the read
+/// consumes it, so call at most once per fill.
 unsafe fn call_inline<F: FnOnce(&mut WorkerContext<'_>)>(
     storage: *mut Storage,
     ctx: &mut WorkerContext<'_>,
 ) {
     // Move the closure out before running it: a panic inside `f` must not
     // leave a half-owned closure behind in the shell.
+    // SAFETY: guaranteed by this function's contract.
     let f = unsafe { storage.cast::<F>().read() };
     f(ctx);
 }
 
+/// # Safety
+/// `storage` must hold a live inline `F`; dropping consumes it.
 unsafe fn drop_inline<F>(storage: *mut Storage) {
+    // SAFETY: guaranteed by this function's contract.
     unsafe { storage.cast::<F>().drop_in_place() }
 }
 
+/// # Safety
+/// `storage` must hold a live `Box<F>` written by `fill`; the read
+/// consumes it, so call at most once per fill.
 unsafe fn call_spilled<F: FnOnce(&mut WorkerContext<'_>)>(
     storage: *mut Storage,
     ctx: &mut WorkerContext<'_>,
 ) {
+    // SAFETY: guaranteed by this function's contract.
     let f = unsafe { storage.cast::<Box<F>>().read() };
     f(ctx);
 }
 
+/// # Safety
+/// `storage` must hold a live `Box<F>`; dropping consumes it.
 unsafe fn drop_spilled<F>(storage: *mut Storage) {
+    // SAFETY: guaranteed by this function's contract.
     unsafe { storage.cast::<Box<F>>().drop_in_place() }
 }
 
@@ -104,10 +124,15 @@ impl Task {
         debug_assert!(self.call.is_none(), "filling an occupied task shell");
         let storage = &mut self.storage as *mut Storage;
         if inline_ok::<F>() {
+            // SAFETY: `inline_ok` proved `F`'s size and alignment fit the
+            // buffer, and the debug_assert above checks the shell is
+            // vacant — nothing is overwritten.
             unsafe { storage.cast::<F>().write(func) };
             self.call = Some(call_inline::<F>);
             self.drop_fn = drop_inline::<F>;
         } else {
+            // SAFETY: a `Box<F>` is a single pointer — always fits the
+            // word-aligned buffer.
             unsafe { storage.cast::<Box<F>>().write(Box::new(func)) };
             self.call = Some(call_spilled::<F>);
             self.drop_fn = drop_spilled::<F>;
@@ -125,6 +150,9 @@ impl Task {
     /// vacant too — the closure was moved out before the call.
     pub fn run(&mut self, ctx: &mut WorkerContext<'_>) {
         if let Some(call) = self.call.take() {
+            // SAFETY: `call` being present means `storage` holds the live
+            // closure it was monomorphized for; `take` makes this the
+            // single consuming read.
             unsafe { call(&mut self.storage, ctx) };
         }
     }
@@ -137,6 +165,9 @@ impl Task {
         self.colors = ColorSet::empty();
         self.id = 0;
         if self.call.take().is_some() {
+            // SAFETY: a present `call` means `storage` holds the live
+            // closure `drop_fn` was installed for; `take` prevents a
+            // second drop.
             unsafe { (self.drop_fn)(&mut self.storage) };
         }
     }
@@ -147,6 +178,8 @@ impl Drop for Task {
         if self.call.take().is_some() {
             // Never ran (e.g. the deque dropped with entries): release
             // the captured state without executing it.
+            // SAFETY: as in `clear` — a present `call` implies a live
+            // closure of `drop_fn`'s type.
             unsafe { (self.drop_fn)(&mut self.storage) };
         }
     }

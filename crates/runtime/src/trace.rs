@@ -18,7 +18,7 @@
 //! loadable in `chrome://tracing` / Perfetto) and aggregates into
 //! per-worker [`WorkerTraceSummary`] rows.
 
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use crate::sync::{fence, AtomicU32, AtomicU64, Ordering};
 
 /// Version of the trace record layout and of the Chrome export produced
 /// from it. Bumped whenever [`TraceRecord`] fields or the exported JSON

@@ -235,6 +235,8 @@ impl CgProblem {
         let mut rr: f64 = self.b_vec().iter().map(|v| v * v).sum();
 
         for _ in 0..self.iters {
+            // SAFETY: serial section between graph executions — no tasks
+            // are running, so no access races this write.
             unsafe { scalars.write(1, rr) };
             let this = CgProblem { ..*self };
             let (x2, r2, p2, q2, pa, sc) = (
@@ -299,11 +301,14 @@ impl CgProblem {
             );
             // Scalar epilogue + direction update between iterations
             // (serial, tiny).
+            // SAFETY (both blocks below): `execute` has returned, so no
+            // tasks are running and this thread has exclusive access.
             let rr_new: f64 = (0..blocks)
                 .map(|b| unsafe { partials.read(blocks + b) })
                 .sum();
             let beta = rr_new / rr;
             for i in 0..n {
+                // SAFETY: serial epilogue, as above.
                 unsafe {
                     pvec.write(i, r.read(i) + beta * pvec.read(i));
                 }

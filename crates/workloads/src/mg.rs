@@ -314,6 +314,8 @@ impl MgProblem {
     }
 
     fn extract_u0(lv: Levels, n0: usize) -> Vec<f64> {
+        // SAFETY: called after the run completes, with the levels moved in
+        // by value — no tasks hold references anymore.
         (0..n0).map(|i| unsafe { lv.u[0].read(i) }).collect()
     }
 

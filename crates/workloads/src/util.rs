@@ -16,6 +16,8 @@ pub struct SharedBuffer<T> {
 
 // SAFETY: access discipline is delegated to callers per the type docs.
 unsafe impl<T: Send> Send for SharedBuffer<T> {}
+// SAFETY: as above — every cross-thread access goes through the unsafe
+// accessors, whose contracts require disjointness.
 unsafe impl<T: Send> Sync for SharedBuffer<T> {}
 
 impl<T: Clone> SharedBuffer<T> {
@@ -37,6 +39,8 @@ impl<T> SharedBuffer<T> {
 
     /// Length of the buffer.
     pub fn len(&self) -> usize {
+        // SAFETY: the length is fixed at construction (no accessor grows
+        // or shrinks the vector), so this read never races a write.
         unsafe { (*self.data.get()).len() }
     }
 
@@ -103,6 +107,7 @@ impl<T> SharedBuffer<T> {
     where
         T: Clone,
     {
+        // SAFETY: `&mut self` rules out any concurrent access.
         unsafe { (*self.data.get()).clone() }
     }
 }

@@ -106,6 +106,9 @@ pub mod atomic {
     int_atomic!(AtomicIsize, isize);
     int_atomic!(AtomicU64, u64);
     int_atomic!(AtomicU32, u32);
+    // Signed values round-trip through the u64 memory cell by two's
+    // complement (`as` casts); orderings are what the model interprets.
+    int_atomic!(AtomicI64, i64);
 
     #[derive(Debug)]
     pub struct AtomicBool {
@@ -282,5 +285,54 @@ impl<T> DerefMut for MutexGuard<'_, T> {
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
         crate::rt::lock_release(self.mutex.id);
+    }
+}
+
+/// Virtual reader-writer lock with the `parking_lot` API shape.
+///
+/// Conservative model: readers exclude each other, not just writers —
+/// every acquisition goes through the same lock table as [`Mutex`]. That
+/// only *removes* schedules (reader/reader concurrency) relative to a
+/// real RwLock, so any invariant proven under it still needs the
+/// writer-exclusion edges, which are modeled exactly. The code routed
+/// through the facade uses sharded RwLocks for a hash table where reads
+/// are lookups; serializing them keeps the model finite without
+/// weakening the exclusive-writer protocol under test.
+pub struct RwLock<T> {
+    inner: Mutex<T>,
+}
+
+// SAFETY: exclusion is delegated to the inner virtual Mutex (one owner
+// per lock id under the model's token discipline).
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: Mutex::new(value),
+        }
+    }
+
+    pub fn read(&self) -> MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+
+    pub fn write(&self) -> MutexGuard<'_, T> {
+        self.inner.lock()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
     }
 }
